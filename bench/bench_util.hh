@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: system
+ * construction, workload runs, geometric means, and table printing.
+ */
+
+#ifndef DIMMLINK_BENCH_BENCH_UTIL_HH
+#define DIMMLINK_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "system/host_runner.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+namespace benchutil {
+
+using namespace dimmlink;
+
+/** Problem-size knob: DIMMLINK_SCALE=small|default|large. */
+inline int
+scaleBoost()
+{
+    const char *env = std::getenv("DIMMLINK_SCALE");
+    if (!env)
+        return 0;
+    const std::string s = env;
+    if (s == "small")
+        return -1;
+    if (s == "large")
+        return 1;
+    return 0;
+}
+
+/** Per-workload scale defaults tuned for minutes-long benches. */
+inline std::uint64_t
+workloadScale(const std::string &name)
+{
+    static const std::map<std::string, std::uint64_t> base = {
+        {"bfs", 15},     {"pagerank", 15}, {"sssp", 15},
+        {"spmv", 15},    {"hotspot", 5},   {"kmeans", 5},
+        {"nw", 3},       {"tspow", 4},     {"syncbench", 1},
+    };
+    const auto it = base.find(name);
+    const std::int64_t s =
+        static_cast<std::int64_t>(it == base.end() ? 1 : it->second)
+        + scaleBoost();
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(1, s));
+}
+
+inline workloads::WorkloadParams
+nmpParams(const SystemConfig &cfg, const std::string &wl,
+          bool broadcast = false)
+{
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = workloadScale(wl);
+    p.rounds = 4;
+    p.broadcastMode = broadcast;
+    return p;
+}
+
+/** Run a workload on an NMP system. */
+inline RunResult
+runNmp(SystemConfig cfg, const std::string &wl_name,
+       bool broadcast = false)
+{
+    System sys(cfg);
+    auto wl = workloads::makeWorkload(
+        wl_name, nmpParams(cfg, wl_name, broadcast),
+        sys.addressMap());
+    Runner runner(sys, *wl);
+    RunResult r = runner.run();
+    if (!r.verified)
+        std::fprintf(stderr,
+                     "WARNING: %s did not verify on %s\n",
+                     wl_name.c_str(), toString(cfg.idcMethod));
+    return r;
+}
+
+/** Run the 16-core host-CPU baseline on the same problem. */
+inline RunResult
+runCpu(SystemConfig cfg, const std::string &wl_name,
+       bool broadcast = false)
+{
+    HostRunner host(cfg);
+    workloads::WorkloadParams p = nmpParams(cfg, wl_name, broadcast);
+    p.numThreads = cfg.host.numCores;
+    dram::GlobalAddressMap gmap(cfg.numDimms,
+                                cfg.dimm.capacityBytes);
+    auto wl = workloads::makeWorkload(wl_name, p, gmap);
+    return host.run(*wl);
+}
+
+inline double
+speedup(const RunResult &base, const RunResult &x)
+{
+    return static_cast<double>(base.kernelTicks) /
+           static_cast<double>(x.kernelTicks);
+}
+
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double log_sum = 0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Standard fabric configs used across the benches. */
+inline SystemConfig
+fabricConfig(const std::string &preset, IdcMethod method,
+             bool mapping = false)
+{
+    SystemConfig cfg = SystemConfig::preset(preset);
+    cfg.idcMethod = method;
+    cfg.distanceAwareMapping = mapping;
+    // The paper pairs DIMM-Link with the polling proxy and the
+    // baselines with per-DIMM polling.
+    cfg.pollingMode = method == IdcMethod::DimmLink
+                          ? PollingMode::Proxy
+                          : PollingMode::Baseline;
+    cfg.syncScheme = method == IdcMethod::DimmLink
+                         ? SyncScheme::Hierarchical
+                         : SyncScheme::Centralized;
+    return cfg;
+}
+
+inline void
+printRule(unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace benchutil
+
+#endif // DIMMLINK_BENCH_BENCH_UTIL_HH

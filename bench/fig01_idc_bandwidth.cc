@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 1 reproduction: IDC performance exploration on a
+ * CPU-forwarding (UPMEM-style) platform. (a) point-to-point IDC
+ * bandwidth vs transfer size; (b) aggregate NMP bandwidth vs
+ * achievable P2P IDC bandwidth on a 16-DIMM system.
+ *
+ * Expected shape: P2P IDC bandwidth saturates at a few GB/s only for
+ * bulk transfers, and aggregate NMP bandwidth exceeds aggregate IDC
+ * bandwidth by more than an order of magnitude (51x in the paper's
+ * UPMEM measurement).
+ */
+
+#include "bench_util.hh"
+
+#include "idc/fabric.hh"
+
+using namespace benchutil;
+
+namespace {
+
+/** Measured bandwidth of one bulk IDC transfer of @p bytes. */
+double
+p2pBandwidth(System &sys, std::uint64_t bytes)
+{
+    sys.enterNmpMode();
+    bool done = false;
+    const Tick start = sys.queue().now();
+    Tick end = 0;
+
+    // Issue the transfer as back-to-back line-sized remote reads
+    // from DIMM 0 to DIMM 1 through the fabric, 64 outstanding.
+    std::uint64_t issued = 0, completed = 0;
+    const std::uint64_t total_lines = bytes / 256;
+    std::function<void()> pump = [&] {
+        while (issued < total_lines &&
+               issued - completed < 64) {
+            idc::Transaction t;
+            t.type = idc::Transaction::Type::RemoteRead;
+            t.src = 0;
+            t.dst = 1;
+            t.addr = (issued * 256) % (1 << 26);
+            t.bytes = 256;
+            t.onComplete = [&] {
+                ++completed;
+                if (completed == total_lines) {
+                    done = true;
+                    end = sys.queue().now();
+                } else {
+                    pump();
+                }
+            };
+            ++issued;
+            sys.fabric().submit(std::move(t));
+        }
+    };
+    pump();
+    while (!done && sys.queue().step()) {
+    }
+    sys.exitNmpMode();
+    const double seconds =
+        static_cast<double>(end - start) / tickPerS;
+    return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 1-(a): P2P IDC bandwidth vs transfer "
+                "size (CPU-forwarding) ===\n\n");
+    std::printf("%12s %14s\n", "transfer", "bandwidth");
+
+    auto cfg = fabricConfig("16D-8C", IdcMethod::CpuForwarding);
+    for (std::uint64_t kb : {4, 16, 64, 256, 1024, 4096, 16384}) {
+        System sys(cfg);
+        // Remote memory access stub path goes through real DRAM via
+        // the system wiring.
+        const double gbps = p2pBandwidth(sys, kb * 1024);
+        std::printf("%9lluKB %11.2fGB/s\n",
+                    static_cast<unsigned long long>(kb), gbps);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n=== Figure 1-(b): aggregate NMP vs IDC bandwidth, "
+                "16 DIMMs ===\n\n");
+    // Aggregate NMP bandwidth: rank-parallel local DRAM across all
+    // DIMMs (2 ranks x 19.2 GB/s per DIMM nominal peak).
+    const double nmp_bw = 16 * 2 * 19.2;
+    // Aggregate IDC bandwidth: every channel can forward at beta/2.
+    System sys(cfg);
+    const double p2p = p2pBandwidth(sys, 16 * 1024 * 1024);
+    const double idc_bw = p2p * cfg.numChannels / 2;
+    std::printf("  aggregate NMP bandwidth : %8.1f GB/s\n", nmp_bw);
+    std::printf("  aggregate IDC bandwidth : %8.1f GB/s\n", idc_bw);
+    std::printf("  ratio                   : %8.1fx  "
+                "(paper: ~51x on UPMEM)\n", nmp_bw / idc_bw);
+    return 0;
+}

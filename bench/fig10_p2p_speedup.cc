@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 10 reproduction: P2P IDC performance. For each system size
+ * (4D-2C, 8D-4C, 12D-6C, 16D-8C) and each workload (BFS, HS, KM, NW,
+ * PR, SSSP), the speedup over the 16-core host CPU of MCN, AIM,
+ * DIMM-Link-base, and DIMM-Link-opt, plus the ratio of non-overlapped
+ * IDC cycles (the line plot in the paper).
+ *
+ * Expected shape: DIMM-Link-opt ~5-6x geomean over the CPU; ~2.4x
+ * over MCN, ~1.9x over AIM, ~1.1x over DIMM-Link-base; MCN improves
+ * with channels; AIM degrades as DIMMs grow.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    const std::vector<std::string> presets = {"4D-2C", "8D-4C",
+                                              "12D-6C", "16D-8C"};
+    const auto workloads = workloads::p2pWorkloadNames();
+
+    struct Variant
+    {
+        const char *label;
+        IdcMethod method;
+        bool mapping;
+    };
+    const Variant variants[] = {
+        {"MCN", IdcMethod::CpuForwarding, false},
+        {"AIM", IdcMethod::DedicatedBus, false},
+        {"DL-base", IdcMethod::DimmLink, false},
+        {"DL-opt", IdcMethod::DimmLink, true},
+    };
+
+    std::printf("=== Figure 10: P2P IDC performance "
+                "(speedup over 16-core CPU | non-overlapped IDC "
+                "cycle ratio) ===\n\n");
+
+    std::map<std::string, std::vector<double>> geo_speedups;
+
+    for (const auto &preset : presets) {
+        std::printf("--- %s ---\n", preset.c_str());
+        std::printf("%-9s", "workload");
+        for (const auto &v : variants)
+            std::printf(" %9s %6s", v.label, "idc%");
+        std::printf("\n");
+        printRule(9 + 4 * 17);
+
+        for (const auto &wl : workloads) {
+            const RunResult cpu =
+                runCpu(SystemConfig::preset(preset), wl);
+            std::printf("%-9s", wl.c_str());
+            for (const auto &v : variants) {
+                const RunResult r = runNmp(
+                    fabricConfig(preset, v.method, v.mapping), wl);
+                const double sp = speedup(cpu, r);
+                geo_speedups[std::string(v.label) + "@" + preset]
+                    .push_back(sp);
+                geo_speedups[v.label].push_back(sp);
+                std::printf(" %8.2fx %5.1f%%", sp,
+                            100.0 * r.idcStallRatio());
+            }
+            std::printf("\n");
+            std::fflush(stdout);
+        }
+        std::printf("%-9s", "geomean");
+        for (const auto &v : variants)
+            std::printf(" %8.2fx %6s",
+                        geomean(geo_speedups[std::string(v.label) +
+                                             "@" + preset]),
+                        "");
+        std::printf("\n\n");
+    }
+
+    std::printf("=== Overall geomean speedups over the CPU "
+                "baseline ===\n");
+    for (const auto &v : variants)
+        std::printf("  %-8s %6.2fx\n", v.label,
+                    geomean(geo_speedups[v.label]));
+    const double dl_opt = geomean(geo_speedups["DL-opt"]);
+    std::printf("\n  DL-opt vs MCN     : %.2fx  (paper: 2.42x)\n",
+                dl_opt / geomean(geo_speedups["MCN"]));
+    std::printf("  DL-opt vs AIM     : %.2fx  (paper: 1.87x)\n",
+                dl_opt / geomean(geo_speedups["AIM"]));
+    std::printf("  DL-opt vs DL-base : %.2fx  (paper: 1.12x)\n",
+                dl_opt / geomean(geo_speedups["DL-base"]));
+    std::printf("  DL-opt vs CPU     : %.2fx  (paper: 5.93x)\n",
+                dl_opt);
+    return 0;
+}

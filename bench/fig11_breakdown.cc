@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11 reproduction: data transfer breakdown of DIMM-Link-opt —
+ * the fraction of traffic served locally, routed over the DL-Bridge,
+ * and CPU-forwarded between groups, per workload at 16D-8C.
+ *
+ * Expected shape: with the distance-aware mapping, only a minority
+ * (~29% of inter-DIMM traffic in the paper) still crosses the host.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    std::printf("=== Figure 11: data transfer breakdown of "
+                "DIMM-Link-opt (16D-8C) ===\n\n");
+    std::printf("%-9s %10s %10s %10s   %8s %8s %8s %10s\n",
+                "workload", "local MB", "link MB", "host MB",
+                "local%", "link%", "host%", "idc-host%");
+    printRule(88);
+
+    double sum_link = 0, sum_host = 0;
+    for (const auto &wl : workloads::p2pWorkloadNames()) {
+        const RunResult r = runNmp(
+            fabricConfig("16D-8C", IdcMethod::DimmLink, true), wl);
+        const double total =
+            r.localBytes + r.linkBytes + r.hostBytes;
+        const double idc = r.linkBytes + r.hostBytes;
+        sum_link += r.linkBytes;
+        sum_host += r.hostBytes;
+        std::printf("%-9s %10.2f %10.2f %10.2f   %7.1f%% %7.1f%% "
+                    "%7.1f%% %9.1f%%\n",
+                    wl.c_str(), r.localBytes / 1e6,
+                    r.linkBytes / 1e6, r.hostBytes / 1e6,
+                    100 * r.localBytes / total,
+                    100 * r.linkBytes / total,
+                    100 * r.hostBytes / total,
+                    idc > 0 ? 100 * r.hostBytes / idc : 0.0);
+        std::fflush(stdout);
+    }
+    printRule(88);
+    std::printf("\nCPU-forwarded share of inter-DIMM traffic: "
+                "%.1f%%  (paper: ~29%%)\n",
+                100 * sum_host / (sum_link + sum_host));
+    return 0;
+}

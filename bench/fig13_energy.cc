@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 13 reproduction: energy comparison of MCN, AIM and
+ * DIMM-Link at 16D-8C, broken into DRAM / IDC / NMP-core
+ * components.
+ *
+ * Expected shape: DIMM-Link ~1.76x less total energy than MCN
+ * (mostly from reduced IDC energy) and ~1.07x less than AIM (from
+ * end-to-end speedup; AIM's per-bit IDC energy is lowest).
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    const struct
+    {
+        const char *label;
+        IdcMethod method;
+        bool mapping;
+    } variants[] = {
+        {"MCN", IdcMethod::CpuForwarding, false},
+        {"AIM", IdcMethod::DedicatedBus, false},
+        {"DIMM-Link", IdcMethod::DimmLink, true},
+    };
+
+    std::printf("=== Figure 13: energy consumption (16D-8C), "
+                "millijoules ===\n\n");
+    std::printf("%-9s", "workload");
+    for (const auto &v : variants)
+        std::printf("  %9s(dram/idc/core)", v.label);
+    std::printf("\n");
+    printRule(9 + 3 * 27);
+
+    std::map<std::string, double> totals;
+    for (const auto &wl : workloads::p2pWorkloadNames()) {
+        std::printf("%-9s", wl.c_str());
+        for (const auto &v : variants) {
+            const RunResult r = runNmp(
+                fabricConfig("16D-8C", v.method, v.mapping), wl);
+            const auto &e = r.energy;
+            totals[v.label] += e.total();
+            std::printf("  %7.2f (%5.2f/%5.2f/%5.2f)",
+                        e.total() / 1e9, e.dramPj / 1e9,
+                        e.idc() / 1e9, e.nmpCorePj / 1e9);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    printRule(9 + 3 * 27);
+
+    std::printf("\n=== Totals over all workloads ===\n");
+    for (const auto &v : variants)
+        std::printf("  %-10s %8.2f mJ\n", v.label,
+                    totals[v.label] / 1e9);
+    std::printf("\n  MCN / DIMM-Link : %.2fx  (paper: 1.76x)\n",
+                totals["MCN"] / totals["DIMM-Link"]);
+    std::printf("  AIM / DIMM-Link : %.2fx  (paper: 1.07x)\n",
+                totals["AIM"] / totals["DIMM-Link"]);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 14 reproduction: synchronization performance.
+ * (a) the sync microkernel swept over barrier intervals (instructions
+ *     between barriers) for MCN, AIM, DIMM-Link-Central and
+ *     DIMM-Link-Hier;
+ * (b) the TS.Pow end-to-end workload (SynCron's kernel).
+ *
+ * Expected shape: the hierarchical scheme's advantage grows as the
+ * interval shrinks (~5.3x over MCN and ~2.2x over AIM at a
+ * 500-instruction interval); TS.Pow end-to-end ~1.5-1.7x over MCN.
+ */
+
+#include "bench_util.hh"
+
+using namespace benchutil;
+
+namespace {
+
+struct Variant
+{
+    const char *label;
+    IdcMethod method;
+    SyncScheme scheme;
+};
+
+const Variant variants[] = {
+    {"MCN", IdcMethod::CpuForwarding, SyncScheme::Centralized},
+    {"AIM", IdcMethod::DedicatedBus, SyncScheme::Centralized},
+    {"DL-Central", IdcMethod::DimmLink, SyncScheme::Centralized},
+    {"DL-Hier", IdcMethod::DimmLink, SyncScheme::Hierarchical},
+};
+
+RunResult
+runSync(const Variant &v, const char *wl, std::uint64_t interval)
+{
+    SystemConfig cfg = fabricConfig("16D-8C", v.method);
+    cfg.syncScheme = v.scheme;
+    System sys(cfg);
+    workloads::WorkloadParams p = nmpParams(cfg, wl);
+    p.syncIntervalInstr = interval;
+    p.rounds = 24;
+    auto w = workloads::makeWorkload(wl, p, sys.addressMap());
+    Runner runner(sys, *w);
+    return runner.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 14-(a): barrier microkernel, speedup "
+                "over MCN per sync interval ===\n\n");
+    std::printf("%10s", "interval");
+    for (const auto &v : variants)
+        std::printf(" %11s", v.label);
+    std::printf("\n");
+    printRule(10 + 4 * 12);
+
+    for (std::uint64_t interval :
+         {500ull, 2000ull, 8000ull, 32000ull, 128000ull}) {
+        RunResult mcn;
+        std::printf("%10llu",
+                    static_cast<unsigned long long>(interval));
+        for (const auto &v : variants) {
+            const RunResult r = runSync(v, "syncbench", interval);
+            if (std::string(v.label) == "MCN")
+                mcn = r;
+            std::printf(" %10.2fx", speedup(mcn, r));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n=== Figure 14-(b): TS.Pow end-to-end, speedup "
+                "over MCN ===\n\n");
+    RunResult mcn;
+    for (const auto &v : variants) {
+        const RunResult r = runSync(v, "tspow", 0);
+        if (std::string(v.label) == "MCN")
+            mcn = r;
+        std::printf("  %-11s %6.2fx%s\n", v.label, speedup(mcn, r),
+                    std::string(v.label) == "DL-Hier"
+                        ? "  (paper: 1.46x-1.74x over MCN)"
+                        : "");
+        std::fflush(stdout);
+    }
+    return 0;
+}

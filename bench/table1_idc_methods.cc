@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Table I reproduction: the four IDC methods compared on hardware
+ * modification scope, supported modes, and maximum bandwidth — the
+ * analytic model next to bandwidth measured on this simulator.
+ *
+ *   CPU-forwarding : #Channel x beta / 2
+ *   Intra-channel broadcast : #DIMM x beta (effective, broadcast)
+ *   Dedicated bus  : beta
+ *   DIMM-Link      : #Link x beta_link
+ */
+
+#include "bench_util.hh"
+
+#include "idc/fabric.hh"
+
+using namespace benchutil;
+
+namespace {
+
+/** Aggregate IDC bandwidth: all DIMMs stream to a partner at once. */
+double
+aggregateBandwidth(SystemConfig cfg)
+{
+    System sys(cfg);
+    sys.enterNmpMode();
+    const std::uint64_t per_pair = 4 * 1024 * 1024;
+    const unsigned pairs = cfg.numDimms / 2;
+
+    unsigned done_pairs = 0;
+    Tick end = 0;
+    const Tick start = sys.queue().now();
+
+    for (unsigned p = 0; p < pairs; ++p) {
+        const DimmId src = static_cast<DimmId>(2 * p);
+        const DimmId dst = static_cast<DimmId>(2 * p + 1);
+        auto issued = std::make_shared<std::uint64_t>(0);
+        auto completed = std::make_shared<std::uint64_t>(0);
+        const std::uint64_t lines = per_pair / 256;
+        auto pump = std::make_shared<std::function<void()>>();
+        *pump = [&, issued, completed, lines, src, dst, pump] {
+            while (*issued < lines && *issued - *completed < 32) {
+                idc::Transaction t;
+                t.type = idc::Transaction::Type::RemoteWrite;
+                t.src = src;
+                t.dst = dst;
+                t.addr = (*issued * 256) % (1 << 26);
+                t.bytes = 256;
+                t.onComplete = [&, completed, lines, pump] {
+                    if (++*completed == lines) {
+                        if (++done_pairs == pairs)
+                            end = sys.queue().now();
+                    } else {
+                        (*pump)();
+                    }
+                };
+                ++*issued;
+                sys.fabric().submit(std::move(t));
+            }
+        };
+        (*pump)();
+    }
+    while (done_pairs < pairs && sys.queue().step()) {
+    }
+    sys.exitNmpMode();
+    const double bytes =
+        static_cast<double>(per_pair) * pairs;
+    return bytes / (static_cast<double>(end - start) / tickPerS) /
+           1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto base = SystemConfig::preset("16D-8C");
+    const double beta = base.host.channelGBps;
+
+    std::printf("=== Table I: comparison of inter-DIMM "
+                "communication methods (16D-8C) ===\n\n");
+    std::printf("%-14s %-22s %-26s %12s %12s\n", "method",
+                "hw modification", "IDC modes", "model GB/s",
+                "meas. GB/s");
+    printRule(92);
+
+    struct Row
+    {
+        const char *name;
+        IdcMethod method;
+        const char *hw;
+        const char *modes;
+        double model;
+    };
+    const unsigned links = 2 * (base.groupSize() - 1) *
+                           base.numGroups();
+    const Row rows[] = {
+        {"CPU-Fwd (MCN)", IdcMethod::CpuForwarding, "DIMM modules",
+         "P2P", base.numChannels * beta / 2},
+        {"ABC-DIMM", IdcMethod::ChannelBroadcast,
+         "host CPU + DIMMs", "broadcast",
+         base.numDimms * beta},
+        {"AIM bus", IdcMethod::DedicatedBus, "DIMM modules", "P2P",
+         beta},
+        {"DIMM-Link", IdcMethod::DimmLink, "DIMM modules",
+         "P2P + broadcast", links / 2 * base.link.linkGBps},
+    };
+
+    for (const auto &row : rows) {
+        const double meas =
+            aggregateBandwidth(fabricConfig("16D-8C", row.method));
+        std::printf("%-14s %-22s %-26s %12.1f %12.1f\n", row.name,
+                    row.hw, row.modes, row.model, meas);
+        std::fflush(stdout);
+    }
+
+    std::printf("\nNotes: the model column is Table I's analytic "
+                "peak; the measured column\nstreams 256-byte remote "
+                "writes between disjoint DIMM pairs. DIMM-Link's\n"
+                "measured aggregate uses adjacent pairs (one link "
+                "hop each); AIM is bounded\nby the single shared "
+                "bus; MCN by channel occupancy both ways.\n");
+    return 0;
+}

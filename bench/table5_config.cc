@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table V reproduction: the evaluated system configurations, printed
+ * from the same SystemConfig objects every bench uses.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "dram/timing.hh"
+
+using namespace dimmlink;
+
+int
+main()
+{
+    std::cout << "=== Table V: system configurations ===\n\n";
+    for (const char *preset :
+         {"4D-2C", "8D-4C", "12D-6C", "16D-8C"}) {
+        std::cout << "[" << preset << "]\n";
+        SystemConfig::preset(preset).print(std::cout);
+        std::cout << "\n";
+    }
+
+    const auto t = dram::Timing::preset("DDR4_2400");
+    std::cout << "DRAM timing (" << t.name << ", tCK = "
+              << t.clkPeriod() << " ps):\n"
+              << "  tRCD=" << t.tRCD << " tRP=" << t.tRP
+              << " tCL=" << t.tCL << " tCWL=" << t.tCWL
+              << " tRAS=" << t.tRAS << " tRC=" << t.tRC << "\n"
+              << "  tCCD_S/L=" << t.tCCDs << "/" << t.tCCDl
+              << " tRRD_S/L=" << t.tRRDs << "/" << t.tRRDl
+              << " tFAW=" << t.tFAW << " tWR=" << t.tWR
+              << " tWTR_S/L=" << t.tWTRs << "/" << t.tWTRl << "\n"
+              << "  tRTP=" << t.tRTP << " tREFI=" << t.tREFI
+              << " tRFC=" << t.tRFC << "\n";
+
+    const SystemConfig cfg;
+    std::cout << "\nEnergy constants (Section V-C):\n"
+              << "  GRS link      : " << cfg.energy.linkPjPerBit
+              << " pJ/b\n"
+              << "  DDR RD/WR     : " << cfg.energy.ddrRdWrPjPerBit
+              << " pJ/b\n"
+              << "  bus IO        : " << cfg.energy.busIoPjPerBit
+              << " pJ/b\n"
+              << "  ACT           : " << cfg.energy.activateNj
+              << " nJ\n"
+              << "  NMP processor : "
+              << cfg.energy.nmpCoreWatt * 4 << " W per DIMM\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Graph analytics on an NMP system: runs PageRank over an R-MAT
+ * graph on all four IDC fabrics and compares them against the
+ * 16-core host CPU — the experiment the paper's introduction
+ * motivates (graph kernels need neighbor state from other DIMMs).
+ *
+ * Usage: example_graph_analytics [preset] [scale]
+ *   preset: 4D-2C | 8D-4C | 12D-6C | 16D-8C  (default 8D-4C)
+ *   scale:  log2 of the vertex count          (default 10)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "system/host_runner.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dimmlink;
+
+namespace {
+
+RunResult
+runFabric(const std::string &preset, IdcMethod method,
+          std::uint64_t scale, bool mapping)
+{
+    SystemConfig cfg = SystemConfig::preset(preset);
+    cfg.idcMethod = method;
+    cfg.distanceAwareMapping = mapping;
+    cfg.pollingMode = method == IdcMethod::DimmLink
+                          ? PollingMode::Proxy
+                          : PollingMode::Baseline;
+    System sys(cfg);
+
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = scale;
+    auto wl = workloads::makeWorkload("pagerank", p,
+                                      sys.addressMap());
+    Runner runner(sys, *wl);
+    return runner.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string preset = argc > 1 ? argv[1] : "8D-4C";
+    const std::uint64_t scale =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+
+    std::printf("PageRank on %s (2^%llu vertices)\n\n",
+                preset.c_str(),
+                static_cast<unsigned long long>(scale));
+
+    // CPU baseline.
+    SystemConfig cfg = SystemConfig::preset(preset);
+    HostRunner host(cfg);
+    workloads::WorkloadParams hp;
+    hp.numThreads = cfg.host.numCores;
+    hp.numDimms = cfg.numDimms;
+    hp.scale = scale;
+    dram::GlobalAddressMap gmap(cfg.numDimms,
+                                cfg.dimm.capacityBytes);
+    auto host_wl = workloads::makeWorkload("pagerank", hp, gmap);
+    const RunResult cpu = host.run(*host_wl);
+    std::printf("%-22s %10.3f ms  (verified: %s)\n",
+                "16-core CPU", cpu.kernelTicks / 1e9,
+                cpu.verified ? "yes" : "NO");
+
+    const struct
+    {
+        const char *label;
+        IdcMethod method;
+        bool mapping;
+    } variants[] = {
+        {"MCN (CPU-forwarding)", IdcMethod::CpuForwarding, false},
+        {"AIM (dedicated bus)", IdcMethod::DedicatedBus, false},
+        {"DIMM-Link", IdcMethod::DimmLink, false},
+        {"DIMM-Link + mapping", IdcMethod::DimmLink, true},
+    };
+    for (const auto &v : variants) {
+        const RunResult r =
+            runFabric(preset, v.method, scale, v.mapping);
+        std::printf("%-22s %10.3f ms  (%5.2fx vs CPU, "
+                    "IDC stall %4.1f%%, verified: %s)\n",
+                    v.label, r.kernelTicks / 1e9,
+                    static_cast<double>(cpu.kernelTicks) /
+                        static_cast<double>(r.kernelTicks),
+                    100 * r.idcStallRatio(),
+                    r.verified ? "yes" : "NO");
+    }
+    return 0;
+}

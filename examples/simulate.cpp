@@ -1,0 +1,202 @@
+/**
+ * @file
+ * A command-line driver over the full public API: pick a system
+ * shape, fabric, polling/sync/topology/mapping options and a
+ * workload, run it, and print every metric the library collects.
+ *
+ * Usage:
+ *   example_simulate [options]
+ *     --preset   4D-2C|8D-4C|12D-6C|16D-8C   (default 8D-4C)
+ *     --fabric   mcn|aim|abc|dimmlink        (default dimmlink)
+ *     --workload bfs|hotspot|kmeans|nw|pagerank|sssp|spmv|tspow
+ *     --scale    N                           (default 12)
+ *     --rounds   N                           (default 4)
+ *     --topology halfring|ring|mesh|torus    (default halfring)
+ *     --polling  base|base-itrpt|proxy|proxy-itrpt (default proxy)
+ *     --sync     central|hier                (default hier)
+ *     --mapping                              (enable Algorithm 1)
+ *     --broadcast                            (broadcast-mode kernel)
+ *     --linkgbps F                           (default 25)
+ *     --cpu                                  (run the host baseline too)
+ *     --stats                                (dump raw statistics)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/stats_json.hh"
+#include "system/host_runner.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dimmlink;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "error: %s\n(see the file header for "
+                 "options)\n", msg);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string preset = "8D-4C";
+    std::string fabric = "dimmlink";
+    std::string workload = "pagerank";
+    std::string topology = "halfring";
+    std::string polling = "proxy";
+    std::string sync = "hier";
+    std::uint64_t scale = 12;
+    unsigned rounds = 4;
+    double link_gbps = 25.0;
+    bool mapping = false, broadcast = false, run_cpu = false,
+         dump_stats = false, dump_json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(("missing value for " + a).c_str());
+            return argv[++i];
+        };
+        if (a == "--preset")
+            preset = next();
+        else if (a == "--fabric")
+            fabric = next();
+        else if (a == "--workload")
+            workload = next();
+        else if (a == "--scale")
+            scale = std::stoull(next());
+        else if (a == "--rounds")
+            rounds = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--topology")
+            topology = next();
+        else if (a == "--polling")
+            polling = next();
+        else if (a == "--sync")
+            sync = next();
+        else if (a == "--mapping")
+            mapping = true;
+        else if (a == "--broadcast")
+            broadcast = true;
+        else if (a == "--linkgbps")
+            link_gbps = std::stod(next());
+        else if (a == "--cpu")
+            run_cpu = true;
+        else if (a == "--stats")
+            dump_stats = true;
+        else if (a == "--json")
+            dump_json = true;
+        else
+            usage(("unknown option " + a).c_str());
+    }
+
+    SystemConfig cfg = SystemConfig::preset(preset);
+    if (fabric == "mcn")
+        cfg.idcMethod = IdcMethod::CpuForwarding;
+    else if (fabric == "aim")
+        cfg.idcMethod = IdcMethod::DedicatedBus;
+    else if (fabric == "abc")
+        cfg.idcMethod = IdcMethod::ChannelBroadcast;
+    else if (fabric == "dimmlink")
+        cfg.idcMethod = IdcMethod::DimmLink;
+    else
+        usage("bad --fabric");
+
+    if (topology == "halfring")
+        cfg.link.topology = Topology::HalfRing;
+    else if (topology == "ring")
+        cfg.link.topology = Topology::Ring;
+    else if (topology == "mesh")
+        cfg.link.topology = Topology::Mesh;
+    else if (topology == "torus")
+        cfg.link.topology = Topology::Torus;
+    else
+        usage("bad --topology");
+
+    if (polling == "base")
+        cfg.pollingMode = PollingMode::Baseline;
+    else if (polling == "base-itrpt")
+        cfg.pollingMode = PollingMode::BaselineInterrupt;
+    else if (polling == "proxy")
+        cfg.pollingMode = PollingMode::Proxy;
+    else if (polling == "proxy-itrpt")
+        cfg.pollingMode = PollingMode::ProxyInterrupt;
+    else
+        usage("bad --polling");
+
+    cfg.syncScheme = sync == "central" ? SyncScheme::Centralized
+                                       : SyncScheme::Hierarchical;
+    cfg.distanceAwareMapping = mapping;
+    cfg.link.linkGBps = link_gbps;
+    cfg.print(std::cout);
+
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = scale;
+    p.rounds = rounds;
+    p.broadcastMode = broadcast;
+    auto wl = workloads::makeWorkload(workload, p, sys.addressMap());
+
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+
+    std::printf("\n%s on %s over %s:\n", workload.c_str(),
+                preset.c_str(), toString(cfg.idcMethod));
+    std::printf("  kernel time          : %10.3f ms\n",
+                r.kernelTicks / 1e9);
+    std::printf("  profiling time       : %10.3f ms\n",
+                r.profilingTicks / 1e9);
+    std::printf("  verified             : %s\n",
+                r.verified ? "yes" : "NO");
+    std::printf("  instructions         : %10llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  non-overlapped IDC   : %9.1f %%\n",
+                100 * r.idcStallRatio());
+    std::printf("  traffic (MB)         : local %.2f  link %.2f  "
+                "host %.2f  bus %.2f\n", r.localBytes / 1e6,
+                r.linkBytes / 1e6, r.hostBytes / 1e6,
+                r.busBytes / 1e6);
+    std::printf("  memory-bus occupancy : %9.1f %%\n",
+                100 * r.busOccupancy);
+    std::printf("  energy (mJ)          : total %.3f  dram %.3f  "
+                "idc %.3f  cores %.3f\n", r.energy.total() / 1e9,
+                r.energy.dramPj / 1e9, r.energy.idc() / 1e9,
+                r.energy.nmpCorePj / 1e9);
+
+    if (run_cpu) {
+        HostRunner host(cfg);
+        workloads::WorkloadParams hp = p;
+        hp.numThreads = cfg.host.numCores;
+        dram::GlobalAddressMap gmap(cfg.numDimms,
+                                    cfg.dimm.capacityBytes);
+        auto host_wl =
+            workloads::makeWorkload(workload, hp, gmap);
+        const RunResult c = host.run(*host_wl);
+        std::printf("\n  16-core CPU baseline : %10.3f ms "
+                    "(NMP speedup %.2fx, verified: %s)\n",
+                    c.kernelTicks / 1e9,
+                    static_cast<double>(c.kernelTicks) /
+                        static_cast<double>(r.kernelTicks),
+                    c.verified ? "yes" : "NO");
+    }
+
+    if (dump_stats) {
+        std::printf("\n--- raw statistics ---\n");
+        sys.stats().dump(std::cout);
+    }
+    if (dump_json)
+        stats::dumpJson(sys.stats(), std::cout);
+    return r.verified ? 0 : 1;
+}

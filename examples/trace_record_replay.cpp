@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace record/replay: capture the op streams a kernel emits into
+ * .dltrace files (the workflow the paper's FPGA prototype uses with
+ * pre-dumped traces, Section V-A), then re-simulate from the traces
+ * alone and confirm the timing is identical.
+ *
+ * Usage: example_trace_record_replay [workload] [scale] [dir]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+using namespace dimmlink;
+
+namespace {
+
+/** Run 16 threads on a 4D-2C system; returns (ticks, traces). */
+Tick
+runThreads(System &sys,
+           std::vector<std::unique_ptr<ThreadProgram>> programs)
+{
+    sys.enterNmpMode();
+    std::vector<DimmId> homes(programs.size());
+    for (unsigned t = 0; t < programs.size(); ++t)
+        homes[t] = static_cast<DimmId>(t / 4);
+    sys.sync().setParticipants(homes);
+    unsigned done = 0;
+    const Tick start = sys.queue().now();
+    for (unsigned t = 0; t < programs.size(); ++t)
+        sys.dimm(homes[t]).core(t % 4).run(
+            t, std::move(programs[t]), [&done] { ++done; });
+    while (done < homes.size() && sys.queue().step()) {
+    }
+    const Tick span = sys.queue().now() - start;
+    sys.exitNmpMode();
+    return span;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "kmeans";
+    const std::uint64_t scale =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+    const std::string dir = argc > 3 ? argv[3] : "/tmp";
+
+    auto cfg = SystemConfig::preset("4D-2C");
+    workloads::WorkloadParams p;
+    p.numThreads = 16;
+    p.numDimms = 4;
+    p.scale = scale;
+
+    // Phase 1: run the real kernel, recording every thread.
+    std::vector<std::shared_ptr<trace::ThreadTrace>> traces(16);
+    Tick recorded;
+    {
+        System sys(cfg);
+        auto wl = workloads::makeWorkload(workload, p,
+                                          sys.addressMap());
+        std::vector<std::unique_ptr<ThreadProgram>> progs;
+        for (unsigned t = 0; t < 16; ++t) {
+            auto rec = std::make_unique<trace::RecordingProgram>(
+                wl->program(t));
+            traces[t] = rec->trace();
+            progs.push_back(std::move(rec));
+        }
+        recorded = runThreads(sys, std::move(progs));
+        std::printf("recorded run : %.3f ms (verified: %s)\n",
+                    recorded / 1e9, wl->verify() ? "yes" : "n/a");
+    }
+
+    // Phase 2: persist the traces to disk.
+    std::uint64_t total_refs = 0, bytes = 0;
+    for (unsigned t = 0; t < 16; ++t) {
+        const std::string path = dir + "/" + workload + ".t" +
+                                 std::to_string(t) + ".dltrace";
+        std::ofstream os(path, std::ios::binary);
+        traces[t]->save(os);
+        total_refs += traces[t]->memRefs();
+        bytes += static_cast<std::uint64_t>(os.tellp());
+    }
+    std::printf("dumped traces: 16 files, %llu refs, %.2f MB in %s\n",
+                static_cast<unsigned long long>(total_refs),
+                bytes / 1e6, dir.c_str());
+
+    // Phase 3: reload from disk and replay on a fresh system.
+    {
+        System sys(cfg);
+        std::vector<std::unique_ptr<ThreadProgram>> progs;
+        for (unsigned t = 0; t < 16; ++t) {
+            const std::string path = dir + "/" + workload + ".t" +
+                                     std::to_string(t) + ".dltrace";
+            std::ifstream is(path, std::ios::binary);
+            auto loaded = std::make_shared<trace::ThreadTrace>(
+                trace::ThreadTrace::load(is));
+            progs.push_back(
+                std::make_unique<trace::ReplayProgram>(loaded));
+        }
+        const Tick replayed = runThreads(sys, std::move(progs));
+        std::printf("replayed run : %.3f ms (%s the recorded "
+                    "timing)\n", replayed / 1e9,
+                    replayed == recorded ? "identical to"
+                                         : "DIFFERS FROM");
+        return replayed == recorded ? 0 : 1;
+    }
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the DRAM address mapper and the
+ * DL-packet codec.
+ */
+
+#ifndef DIMMLINK_COMMON_BITFIELD_HH
+#define DIMMLINK_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace dimmlink {
+
+/** Extract bits [first, first+count) of @p value (LSB = bit 0). */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned count)
+{
+    if (count == 0)
+        return 0;
+    if (count >= 64)
+        return value >> first;
+    return (value >> first) & ((1ull << count) - 1);
+}
+
+/** Insert the low @p count bits of @p field at position @p first. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned count,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        (count >= 64) ? ~0ull : ((1ull << count) - 1);
+    return (value & ~(mask << first)) | ((field & mask) << first);
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); @pre value > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned l = 0;
+    while (value >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(value)); @pre value > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return isPow2(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_COMMON_BITFIELD_HH

@@ -1,0 +1,150 @@
+#include "common/config.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace dimmlink {
+
+const char *
+toString(IdcMethod m)
+{
+    switch (m) {
+      case IdcMethod::CpuForwarding: return "MCN";
+      case IdcMethod::DedicatedBus: return "AIM";
+      case IdcMethod::ChannelBroadcast: return "ABC-DIMM";
+      case IdcMethod::DimmLink: return "DIMM-Link";
+    }
+    return "?";
+}
+
+const char *
+toString(PollingMode m)
+{
+    switch (m) {
+      case PollingMode::Baseline: return "Base";
+      case PollingMode::BaselineInterrupt: return "Base+Itrpt";
+      case PollingMode::Proxy: return "P-P";
+      case PollingMode::ProxyInterrupt: return "P-P+Itrpt";
+    }
+    return "?";
+}
+
+const char *
+toString(Topology t)
+{
+    switch (t) {
+      case Topology::HalfRing: return "HalfRing";
+      case Topology::Ring: return "Ring";
+      case Topology::Mesh: return "Mesh";
+      case Topology::Torus: return "Torus";
+    }
+    return "?";
+}
+
+const char *
+toString(SyncScheme s)
+{
+    switch (s) {
+      case SyncScheme::Centralized: return "Centralized";
+      case SyncScheme::Hierarchical: return "Hierarchical";
+    }
+    return "?";
+}
+
+unsigned
+SystemConfig::groupSize() const
+{
+    if (dimmsPerGroup != 0)
+        return dimmsPerGroup;
+    // Paper's organization: one DL group per side of the CPU socket.
+    // A 4-DIMM system forms a single group; larger systems form two.
+    if (numDimms <= 4)
+        return numDimms;
+    return numDimms / 2;
+}
+
+unsigned
+SystemConfig::numGroups() const
+{
+    return divCeil(numDimms, groupSize());
+}
+
+void
+SystemConfig::validate() const
+{
+    if (numDimms == 0)
+        fatal("numDimms must be positive");
+    if (numChannels == 0 || numDimms % numChannels != 0)
+        fatal("numDimms (%u) must be a multiple of numChannels (%u)",
+              numDimms, numChannels);
+    if (dimmsPerChannel() > 3 && idcMethod == IdcMethod::ChannelBroadcast)
+        warn("more than 3 DIMMs per channel is not practical for "
+             "DDR4 multi-drop buses (paper Section II-B)");
+    if (numDimms % groupSize() != 0)
+        fatal("numDimms (%u) must be a multiple of the group size (%u)",
+              numDimms, groupSize());
+    if (link.topology == Topology::Mesh ||
+        link.topology == Topology::Torus) {
+        if (groupSize() % 2 != 0 && groupSize() > 2)
+            fatal("mesh/torus groups need an even number of DIMMs, "
+                  "got %u", groupSize());
+    }
+    if (host.numChannels < numChannels)
+        fatal("host provides %u channels but the system needs %u",
+              host.numChannels, numChannels);
+    if (dimm.maxOutstanding == 0)
+        fatal("NMP cores need at least one MSHR");
+}
+
+SystemConfig
+SystemConfig::preset(const std::string &name)
+{
+    SystemConfig cfg;
+    if (name == "4D-2C") {
+        cfg.numDimms = 4;
+        cfg.numChannels = 2;
+    } else if (name == "8D-4C") {
+        cfg.numDimms = 8;
+        cfg.numChannels = 4;
+    } else if (name == "12D-6C") {
+        cfg.numDimms = 12;
+        cfg.numChannels = 6;
+    } else if (name == "16D-8C") {
+        cfg.numDimms = 16;
+        cfg.numChannels = 8;
+    } else {
+        fatal("unknown system preset '%s'", name.c_str());
+    }
+    cfg.host.numChannels = cfg.numChannels;
+    return cfg;
+}
+
+void
+SystemConfig::print(std::ostream &os) const
+{
+    os << "System configuration (Table V reconstruction)\n"
+       << "  DIMMs: " << numDimms << "  channels: " << numChannels
+       << "  DIMMs/channel: " << dimmsPerChannel()
+       << "  DL groups: " << numGroups() << " x " << groupSize() << "\n"
+       << "  IDC method: " << toString(idcMethod)
+       << "  polling: " << toString(pollingMode)
+       << "  sync: " << toString(syncScheme)
+       << "  mapping: " << (distanceAwareMapping ? "distance-aware"
+                                                 : "static") << "\n"
+       << "  Host: " << host.numCores << " OoO cores @ "
+       << host.coreFreqMHz / 1000.0 << " GHz, "
+       << host.numChannels << " channels @ " << host.channelGBps
+       << " GB/s\n"
+       << "  NMP DIMM: " << dimm.numCores << " cores @ "
+       << dimm.coreFreqMHz / 1000.0 << " GHz, L1 "
+       << dimm.l1Bytes / 1024 << " KB, shared L2 "
+       << dimm.l2Bytes / 1024 << " KB, " << dimm.numRanks
+       << " ranks\n"
+       << "  DIMM-Link: " << link.linkGBps << " GB/s/dir per link, "
+       << toString(link.topology) << ", " << link.flitBits
+       << "-bit flits, " << link.bufferFlits << "-flit buffers\n"
+       << "  AIM bus: " << bus.busGBps << " GB/s shared\n"
+       << "  DRAM preset: " << dramPreset << "\n";
+}
+
+} // namespace dimmlink

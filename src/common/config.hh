@@ -1,0 +1,219 @@
+/**
+ * @file
+ * SystemConfig: every knob of the simulated machine in one value type
+ * (the reconstruction of the paper's Table V plus the sweep parameters
+ * used by the evaluation section).
+ */
+
+#ifndef DIMMLINK_COMMON_CONFIG_HH
+#define DIMMLINK_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+
+/** Which inter-DIMM communication fabric the system is built with. */
+enum class IdcMethod {
+    CpuForwarding,  ///< MCN / UPMEM style: host polls and forwards.
+    DedicatedBus,   ///< AIM style: one shared multi-drop bus.
+    ChannelBroadcast, ///< ABC-DIMM style: broadcast within a channel.
+    DimmLink,       ///< This paper: packet routing over SerDes bridges.
+};
+
+/** Polling mechanisms of Table III. */
+enum class PollingMode {
+    Baseline,          ///< Host scans every DIMM periodically.
+    BaselineInterrupt, ///< ALERT_N interrupt, then scan the channel.
+    Proxy,             ///< Host polls one proxy DIMM per DL group.
+    ProxyInterrupt,    ///< ALERT_N from the proxy, scan one DIMM.
+};
+
+/** Intra-group link topologies explored in Section VI (Fig. 17). */
+enum class Topology {
+    HalfRing, ///< The practical baseline: a linear chain of DIMMs.
+    Ring,     ///< Chain plus a wrap-around link.
+    Mesh,     ///< 2D mesh (groups arranged as 2 x N/2).
+    Torus,    ///< 2D torus.
+};
+
+/** Synchronization schemes compared in Fig. 14. */
+enum class SyncScheme {
+    Centralized,  ///< One global master NMP core collects all arrivals.
+    Hierarchical, ///< Master core / master DIMM / global (Section III-D).
+};
+
+const char *toString(IdcMethod m);
+const char *toString(PollingMode m);
+const char *toString(Topology t);
+const char *toString(SyncScheme s);
+
+/** Host CPU and memory-channel parameters. */
+struct HostConfig
+{
+    unsigned numCores = 16;
+    double coreFreqMHz = 3600.0;
+    /** Approximate IPC of one OoO host core on compute phases. */
+    double computeIpc = 2.0;
+    unsigned numChannels = 8;
+    /** Peak bandwidth of one memory channel (DDR4-2400, 8B bus). */
+    double channelGBps = 19.2;
+    /** L1D per core. Like the LLC below, scaled with the problem
+     * sizes (see DESIGN.md) so the baseline reproduces the paper's
+     * cache-miss regime. */
+    unsigned l1Bytes = 8 * 1024;
+    unsigned l1Assoc = 8;
+    /** Shared LLC. The evaluation scales problem sizes down ~500x
+     * from the paper's inputs (see DESIGN.md); the LLC is scaled
+     * with them so the host baseline stays in the memory-bound
+     * regime the paper measures. */
+    unsigned llcBytes = 128 * 1024;
+    unsigned llcAssoc = 16;
+    unsigned lineBytes = 64;
+    /** Load-to-use latency of L1 / LLC / DRAM seen by a host core. */
+    Tick l1LatencyPs = 1200;
+    Tick llcLatencyPs = 11000;
+    /** Fixed host-side latency to forward one DL packet (gem5-profiled
+     * in the paper; a constant playing the same role here). */
+    Tick forwardLatencyPs = 120 * tickPerNs;
+    /** Latency to enter the interrupt handler for ALERT_N polling. */
+    Tick interruptLatencyPs = 1500 * tickPerNs;
+    /** Period of the periodic polling loop. */
+    Tick pollIntervalPs = 1 * tickPerUs;
+    /** Bytes moved over the channel by a single polling read. */
+    unsigned pollReadBytes = 64;
+    /** Channel occupancy of one polling read: an uncached MMIO-style
+     * read holds the bus for the whole round trip to the buffer
+     * chip's polling registers, far longer than the burst itself. */
+    Tick pollChannelPs = 150 * tickPerNs;
+    /** Host cores dedicated to polling/forwarding in NMP mode. */
+    unsigned pollThreads = 4;
+    /** Host occupancy to issue one forwarded packet (the copy loop
+     * itself; transfers pipeline through the MC queues). */
+    Tick forwardIssuePs = 8 * tickPerNs;
+};
+
+/** One NMP DIMM (centralized buffer-chip architecture). */
+struct DimmConfig
+{
+    unsigned numCores = 4;
+    double coreFreqMHz = 2000.0;
+    /** In-order NMP cores: IPC on compute phases. */
+    double computeIpc = 1.0;
+    unsigned l1Bytes = 16 * 1024;
+    unsigned l1Assoc = 4;
+    unsigned l2Bytes = 128 * 1024;
+    unsigned l2Assoc = 8;
+    unsigned lineBytes = 64;
+    Tick l1LatencyPs = 1500;
+    Tick l2LatencyPs = 6000;
+    /** Maximum outstanding memory requests per core (MSHR window). */
+    unsigned maxOutstanding = 16;
+    /** Ranks per DIMM; NMP cores access ranks in parallel. */
+    unsigned numRanks = 2;
+    /** Capacity per DIMM. */
+    std::uint64_t capacityBytes = 16ull * 1024 * 1024 * 1024;
+};
+
+/** The DIMM-Link interconnect (DL-Bridge + DL-Controllers). */
+struct LinkConfig
+{
+    /** Bandwidth per direction per link; the paper's default is GRS
+     * at 25 GB/s, swept from 4 to 64 in Fig. 16. */
+    double linkGBps = 25.0;
+    /** Per-hop router pipeline latency. */
+    Tick routerLatencyPs = 4 * tickPerNs;
+    /** SerDes + wire latency of one DL-Bridge hop. */
+    Tick wireLatencyPs = 8 * tickPerNs;
+    /** Input buffer depth per port, in flits. Must fit a whole
+     * packet (17 flits: 1 header/tail flit + 16 payload flits) plus,
+     * on cyclic topologies, the bubble the routers reserve for
+     * deadlock freedom (another 17 flits). */
+    unsigned bufferFlits = 64;
+    /** Flit width in bits (Fig. 3: 128-bit flits). */
+    unsigned flitBits = 128;
+    /** Retry timeout of the data link layer. */
+    Tick retryTimeoutPs = 2 * tickPerUs;
+    /** Maximum retries before the DLL declares the link failed. */
+    unsigned maxRetries = 8;
+    Topology topology = Topology::HalfRing;
+};
+
+/** Dedicated-bus (AIM) fabric parameters. */
+struct BusConfig
+{
+    /** The paper assumes the dedicated bus matches memory-bus beta. */
+    double busGBps = 19.2;
+    Tick arbitrationPs = 6 * tickPerNs;
+};
+
+/** Energy model constants (Section V-C). */
+struct EnergyConfig
+{
+    double linkPjPerBit = 1.17;     ///< GRS SerDes.
+    double ddrRdWrPjPerBit = 14.0;  ///< DRAM array read/write.
+    double busIoPjPerBit = 22.0;    ///< Off-chip IO over the memory bus.
+    double activateNj = 2.1;        ///< One DDR ACT command.
+    double nmpCoreWatt = 1.8 / 4;   ///< Per-core share of the 1.8 W quad.
+    double hostForwardNjPerPkt = 60.0; ///< gem5+McPAT-profiled constant.
+    double hostPollNj = 8.0;        ///< One polling read at the host.
+    double dedicatedBusPjPerBit = 22.0; ///< AIM bus == memory-bus IO.
+};
+
+/** Everything needed to build a System. */
+struct SystemConfig
+{
+    unsigned numDimms = 4;
+    unsigned numChannels = 2;
+    /** DIMMs per DL group (one group per CPU side; 0 = auto: split the
+     * DIMMs into two equal groups unless there are <= 4). */
+    unsigned dimmsPerGroup = 0;
+
+    IdcMethod idcMethod = IdcMethod::DimmLink;
+    PollingMode pollingMode = PollingMode::Proxy;
+    SyncScheme syncScheme = SyncScheme::Hierarchical;
+    bool distanceAwareMapping = false;
+    /** Fraction of the kernel profiled before remapping (paper: ~1%). */
+    double profileFraction = 0.01;
+
+    HostConfig host;
+    DimmConfig dimm;
+    LinkConfig link;
+    BusConfig bus;
+    EnergyConfig energy;
+
+    /** DRAM timing preset name ("DDR4_2400" only, for now). */
+    std::string dramPreset = "DDR4_2400";
+
+    std::uint64_t seed = 1;
+
+    /** DIMMs per channel (derived). */
+    unsigned dimmsPerChannel() const { return numDimms / numChannels; }
+    /** Actual group size after resolving the auto setting. */
+    unsigned groupSize() const;
+    /** Number of DL groups. */
+    unsigned numGroups() const;
+    /** Group index of a DIMM. */
+    unsigned groupOf(DimmId d) const { return d / groupSize(); }
+    /** Channel that a DIMM sits on. */
+    ChannelId channelOf(DimmId d) const
+    {
+        return static_cast<ChannelId>(d / dimmsPerChannel());
+    }
+
+    /** Validate derived invariants; fatal() on bad configs. */
+    void validate() const;
+
+    /** Named preset for the four paper configurations. */
+    static SystemConfig preset(const std::string &name);
+
+    /** Table V-style dump. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_COMMON_CONFIG_HH

@@ -1,0 +1,43 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace dimmlink {
+
+namespace {
+
+/** Build the 256-entry lookup table at static-init time. */
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> crcTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = crcTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace dimmlink

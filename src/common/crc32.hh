@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) used by the DL packet data-link layer
+ * (Section III-B of the paper: a 32-bit CRC in each packet tail).
+ */
+
+#ifndef DIMMLINK_COMMON_CRC32_HH
+#define DIMMLINK_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dimmlink {
+
+/**
+ * Compute the CRC-32 of a byte buffer. Standard reflected CRC-32
+ * (poly 0xEDB88320, init 0xFFFFFFFF, final xor 0xFFFFFFFF), table-driven.
+ */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/** Incrementally extend a CRC: pass the previous return value back in. */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t len);
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_COMMON_CRC32_HH

@@ -1,0 +1,166 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace stats {
+
+double
+Distribution::variance() const
+{
+    if (count_ < 2)
+        return 0;
+    const double mean_v = mean();
+    return sumSq_ / count_ - mean_v * mean_v;
+}
+
+void
+Histogram::sample(double v)
+{
+    ++totalCount;
+    if (v < 0) {
+        ++overflowCount;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / bucketSize);
+    if (idx >= buckets.size())
+        ++overflowCount;
+    else
+        ++buckets[idx];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    overflowCount = 0;
+    totalCount = 0;
+}
+
+Group &
+Registry::group(const std::string &name)
+{
+    auto it = groups.find(name);
+    if (it == groups.end()) {
+        it = groups.emplace(name, Group{}).first;
+        it->second.name_ = name;
+    }
+    return it->second;
+}
+
+double
+Registry::scalar(const std::string &dotted) const
+{
+    const auto pos = dotted.rfind('.');
+    if (pos == std::string::npos)
+        panic("malformed stat name '%s'", dotted.c_str());
+    const std::string group_name = dotted.substr(0, pos);
+    const std::string stat_name = dotted.substr(pos + 1);
+    const auto git = groups.find(group_name);
+    if (git == groups.end())
+        panic("unknown stat group '%s'", group_name.c_str());
+    const auto sit = git->second.scalars_.find(stat_name);
+    if (sit == git->second.scalars_.end())
+        panic("unknown stat '%s' in group '%s'", stat_name.c_str(),
+              group_name.c_str());
+    return sit->second.value();
+}
+
+bool
+Registry::hasScalar(const std::string &dotted) const
+{
+    const auto pos = dotted.rfind('.');
+    if (pos == std::string::npos)
+        return false;
+    const auto git = groups.find(dotted.substr(0, pos));
+    if (git == groups.end())
+        return false;
+    return git->second.scalars_.count(dotted.substr(pos + 1)) > 0;
+}
+
+double
+Registry::sumScalar(const std::string &group_prefix,
+                    const std::string &stat) const
+{
+    double sum = 0;
+    for (const auto &[name, group] : groups) {
+        if (name.rfind(group_prefix, 0) != 0)
+            continue;
+        const auto sit = group.scalars_.find(stat);
+        if (sit != group.scalars_.end())
+            sum += sit->second.value();
+    }
+    return sum;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &[name, group] : groups)
+        group.reset();
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto &[gname, group] : groups) {
+        for (const auto &[sname, s] : group.scalars_) {
+            if (s.value() != 0)
+                os << gname << '.' << sname << " = " << s.value() << '\n';
+        }
+        for (const auto &[dname, d] : group.distributions()) {
+            if (d.count() == 0)
+                continue;
+            os << gname << '.' << dname << " : count=" << d.count()
+               << " mean=" << d.mean() << " min=" << d.min()
+               << " max=" << d.max()
+               << " stddev=" << std::sqrt(d.variance()) << '\n';
+        }
+        for (const auto &[hname, h] : group.histograms()) {
+            if (h.total() == 0)
+                continue;
+            os << gname << '.' << hname << " : total=" << h.total()
+               << " overflow=" << h.overflow() << '\n';
+        }
+    }
+}
+
+Scalar &
+Group::scalar(const std::string &name)
+{
+    return scalars_[name];
+}
+
+Distribution &
+Group::distribution(const std::string &name)
+{
+    return dists_[name];
+}
+
+Histogram &
+Group::histogram(const std::string &name, double bucket_size,
+                 unsigned num_buckets)
+{
+    auto it = hists_.find(name);
+    if (it == hists_.end())
+        it = hists_.emplace(name, Histogram(bucket_size,
+                                            num_buckets)).first;
+    return it->second;
+}
+
+void
+Group::reset()
+{
+    for (auto &[n, s] : scalars_)
+        s.reset();
+    for (auto &[n, d] : dists_)
+        d.reset();
+    for (auto &[n, h] : hists_)
+        h.reset();
+}
+
+} // namespace stats
+} // namespace dimmlink

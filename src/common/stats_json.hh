@@ -1,0 +1,35 @@
+/**
+ * @file
+ * JSON export of the statistics registry, for plotting scripts and
+ * external tooling (every bench's tables can be re-derived from the
+ * raw counters this emits).
+ */
+
+#ifndef DIMMLINK_COMMON_STATS_JSON_HH
+#define DIMMLINK_COMMON_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace dimmlink {
+namespace stats {
+
+/**
+ * Serialize the registry as a JSON object:
+ *   { "group": { "scalars": {..}, "distributions": { name:
+ *     {count,mean,min,max} } }, ... }
+ * Groups with no populated statistics are omitted unless
+ * @p include_empty is set. Output is deterministic (sorted names).
+ */
+void dumpJson(const Registry &reg, std::ostream &os,
+              bool include_empty = false);
+
+/** JSON string-escape helper (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace stats
+} // namespace dimmlink
+
+#endif // DIMMLINK_COMMON_STATS_JSON_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every DIMM-Link subsystem.
+ */
+
+#ifndef DIMMLINK_COMMON_TYPES_HH
+#define DIMMLINK_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dimmlink {
+
+/**
+ * Global simulation time unit. One tick is one picosecond, which lets
+ * every clock domain in the system (2 GHz NMP cores, 3.6 GHz host cores,
+ * 1200 MHz DDR4 command clock, bandwidth-derived link serialization)
+ * schedule exact integer periods.
+ */
+using Tick = std::uint64_t;
+
+/** A tick value that no event will ever be scheduled at. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per common time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * 1000;
+constexpr Tick tickPerMs = 1000ull * 1000 * 1000;
+constexpr Tick tickPerS = 1000ull * 1000 * 1000 * 1000;
+
+/** Physical memory address within the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** Number of cycles in some component-local clock domain. */
+using Cycles = std::uint64_t;
+
+/** Identifies a DIMM module in the system (0-based, globally unique). */
+using DimmId = std::uint16_t;
+
+/** Identifies a memory channel on the host. */
+using ChannelId = std::uint16_t;
+
+/** Identifies a software thread of an NMP kernel. */
+using ThreadId = std::uint32_t;
+
+/** Identifies an NMP core within a DIMM. */
+using CoreId = std::uint16_t;
+
+/** Sentinel for "no DIMM" / broadcast destination. */
+constexpr DimmId invalidDimm = 0xffff;
+
+/**
+ * Convert a frequency in MHz to a clock period in ticks (picoseconds),
+ * rounded to the nearest integer tick.
+ */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/**
+ * Number of ticks needed to move @p bytes over a resource with the given
+ * bandwidth in GB/s (decimal GB), rounded up so back-to-back transfers
+ * never exceed the configured bandwidth.
+ */
+constexpr Tick
+serializationTicks(std::uint64_t bytes, double gbps)
+{
+    // bytes / (GB/s) = bytes * 1e12 ps / (gbps * 1e9 bytes) .
+    const double ps = static_cast<double>(bytes) * 1000.0 / gbps;
+    const Tick t = static_cast<Tick>(ps);
+    return (static_cast<double>(t) < ps) ? t + 1 : t;
+}
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_COMMON_TYPES_HH

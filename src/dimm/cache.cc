@@ -1,0 +1,144 @@
+#include "dimm/cache.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace dimmlink {
+
+Cache::Cache(std::string name, unsigned size_bytes, unsigned assoc,
+             unsigned line_bytes, stats::Group &sg)
+    : name_(std::move(name)),
+      line(line_bytes),
+      ways(assoc),
+      statHits(sg.scalar("hits")),
+      statMisses(sg.scalar("misses")),
+      statWritebacks(sg.scalar("writebacks"))
+{
+    if (!isPow2(line_bytes))
+        fatal("cache %s: line size must be a power of two",
+              name_.c_str());
+    if (size_bytes % (line_bytes * assoc) != 0)
+        fatal("cache %s: size %u not divisible by way size",
+              name_.c_str(), size_bytes);
+    sets = size_bytes / (line_bytes * assoc);
+    if (!isPow2(sets))
+        fatal("cache %s: set count %u must be a power of two",
+              name_.c_str(), sets);
+    lineShift = floorLog2(line_bytes);
+    lines.assign(static_cast<std::size_t>(sets) * ways, Line{});
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>((addr >> lineShift) & (sets - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift >> floorLog2(sets);
+}
+
+Addr
+Cache::addrOf(Addr tag, std::size_t set) const
+{
+    return ((tag << floorLog2(sets)) |
+            static_cast<Addr>(set)) << lineShift;
+}
+
+Cache::Result
+Cache::access(Addr addr, bool is_write, bool shared_ro)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[set * ways];
+
+    Result r;
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lruStamp = ++stamp;
+            l.dirty = l.dirty || is_write;
+            l.sharedRo = l.sharedRo && shared_ro;
+            ++statHits;
+            r.hit = true;
+            return r;
+        }
+    }
+
+    // Miss: victimize an invalid way if one exists, else the LRU way.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+
+    ++statMisses;
+    if (victim->valid && victim->dirty) {
+        r.writeback = true;
+        r.victimAddr = addrOf(victim->tag, set);
+        ++statWritebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->sharedRo = shared_ro;
+    victim->lruStamp = ++stamp;
+    return r;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines[set * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+unsigned
+Cache::flush()
+{
+    unsigned dirty = 0;
+    for (auto &l : lines) {
+        if (l.valid && l.dirty)
+            ++dirty;
+        l.valid = false;
+        l.dirty = false;
+        l.sharedRo = false;
+    }
+    return dirty;
+}
+
+unsigned
+Cache::invalidateShared()
+{
+    unsigned dropped = 0;
+    for (auto &l : lines) {
+        if (l.valid && l.sharedRo) {
+            l.valid = false;
+            l.dirty = false;
+            l.sharedRo = false;
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+double
+Cache::hitRate() const
+{
+    const double total = statHits.value() + statMisses.value();
+    return total > 0 ? statHits.value() / total : 0.0;
+}
+
+} // namespace dimmlink

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A set-associative write-back, write-allocate cache tag model with
+ * LRU replacement. Used for the NMP cores' private L1s and shared L2
+ * and for the host cores' L1/LLC. Latency and miss handling live in
+ * the owner; this class only tracks hits, misses and dirty victims.
+ */
+
+#ifndef DIMMLINK_DIMM_CACHE_HH
+#define DIMMLINK_DIMM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dimmlink {
+
+class Cache
+{
+  public:
+    /** Result of one access. */
+    struct Result
+    {
+        bool hit = false;
+        /** A dirty line was evicted and must be written back. */
+        bool writeback = false;
+        Addr victimAddr = 0;
+    };
+
+    Cache(std::string name, unsigned size_bytes, unsigned assoc,
+          unsigned line_bytes, stats::Group &sg);
+
+    /**
+     * Look up @p addr; allocate on miss.
+     * @param shared_ro tag the line as shared read-only data, which
+     *        software-assisted coherence invalidates at barriers.
+     */
+    Result access(Addr addr, bool is_write, bool shared_ro = false);
+
+    /** Look up without allocating or updating LRU. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything, returning the count of dirty lines
+     * (cache flush at kernel end, Section III-E). */
+    unsigned flush();
+
+    /** Invalidate only shared read-only lines (the software-assisted
+     * coherence action at synchronization points). */
+    unsigned invalidateShared();
+
+    unsigned lineBytes() const { return line; }
+    unsigned numSets() const { return sets; }
+    unsigned associativity() const { return ways; }
+
+    double hitRate() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool sharedRo = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr addrOf(Addr tag, std::size_t set) const;
+
+    std::string name_;
+    unsigned line;
+    unsigned sets;
+    unsigned ways;
+    unsigned lineShift;
+    std::vector<Line> lines;
+    std::uint64_t stamp = 0;
+
+    stats::Scalar &statHits;
+    stats::Scalar &statMisses;
+    stats::Scalar &statWritebacks;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_DIMM_CACHE_HH

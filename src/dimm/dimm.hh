@@ -1,0 +1,63 @@
+/**
+ * @file
+ * One NMP DIMM with the centralized buffer-chip architecture: NMP
+ * cores with private L1s and a shared L2, the Local MC with
+ * rank-parallel DRAM controllers, and the DL-Controller.
+ */
+
+#ifndef DIMMLINK_DIMM_DIMM_HH
+#define DIMMLINK_DIMM_DIMM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "dimm/cache.hh"
+#include "dimm/dl_controller.hh"
+#include "dimm/local_mc.hh"
+#include "dimm/nmp_core.hh"
+
+namespace dimmlink {
+
+class Dimm
+{
+  public:
+    Dimm(EventQueue &eq, DimmId id, const SystemConfig &cfg,
+         const dram::Timing &timing,
+         const dram::GlobalAddressMap &gmap, stats::Registry &reg);
+
+    DimmId id() const { return id_; }
+
+    NmpCore &core(CoreId c) { return *cores[c]; }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores.size());
+    }
+    LocalMc &localMc() { return *mc; }
+    DlController &dlController() { return *dlc; }
+    Cache &l2Cache() { return *l2; }
+
+    /** Wire every core + the MC to the IDC fabric and sync/broadcast
+     * endpoints; called by the System during assembly. */
+    void connect(idc::Fabric *fabric, BarrierEndpoint *barrier,
+                 const dram::GlobalAddressMap *gmap);
+
+    /** Kernel end (Section III-E): NMP caches flush so the host can
+     * fetch results from DRAM. */
+    void flushCaches();
+
+    /** True when no core is running and the MC is drained. */
+    bool quiescent() const;
+
+  private:
+    DimmId id_;
+    std::unique_ptr<LocalMc> mc;
+    std::unique_ptr<DlController> dlc;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    std::unique_ptr<Cache> l2;
+    std::vector<std::unique_ptr<NmpCore>> cores;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_DIMM_DIMM_HH

@@ -1,0 +1,82 @@
+#include "dimm/dl_controller.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+
+DlController::DlController(EventQueue &eq, const std::string &name,
+                           DimmId self_, Tick retry_timeout_ps,
+                           unsigned max_retries, stats::Registry &reg)
+    : eventq(eq),
+      name_(name),
+      self(self_),
+      retry(eq, retry_timeout_ps, max_retries, reg.group(name)),
+      receiver(reg.group(name)),
+      statPacketized(reg.group(name).scalar("packetized")),
+      statDecoded(reg.group(name).scalar("decoded"))
+{
+}
+
+std::uint8_t
+DlController::allocTag()
+{
+    const std::uint8_t tag = nextTag;
+    nextTag = static_cast<std::uint8_t>((nextTag + 1) & 0x3f);
+    return tag;
+}
+
+void
+DlController::sendReliable(
+    proto::Packet pkt,
+    std::function<void(std::vector<std::uint8_t>)> transmit,
+    std::function<void()> on_acked)
+{
+    ++statPacketized;
+    retry.send(std::move(pkt),
+               [tx = std::move(transmit)](const proto::Packet &p) {
+                   tx(proto::encode(p));
+               },
+               std::move(on_acked));
+}
+
+void
+DlController::onWireArrive(
+    const std::vector<std::uint8_t> &wire, bool corrupted,
+    std::function<void(const proto::Packet &)> send_control,
+    std::function<void(proto::Packet)> deliver)
+{
+    proto::Packet pkt;
+    proto::Packet ctrl;
+    const bool fresh = receiver.onArrive(wire, corrupted, pkt, ctrl);
+    if (send_control)
+        send_control(ctrl);
+    if (fresh) {
+        ++statDecoded;
+        if (deliver)
+            deliver(std::move(pkt));
+    }
+}
+
+void
+DlController::onControlArrive(const proto::Packet &ctrl)
+{
+    retry.onControl(ctrl);
+}
+
+void
+DlController::pushPacket(std::vector<std::uint8_t> wire)
+{
+    packetBuf.push_back(std::move(wire));
+}
+
+std::optional<std::vector<std::uint8_t>>
+DlController::popPacket()
+{
+    if (packetBuf.empty())
+        return std::nullopt;
+    auto wire = std::move(packetBuf.front());
+    packetBuf.pop_front();
+    return wire;
+}
+
+} // namespace dimmlink

@@ -1,0 +1,334 @@
+#include "dimm/nmp_core.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace dimmlink {
+
+NmpCore::NmpCore(EventQueue &eq, const std::string &name, DimmId dimm_,
+                 CoreId core_, const SystemConfig &cfg_, LocalMc &mc_,
+                 Cache *l1_, Cache *l2_, stats::Registry &reg)
+    : Clocked(eq, name, cfg_.dimm.coreFreqMHz),
+      dimm(dimm_),
+      core(core_),
+      cfg(cfg_),
+      mc(mc_),
+      l1(l1_),
+      l2(l2_),
+      statInstructions(reg.group(name).scalar("instructions")),
+      statMemRefs(reg.group(name).scalar("memRefs")),
+      statRemoteRefs(reg.group(name).scalar("remoteRefs")),
+      statComputePs(reg.group(name).scalar("computePs")),
+      statStallLocal(reg.group(name).scalar("stallLocalPs")),
+      statStallRemote(reg.group(name).scalar("stallRemotePs")),
+      statBarrierPs(reg.group(name).scalar("barrierPs")),
+      statBroadcasts(reg.group(name).scalar("broadcasts"))
+{
+}
+
+void
+NmpCore::run(ThreadId tid, std::unique_ptr<ThreadProgram> program,
+             std::function<void()> on_done)
+{
+    if (state != State::Idle)
+        panic("%s: run() while core is busy", name().c_str());
+    ++runGeneration;
+    prog = std::move(program);
+    tid_ = tid;
+    onDone = std::move(on_done);
+    haveOp = false;
+    refIdx = 0;
+    issueDebt = 0;
+    outstanding = 0;
+    remoteOutstanding = 0;
+    state = State::Ready;
+    // Start on the next clock edge.
+    const auto gen = runGeneration;
+    queue().schedule(clockEdge(),
+                     [this, gen] {
+                         if (gen == runGeneration)
+                             advance();
+                     },
+                     EventPriority::Core);
+}
+
+void
+NmpCore::cancel()
+{
+    ++runGeneration;
+    state = State::Idle;
+    prog.reset();
+    onDone = nullptr;
+    haveOp = false;
+    outstanding = 0;
+    remoteOutstanding = 0;
+    issueDebt = 0;
+}
+
+void
+NmpCore::finishOp()
+{
+    haveOp = false;
+    refIdx = 0;
+}
+
+void
+NmpCore::enterStall(State s)
+{
+    state = s;
+    stallStart = now();
+    stallRemote = remoteOutstanding > 0;
+}
+
+void
+NmpCore::exitStall()
+{
+    const Tick dt = now() - stallStart;
+    if (stallRemote)
+        statStallRemote += static_cast<double>(dt);
+    else
+        statStallLocal += static_cast<double>(dt);
+    state = State::Ready;
+}
+
+void
+NmpCore::onResponse(bool was_remote)
+{
+    if (outstanding == 0)
+        panic("%s: response with no outstanding request",
+              name().c_str());
+    --outstanding;
+    if (was_remote) {
+        if (remoteOutstanding == 0)
+            panic("%s: remote response accounting underflow",
+                  name().c_str());
+        --remoteOutstanding;
+    }
+
+    if (state == State::StallMshr) {
+        exitStall();
+        advance();
+    } else if (state == State::Fence && outstanding == 0) {
+        exitStall();
+        advance();
+    }
+}
+
+void
+NmpCore::issueRef(const MemRef &ref)
+{
+    ++statMemRefs;
+    ++statInstructions;
+    const DimmId home = homeOf ? homeOf(ref.addr) : dimm;
+    const bool remote = home != dimm;
+    if (remote)
+        ++statRemoteRefs;
+    if (probe)
+        probe(tid_, home, ref.bytes);
+
+    const auto gen = runGeneration;
+    auto response = [this, gen, remote] {
+        if (gen == runGeneration)
+            onResponse(remote);
+    };
+
+    // Software-assisted coherence: shared read-write data bypasses the
+    // NMP caches entirely (Section III-E).
+    const bool cacheable = ref.cls != DataClass::SharedRW && l1;
+    if (!cacheable) {
+        ++outstanding;
+        if (remote)
+            ++remoteOutstanding;
+        mc.access(ref.addr, ref.bytes, ref.isWrite,
+                  std::move(response));
+        return;
+    }
+
+    const unsigned line = l1->lineBytes();
+    const Addr line_addr = roundDown(ref.addr, line);
+    const bool shared_ro = ref.cls == DataClass::SharedRO;
+
+    const Cache::Result r1 = l1->access(ref.addr, ref.isWrite,
+                                        shared_ro);
+    if (r1.hit)
+        return; // Pipelined L1 hit.
+
+    if (r1.writeback) {
+        // Dirty victim drops into the shared L2 (or memory).
+        if (l2) {
+            const Cache::Result rwb = l2->access(r1.victimAddr, true);
+            if (rwb.writeback)
+                mc.postedWrite(rwb.victimAddr, line);
+        } else {
+            mc.postedWrite(r1.victimAddr, line);
+        }
+    }
+
+    if (l2) {
+        // Fill path: the L2 allocation is clean; dirtiness arrives
+        // only through L1 writebacks.
+        const Cache::Result r2 = l2->access(ref.addr, false,
+                                            shared_ro);
+        if (r2.hit) {
+            ++outstanding;
+            if (remote)
+                ++remoteOutstanding;
+            queue().scheduleIn(cfg.dimm.l2LatencyPs,
+                               std::move(response),
+                               EventPriority::Delivery);
+            return;
+        }
+        if (r2.writeback)
+            mc.postedWrite(r2.victimAddr, line);
+    }
+
+    // Miss to memory: fetch the whole line from its home DIMM.
+    ++outstanding;
+    if (remote)
+        ++remoteOutstanding;
+    mc.access(line_addr, line, /*is_write=*/false,
+              std::move(response));
+}
+
+void
+NmpCore::advance()
+{
+    while (state == State::Ready) {
+        if (issueDebt > 0) {
+            // One issue cycle per reference of the finished batch.
+            const Cycles cyc = issueDebt;
+            issueDebt = 0;
+            state = State::Computing;
+            statComputePs +=
+                static_cast<double>(clock().cyclesToTicks(cyc));
+            const auto gen = runGeneration;
+            scheduleCycles(cyc,
+                           [this, gen] {
+                               if (gen != runGeneration)
+                                   return;
+                               state = State::Ready;
+                               advance();
+                           },
+                           EventPriority::Core);
+            return;
+        }
+
+        if (!haveOp) {
+            op = prog->next();
+            haveOp = true;
+            refIdx = 0;
+        }
+
+        switch (op.kind) {
+          case Op::Kind::Compute: {
+            statInstructions += static_cast<double>(op.instructions);
+            const auto cyc = std::max<Cycles>(
+                1, static_cast<Cycles>(
+                       static_cast<double>(op.instructions) /
+                       cfg.dimm.computeIpc + 0.5));
+            state = State::Computing;
+            statComputePs +=
+                static_cast<double>(clock().cyclesToTicks(cyc));
+            const auto gen = runGeneration;
+            scheduleCycles(cyc,
+                           [this, gen] {
+                               if (gen != runGeneration)
+                                   return;
+                               state = State::Ready;
+                               finishOp();
+                               advance();
+                           },
+                           EventPriority::Core);
+            return;
+          }
+
+          case Op::Kind::Mem: {
+            while (refIdx < op.refs.size()) {
+                if (outstanding >= cfg.dimm.maxOutstanding) {
+                    enterStall(State::StallMshr);
+                    return;
+                }
+                issueRef(op.refs[refIdx]);
+                ++refIdx;
+                ++issueDebt;
+            }
+            if (op.fenceAfter && outstanding > 0) {
+                enterStall(State::Fence);
+                return;
+            }
+            finishOp();
+            break;
+          }
+
+          case Op::Kind::Barrier: {
+            if (outstanding > 0) {
+                enterStall(State::Fence);
+                return;
+            }
+            if (!barrier)
+                panic("%s: barrier op with no barrier endpoint",
+                      name().c_str());
+            // Software-assisted coherence: shared read-only lines
+            // are invalidated at synchronization points so the next
+            // phase re-fetches fresh data (Section III-E).
+            if (l1)
+                l1->invalidateShared();
+            if (l2)
+                l2->invalidateShared();
+            state = State::Barrier;
+            stallStart = now();
+            const auto gen = runGeneration;
+            barrier->arrive(tid_, dimm, [this, gen] {
+                if (gen != runGeneration)
+                    return;
+                statBarrierPs +=
+                    static_cast<double>(now() - stallStart);
+                state = State::Ready;
+                finishOp();
+                advance();
+            });
+            return;
+          }
+
+          case Op::Kind::Broadcast: {
+            if (outstanding > 0) {
+                enterStall(State::Fence);
+                return;
+            }
+            if (!broadcaster)
+                panic("%s: broadcast op with no broadcaster wired",
+                      name().c_str());
+            ++statBroadcasts;
+            state = State::Broadcast;
+            stallStart = now();
+            const auto gen = runGeneration;
+            broadcaster(op.bcastAddr, op.bcastBytes, [this, gen] {
+                if (gen != runGeneration)
+                    return;
+                // Broadcast wait is remote-attributed stall time.
+                statStallRemote +=
+                    static_cast<double>(now() - stallStart);
+                state = State::Ready;
+                finishOp();
+                advance();
+            });
+            return;
+          }
+
+          case Op::Kind::Done: {
+            state = State::Idle;
+            prog.reset();
+            haveOp = false;
+            auto cb = std::move(onDone);
+            onDone = nullptr;
+            if (cb)
+                cb();
+            return;
+          }
+        }
+    }
+}
+
+} // namespace dimmlink

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * An NMP core in the DIMM's centralized buffer chip. Executes one
+ * software thread's operation stream with a bounded window of
+ * outstanding memory requests, private-L1 / shared-L2 caching under
+ * software-assisted coherence, and direct measurement of the paper's
+ * "non-overlapped IDC cycles" (stall time attributable to remote
+ * requests).
+ */
+
+#ifndef DIMMLINK_DIMM_NMP_CORE_HH
+#define DIMMLINK_DIMM_NMP_CORE_HH
+
+#include <functional>
+#include <memory>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "dimm/cache.hh"
+#include "dimm/local_mc.hh"
+#include "dimm/op.hh"
+#include "sim/clocked.hh"
+#include "sync/barrier.hh"
+
+namespace dimmlink {
+
+class NmpCore : public Clocked
+{
+  public:
+    NmpCore(EventQueue &eq, const std::string &name, DimmId dimm,
+            CoreId core, const SystemConfig &cfg, LocalMc &mc,
+            Cache *l1, Cache *l2, stats::Registry &reg);
+
+    void setBarrier(BarrierEndpoint *b) { barrier = b; }
+
+    /** Explicit broadcast API (wired by the Dimm to the fabric). */
+    using BroadcastFn =
+        std::function<void(Addr, std::uint64_t, std::function<void()>)>;
+    void setBroadcaster(BroadcastFn f) { broadcaster = std::move(f); }
+
+    /** Per-reference traffic probe for the task-mapping profiler. */
+    using TrafficProbe =
+        std::function<void(ThreadId, DimmId, std::uint32_t)>;
+    void setTrafficProbe(TrafficProbe p) { probe = std::move(p); }
+
+    /** Home DIMM lookup for probe/stall attribution. */
+    using HomeFn = std::function<DimmId(Addr)>;
+    void setHomeLookup(HomeFn f) { homeOf = std::move(f); }
+
+    /** Launch a thread; @p on_done fires after its Done op retires. */
+    void run(ThreadId tid, std::unique_ptr<ThreadProgram> prog,
+             std::function<void()> on_done);
+
+    /** Abort the current thread (migration-by-restart, §IV-B). */
+    void cancel();
+
+    bool busy() const { return state != State::Idle; }
+    DimmId dimmId() const { return dimm; }
+    CoreId coreId() const { return core; }
+    ThreadId threadId() const { return tid_; }
+
+    /** Non-overlapped IDC picoseconds (remote-attributed stalls). */
+    double idcStallPs() const { return statStallRemote.value(); }
+
+  private:
+    enum class State {
+        Idle,
+        Ready,     ///< advance() is driving the op stream.
+        Computing, ///< Busy for a compute (or issue-debt) interval.
+        StallMshr, ///< Out of MSHRs; waiting for any response.
+        Fence,     ///< Draining all outstanding requests.
+        Barrier,   ///< Waiting for barrier release.
+        Broadcast, ///< Waiting for broadcast completion.
+    };
+
+    void advance();
+    void issueRef(const MemRef &ref);
+    void onResponse(bool was_remote);
+    void enterStall(State s);
+    void exitStall();
+    void finishOp();
+
+    DimmId dimm;
+    CoreId core;
+    const SystemConfig &cfg;
+    LocalMc &mc;
+    Cache *l1;
+    Cache *l2;
+    BarrierEndpoint *barrier = nullptr;
+    BroadcastFn broadcaster;
+    TrafficProbe probe;
+    HomeFn homeOf;
+
+    State state = State::Idle;
+    std::unique_ptr<ThreadProgram> prog;
+    ThreadId tid_ = 0;
+    std::function<void()> onDone;
+    std::uint64_t runGeneration = 0;
+
+    Op op;
+    std::size_t refIdx = 0;
+    bool haveOp = false;
+    std::uint64_t issueDebt = 0;
+
+    unsigned outstanding = 0;
+    unsigned remoteOutstanding = 0;
+    Tick stallStart = 0;
+    bool stallRemote = false;
+    bool barrierAfterFence = false;
+    bool broadcastAfterFence = false;
+
+    stats::Scalar &statInstructions;
+    stats::Scalar &statMemRefs;
+    stats::Scalar &statRemoteRefs;
+    stats::Scalar &statComputePs;
+    stats::Scalar &statStallLocal;
+    stats::Scalar &statStallRemote;
+    stats::Scalar &statBarrierPs;
+    stats::Scalar &statBroadcasts;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_DIMM_NMP_CORE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The operation stream a software thread presents to its core. The
+ * methodology mirrors the paper's trace-driven simulation: workloads
+ * are real algorithms over real data, but the timing model consumes
+ * the Compute/Mem/Barrier/Broadcast stream they emit.
+ */
+
+#ifndef DIMMLINK_DIMM_OP_HH
+#define DIMMLINK_DIMM_OP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+
+/**
+ * Software-assisted coherence classes (Section III-E): thread-private
+ * and shared read-only data are cacheable by NMP cores; shared
+ * read-write data bypasses the NMP caches.
+ */
+enum class DataClass : std::uint8_t { Private, SharedRO, SharedRW };
+
+/** One memory reference in an op's batch. */
+struct MemRef
+{
+    Addr addr = 0;          ///< Global physical address.
+    std::uint16_t bytes = 64;
+    bool isWrite = false;
+    DataClass cls = DataClass::Private;
+};
+
+/** One operation of a thread's stream. */
+struct Op
+{
+    enum class Kind : std::uint8_t {
+        Compute,   ///< Execute @ref instructions instructions.
+        Mem,       ///< Issue @ref refs (overlapped up to the MSHRs).
+        Barrier,   ///< Synchronize with all threads of the kernel.
+        Broadcast, ///< Explicit DL broadcast of @ref bcastBytes.
+        Done,      ///< Thread finished.
+    };
+
+    Kind kind = Kind::Done;
+    /** Compute: dynamic instruction count. */
+    std::uint64_t instructions = 0;
+    /** Mem: the batch of references. */
+    std::vector<MemRef> refs;
+    /** Mem: wait for every outstanding access before the next op. */
+    bool fenceAfter = false;
+    /** Broadcast: payload location and size. */
+    Addr bcastAddr = 0;
+    std::uint64_t bcastBytes = 0;
+
+    static Op
+    compute(std::uint64_t instructions)
+    {
+        Op op;
+        op.kind = Kind::Compute;
+        op.instructions = instructions;
+        return op;
+    }
+
+    static Op
+    mem(std::vector<MemRef> refs, bool fence = false)
+    {
+        Op op;
+        op.kind = Kind::Mem;
+        op.refs = std::move(refs);
+        op.fenceAfter = fence;
+        return op;
+    }
+
+    static Op
+    read(Addr addr, std::uint16_t bytes = 64,
+         DataClass cls = DataClass::Private, bool fence = false)
+    {
+        return mem({MemRef{addr, bytes, false, cls}}, fence);
+    }
+
+    static Op
+    write(Addr addr, std::uint16_t bytes = 64,
+          DataClass cls = DataClass::Private, bool fence = false)
+    {
+        return mem({MemRef{addr, bytes, true, cls}}, fence);
+    }
+
+    static Op
+    barrier()
+    {
+        Op op;
+        op.kind = Kind::Barrier;
+        return op;
+    }
+
+    static Op
+    broadcast(Addr addr, std::uint64_t bytes)
+    {
+        Op op;
+        op.kind = Kind::Broadcast;
+        op.bcastAddr = addr;
+        op.bcastBytes = bytes;
+        return op;
+    }
+
+    static Op
+    done()
+    {
+        return Op{};
+    }
+};
+
+/**
+ * A thread's program: a resumable generator of operations. next() is
+ * called once the previous operation has fully retired.
+ */
+class ThreadProgram
+{
+  public:
+    virtual ~ThreadProgram() = default;
+
+    /** Produce the next operation (Kind::Done exactly once, last). */
+    virtual Op next() = 0;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_DIMM_OP_HH

@@ -1,0 +1,91 @@
+#include "dram/address_map.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace dram {
+
+GlobalAddressMap::GlobalAddressMap(unsigned num_dimms,
+                                   std::uint64_t dimm_capacity)
+    : dimms(num_dimms), capacity(dimm_capacity)
+{
+    if (!isPow2(dimm_capacity))
+        fatal("DIMM capacity must be a power of two");
+    dimmShift = floorLog2(dimm_capacity);
+}
+
+DimmId
+GlobalAddressMap::dimmOf(Addr global) const
+{
+    const auto id = static_cast<DimmId>(global >> dimmShift);
+    if (id >= dimms)
+        panic("global address 0x%llx maps past DIMM %u",
+              static_cast<unsigned long long>(global), dimms - 1);
+    return id;
+}
+
+Addr
+GlobalAddressMap::localOf(Addr global) const
+{
+    return global & (capacity - 1);
+}
+
+Addr
+GlobalAddressMap::globalOf(DimmId dimm, Addr local) const
+{
+    if (dimm >= dimms)
+        panic("DIMM id %u out of range", dimm);
+    if (local >= capacity)
+        panic("local address 0x%llx exceeds DIMM capacity",
+              static_cast<unsigned long long>(local));
+    return (static_cast<Addr>(dimm) << dimmShift) | local;
+}
+
+LocalAddressMap::LocalAddressMap(const Timing &t, unsigned num_ranks,
+                                 unsigned line_bytes)
+    : line(line_bytes),
+      lineBits(floorLog2(line_bytes)),
+      bgBits(floorLog2(t.bankGroups)),
+      bankBits(floorLog2(t.banksPerGroup)),
+      rankBits(num_ranks > 1 ? floorLog2(num_ranks) : 0),
+      rowBits(floorLog2(t.rows)),
+      ranks(num_ranks),
+      bankGroups(t.bankGroups),
+      banksPerGroup(t.banksPerGroup),
+      columns(t.columns),
+      rows(t.rows)
+{
+    if (!isPow2(line_bytes))
+        fatal("cache line size must be a power of two");
+    // Column bits address line-sized chunks within a row:
+    // row bytes = columns * device bus width; lines per row below.
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(columns) * t.deviceBusBytes;
+    if (row_bytes < line)
+        fatal("row smaller than a cache line");
+    colBits = floorLog2(row_bytes / line);
+}
+
+DramCoord
+LocalAddressMap::decode(Addr local) const
+{
+    // Layout (LSB to MSB): line offset | bank group | bank | rank |
+    // column | row. Consecutive lines hit different bank groups so
+    // streaming accesses pipeline at tCCD_S.
+    Addr a = local >> lineBits;
+    DramCoord c{};
+    c.bankGroup = static_cast<unsigned>(bits(a, 0, bgBits));
+    a >>= bgBits;
+    c.bank = static_cast<unsigned>(bits(a, 0, bankBits));
+    a >>= bankBits;
+    c.rank = static_cast<unsigned>(bits(a, 0, rankBits));
+    a >>= rankBits;
+    c.column = static_cast<unsigned>(bits(a, 0, colBits));
+    a >>= colBits;
+    c.row = static_cast<unsigned>(a % rows);
+    return c;
+}
+
+} // namespace dram
+} // namespace dimmlink

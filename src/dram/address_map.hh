@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Address decomposition. Two mappers live here:
+ *
+ *  - GlobalAddressMap: splits a system-wide physical address into
+ *    (DIMM id, DIMM-local offset). The paper stores the destination
+ *    DIMM id in the high address bits (Section III-B: 42-bit addresses,
+ *    37 bits stored in the packet after removing the DIMM id bits).
+ *
+ *  - LocalAddressMap: splits a DIMM-local offset into DRAM coordinates
+ *    (rank, bank group, bank, row, column) using an RoBgBaRaCo layout
+ *    that spreads consecutive cache lines across bank groups first.
+ */
+
+#ifndef DIMMLINK_DRAM_ADDRESS_MAP_HH
+#define DIMMLINK_DRAM_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace dimmlink {
+namespace dram {
+
+/** DRAM coordinates of one access. */
+struct DramCoord
+{
+    unsigned rank;
+    unsigned bankGroup;
+    unsigned bank;
+    unsigned row;
+    unsigned column;
+
+    /** Flat bank index within the DIMM. */
+    unsigned
+    flatBank(const Timing &t) const
+    {
+        return (rank * t.bankGroups + bankGroup) * t.banksPerGroup
+            + bank;
+    }
+};
+
+/** System-wide address <-> (DIMM, local offset). */
+class GlobalAddressMap
+{
+  public:
+    GlobalAddressMap(unsigned num_dimms, std::uint64_t dimm_capacity);
+
+    DimmId dimmOf(Addr global) const;
+    Addr localOf(Addr global) const;
+    Addr globalOf(DimmId dimm, Addr local) const;
+
+    std::uint64_t dimmCapacity() const { return capacity; }
+    unsigned numDimms() const { return dimms; }
+
+  private:
+    unsigned dimms;
+    std::uint64_t capacity;
+    unsigned dimmShift;
+};
+
+/** DIMM-local offset -> DRAM coordinates. */
+class LocalAddressMap
+{
+  public:
+    LocalAddressMap(const Timing &t, unsigned num_ranks,
+                    unsigned line_bytes);
+
+    DramCoord decode(Addr local) const;
+
+    unsigned lineBytes() const { return line; }
+
+  private:
+    unsigned line;
+    unsigned lineBits;
+    unsigned bgBits;
+    unsigned bankBits;
+    unsigned rankBits;
+    unsigned colBits;
+    unsigned rowBits;
+    unsigned ranks;
+    unsigned bankGroups;
+    unsigned banksPerGroup;
+    unsigned columns;
+    unsigned rows;
+};
+
+} // namespace dram
+} // namespace dimmlink
+
+#endif // DIMMLINK_DRAM_ADDRESS_MAP_HH

@@ -1,0 +1,67 @@
+#include "dram/bank.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace dram {
+
+void
+Bank::activate(Tick now, unsigned row, const Timing &t)
+{
+    if (isOpen())
+        panic("ACT to open bank");
+    if (now < nextAct)
+        panic("ACT issued before tRC/tRP expired");
+    openRow_ = row;
+    // PRE legal after tRAS; CAS legal after tRCD.
+    maxInto(nextPre, now + t.cyc(t.tRAS));
+    maxInto(nextRead, now + t.cyc(t.tRCD));
+    maxInto(nextWrite, now + t.cyc(t.tRCD));
+    maxInto(nextAct, now + t.cyc(t.tRC));
+}
+
+void
+Bank::precharge(Tick now, const Timing &t)
+{
+    if (!isOpen())
+        panic("PRE to closed bank");
+    if (now < nextPre)
+        panic("PRE issued before tRAS/tWR/tRTP expired");
+    openRow_ = noRow;
+    maxInto(nextAct, now + t.cyc(t.tRP));
+}
+
+void
+Bank::read(Tick now, const Timing &t)
+{
+    if (!isOpen())
+        panic("RD to closed bank");
+    if (now < nextRead)
+        panic("RD issued before tRCD/tCCD expired");
+    // Reading delays the earliest legal PRE to now + tRTP.
+    maxInto(nextPre, now + t.cyc(t.tRTP));
+}
+
+void
+Bank::write(Tick now, const Timing &t)
+{
+    if (!isOpen())
+        panic("WR to closed bank");
+    if (now < nextWrite)
+        panic("WR issued before tRCD/tCCD expired");
+    // Write recovery: PRE legal tCWL + tBL + tWR after the command.
+    maxInto(nextPre, now + t.cyc(t.tCWL + t.tBL + t.tWR));
+}
+
+void
+Bank::refresh(Tick until)
+{
+    openRow_ = noRow;
+    maxInto(nextAct, until);
+    maxInto(nextRead, until);
+    maxInto(nextWrite, until);
+    maxInto(nextPre, until);
+}
+
+} // namespace dram
+} // namespace dimmlink

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-bank DRAM state: the open row plus the earliest tick at which
+ * each command type may legally be issued to this bank.
+ */
+
+#ifndef DIMMLINK_DRAM_BANK_HH
+#define DIMMLINK_DRAM_BANK_HH
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace dimmlink {
+namespace dram {
+
+/** DRAM commands the controller can issue to a bank. */
+enum class DramCmd { Act, Pre, Rd, Wr, Ref };
+
+/** One DRAM bank's timing/row state machine. */
+class Bank
+{
+  public:
+    static constexpr unsigned noRow = 0xffffffff;
+
+    /** Row currently open in this bank, or noRow. */
+    unsigned openRow() const { return openRow_; }
+    bool isOpen() const { return openRow_ != noRow; }
+
+    /** Earliest tick at which @p cmd may be issued. */
+    Tick
+    readyAt(DramCmd cmd) const
+    {
+        switch (cmd) {
+          case DramCmd::Act: return nextAct;
+          case DramCmd::Pre: return nextPre;
+          case DramCmd::Rd: return nextRead;
+          case DramCmd::Wr: return nextWrite;
+          default: return 0;
+        }
+    }
+
+    /** Apply an ACT at tick @p now, opening @p row. */
+    void activate(Tick now, unsigned row, const Timing &t);
+
+    /** Apply a PRE at tick @p now. */
+    void precharge(Tick now, const Timing &t);
+
+    /** Apply a RD at tick @p now. @pre row open. */
+    void read(Tick now, const Timing &t);
+
+    /** Apply a WR at tick @p now. @pre row open. */
+    void write(Tick now, const Timing &t);
+
+    /** Force-close for refresh; all timers pushed past @p until. */
+    void refresh(Tick until);
+
+  private:
+    static void maxInto(Tick &slot, Tick v)
+    {
+        if (v > slot)
+            slot = v;
+    }
+
+    unsigned openRow_ = noRow;
+    Tick nextAct = 0;
+    Tick nextPre = 0;
+    Tick nextRead = 0;
+    Tick nextWrite = 0;
+};
+
+} // namespace dram
+} // namespace dimmlink
+
+#endif // DIMMLINK_DRAM_BANK_HH

@@ -1,0 +1,338 @@
+#include "dram/dram_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace dram {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+} // namespace
+
+DramController::DramController(EventQueue &eq, std::string name,
+                               const Timing &timing, unsigned num_ranks,
+                               unsigned line_bytes,
+                               stats::Group &stats_group)
+    : Clocked(eq, std::move(name), timing.clkMHz),
+      spec(timing),
+      map(timing, num_ranks, line_bytes),
+      ranks(num_ranks),
+      banks(num_ranks * timing.banksPerRank()),
+      actWindow(num_ranks),
+      nextCasSameGroup(num_ranks * timing.bankGroups, 0),
+      rankBlockedUntil(num_ranks, 0),
+      statReads(stats_group.scalar("reads")),
+      statWrites(stats_group.scalar("writes")),
+      statActs(stats_group.scalar("activates")),
+      statPres(stats_group.scalar("precharges")),
+      statRowHits(stats_group.scalar("rowHits")),
+      statRefreshes(stats_group.scalar("refreshes")),
+      statLatency(stats_group.distribution("accessLatencyPs"))
+{
+    nextRdCas.assign(ranks, 0);
+    nextWrCas.assign(ranks, 0);
+    nextActRank.assign(ranks, 0);
+    nextActGroup.assign(ranks * spec.bankGroups, 0);
+    for (unsigned r = 0; r < ranks; ++r)
+        scheduleRefresh(r);
+}
+
+bool
+DramController::enqueue(DramRequest req)
+{
+    QueuedReq qr;
+    qr.coord = map.decode(req.local);
+    qr.arrival = now();
+    qr.req = std::move(req);
+
+    if (qr.req.isWrite) {
+        if (writeQ.size() >= writeQCap)
+            return false;
+        // Write coalescing: a newer write to the same line replaces
+        // the older one's data; we retire the older immediately.
+        const Addr line_addr = qr.req.local & ~Addr(map.lineBytes() - 1);
+        for (auto &other : writeQ) {
+            const Addr other_line =
+                other.req.local & ~Addr(map.lineBytes() - 1);
+            if (other_line == line_addr) {
+                if (other.req.done) {
+                    auto done = std::move(other.req.done);
+                    queue().scheduleIn(0, std::move(done),
+                                       EventPriority::Delivery);
+                }
+                other = std::move(qr);
+                return true;
+            }
+        }
+        writeQ.push_back(std::move(qr));
+        if (writeQ.size() >= writeHighWatermark)
+            drainingWrites = true;
+    } else {
+        if (readQ.size() >= readQCap)
+            return false;
+        // Read-after-write forwarding from the write queue.
+        const Addr line_addr = qr.req.local & ~Addr(map.lineBytes() - 1);
+        for (const auto &w : writeQ) {
+            const Addr w_line =
+                w.req.local & ~Addr(map.lineBytes() - 1);
+            if (w_line == line_addr) {
+                auto done = std::move(qr.req.done);
+                const Tick lat = spec.cyc(spec.tCL + spec.tBL);
+                if (done)
+                    queue().scheduleIn(lat, std::move(done),
+                                       EventPriority::Delivery);
+                statLatency.sample(static_cast<double>(lat));
+                ++statReads;
+                return true;
+            }
+        }
+        readQ.push_back(std::move(qr));
+    }
+    scheduleIssue(clockEdge());
+    return true;
+}
+
+void
+DramController::scheduleIssue(Tick when)
+{
+    if (when < now())
+        when = now();
+    if (issueScheduled && issueAt <= when)
+        return;
+    if (issueScheduled)
+        queue().deschedule(issueEventId);
+    issueScheduled = true;
+    issueAt = when;
+    issueEventId = queue().schedule(
+        when,
+        [this] {
+            issueScheduled = false;
+            tick();
+        },
+        EventPriority::Control);
+}
+
+Tick
+DramController::casReadyAt(const QueuedReq &qr, Tick now_t) const
+{
+    const Bank &bank = bankOf(qr.coord);
+    const bool is_wr = qr.req.isWrite;
+    const unsigned r = qr.coord.rank;
+    const unsigned rg = r * spec.bankGroups + qr.coord.bankGroup;
+
+    Tick ready = bank.readyAt(is_wr ? DramCmd::Wr : DramCmd::Rd);
+    ready = std::max(ready, nextCasAnyGroup);
+    ready = std::max(ready, nextCasSameGroup[rg]);
+    ready = std::max(ready, rankBlockedUntil[r]);
+    ready = std::max(ready, is_wr ? nextWrCas[r] : nextRdCas[r]);
+
+    // The data burst (starting tCL / tCWL after the CAS) must not
+    // overlap the previous burst on the shared data bus.
+    const Tick cas_to_data = spec.cyc(is_wr ? spec.tCWL : spec.tCL);
+    if (dataBusFreeAt > cas_to_data)
+        ready = std::max(ready, dataBusFreeAt - cas_to_data);
+
+    return std::max(ready, now_t);
+}
+
+std::size_t
+DramController::pickFrom(const std::deque<QueuedReq> &q, Tick now_t,
+                         Tick &best_ready) const
+{
+    // FR-FCFS: oldest ready row-hit first; otherwise the oldest
+    // request overall makes progress (ACT or PRE). best_ready reports
+    // the earliest tick at which any request could take its next step,
+    // used to schedule the wakeup.
+    std::size_t hit_idx = npos;
+    Tick hit_ready = maxTick;
+    best_ready = maxTick;
+
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const QueuedReq &qr = q[i];
+        const Bank &bank = bankOf(qr.coord);
+        const unsigned r = qr.coord.rank;
+        Tick step_ready;
+        if (bank.isOpen() && bank.openRow() == qr.coord.row) {
+            step_ready = casReadyAt(qr, now_t);
+            if (step_ready <= now_t && hit_idx == npos) {
+                hit_idx = i;
+                hit_ready = step_ready;
+            }
+        } else if (!bank.isOpen()) {
+            step_ready = actReadyAt(qr, now_t);
+        } else {
+            step_ready = std::max({bank.readyAt(DramCmd::Pre),
+                                   rankBlockedUntil[r], now_t});
+        }
+        best_ready = std::min(best_ready, step_ready);
+        (void)hit_ready;
+    }
+    if (hit_idx != npos)
+        return hit_idx;
+    // No ready row hit: let the oldest request make progress if its
+    // next step is ready now.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const QueuedReq &qr = q[i];
+        const Bank &bank = bankOf(qr.coord);
+        Tick step_ready;
+        if (bank.isOpen() && bank.openRow() == qr.coord.row)
+            step_ready = casReadyAt(qr, now_t);
+        else if (!bank.isOpen())
+            step_ready = actReadyAt(qr, now_t);
+        else
+            step_ready = std::max({bank.readyAt(DramCmd::Pre),
+                                   rankBlockedUntil[qr.coord.rank],
+                                   now_t});
+        if (step_ready <= now_t)
+            return i;
+    }
+    return npos;
+}
+
+Tick
+DramController::actReadyAt(const QueuedReq &qr, Tick now_t) const
+{
+    const Bank &bank = bankOf(qr.coord);
+    const unsigned r = qr.coord.rank;
+    const unsigned rg = r * spec.bankGroups + qr.coord.bankGroup;
+    Tick ready = bank.readyAt(DramCmd::Act);
+    ready = std::max(ready, rankBlockedUntil[r]);
+    ready = std::max(ready, nextActRank[r]);
+    ready = std::max(ready, nextActGroup[rg]);
+    if (actWindow[r].size() >= 4)
+        ready = std::max(ready, actWindow[r].front() + spec.cyc(spec.tFAW));
+    return std::max(ready, now_t);
+}
+
+bool
+DramController::advance(QueuedReq &qr, Tick now_t)
+{
+    Bank &bank = bankOf(qr.coord);
+    const unsigned r = qr.coord.rank;
+    const unsigned rg = r * spec.bankGroups + qr.coord.bankGroup;
+
+    if (bank.isOpen() && bank.openRow() == qr.coord.row) {
+        // Row hit: issue the CAS.
+        const bool is_wr = qr.req.isWrite;
+        const Tick data_start =
+            now_t + spec.cyc(is_wr ? spec.tCWL : spec.tCL);
+        const Tick data_end = data_start + spec.cyc(spec.tBL);
+
+        if (is_wr) {
+            bank.write(now_t, spec);
+            ++statWrites;
+            // Write-to-read turnaround on this rank.
+            nextRdCas[r] = std::max(
+                nextRdCas[r], data_end + spec.cyc(spec.tWTRl));
+        } else {
+            bank.read(now_t, spec);
+            ++statReads;
+            // Read-to-write turnaround (bus direction change).
+            for (unsigned rr = 0; rr < ranks; ++rr)
+                nextWrCas[rr] = std::max(
+                    nextWrCas[rr],
+                    data_end > spec.cyc(spec.tCWL)
+                        ? data_end - spec.cyc(spec.tCWL)
+                              + spec.cyc(spec.tRTW)
+                        : spec.cyc(spec.tRTW));
+        }
+        nextCasAnyGroup = now_t + spec.cyc(spec.tCCDs);
+        nextCasSameGroup[rg] = now_t + spec.cyc(spec.tCCDl);
+        dataBusFreeAt = data_end;
+
+        statLatency.sample(static_cast<double>(data_end - qr.arrival));
+        if (qr.req.done) {
+            queue().schedule(data_end, std::move(qr.req.done),
+                             EventPriority::Delivery);
+        }
+        return true;
+    }
+
+    if (!bank.isOpen()) {
+        bank.activate(now_t, qr.coord.row, spec);
+        ++statActs;
+        nextActRank[r] = now_t + spec.cyc(spec.tRRDs);
+        nextActGroup[rg] = now_t + spec.cyc(spec.tRRDl);
+        actWindow[r].push_back(now_t);
+        if (actWindow[r].size() > 4)
+            actWindow[r].pop_front();
+        return false;
+    }
+
+    // Row conflict: precharge.
+    bank.precharge(now_t, spec);
+    ++statPres;
+    return false;
+}
+
+void
+DramController::tick()
+{
+    const Tick now_t = now();
+
+    // Choose the active queue: reads have priority unless the write
+    // queue is draining or reads are empty.
+    if (drainingWrites && writeQ.size() <= writeLowWatermark)
+        drainingWrites = false;
+    const bool serve_writes =
+        (drainingWrites || readQ.empty()) && !writeQ.empty();
+    std::deque<QueuedReq> &q = serve_writes ? writeQ : readQ;
+
+    Tick best_ready = maxTick;
+    if (!q.empty()) {
+        const std::size_t idx = pickFrom(q, now_t, best_ready);
+        if (idx != npos) {
+            QueuedReq &qr = q[static_cast<std::size_t>(idx)];
+            const bool was_full =
+                readQ.size() >= readQCap || writeQ.size() >= writeQCap;
+            // Row hits retire the request; ACT/PRE leave it queued.
+            const bool hit = advance(qr, now_t);
+            if (hit) {
+                q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+                if (was_full && onUnblock)
+                    queue().scheduleIn(0, onUnblock,
+                                       EventPriority::Control);
+            }
+            best_ready = now_t + clock().period();
+        }
+    }
+
+    // Also account for the idle queue so its requests wake us up.
+    std::deque<QueuedReq> &other = serve_writes ? readQ : writeQ;
+    if (!other.empty()) {
+        Tick other_ready = maxTick;
+        pickFrom(other, now_t, other_ready);
+        best_ready = std::min(best_ready, other_ready);
+    }
+
+    if (pending() > 0 && best_ready != maxTick)
+        scheduleIssue(std::max(best_ready, now_t + clock().period()));
+}
+
+void
+DramController::scheduleRefresh(unsigned rank)
+{
+    queue().scheduleIn(spec.cyc(spec.tREFI),
+                       [this, rank] { doRefresh(rank); },
+                       EventPriority::Control);
+}
+
+void
+DramController::doRefresh(unsigned rank)
+{
+    const Tick until = now() + spec.cyc(spec.tRFC);
+    for (unsigned b = 0; b < spec.banksPerRank(); ++b)
+        banks[rank * spec.banksPerRank() + b].refresh(until);
+    rankBlockedUntil[rank] = until;
+    ++statRefreshes;
+    if (pending() > 0)
+        scheduleIssue(until);
+    scheduleRefresh(rank);
+}
+
+} // namespace dram
+} // namespace dimmlink

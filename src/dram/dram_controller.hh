@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A cycle-level DDR4 memory controller with FR-FCFS scheduling, write
+ * draining, per-rank tFAW tracking, CAS-to-CAS bus constraints and
+ * all-bank refresh. One controller instance models the DRAM devices of
+ * one DIMM (driven by the DIMM's Local MC in NMP mode, or by a host
+ * channel in Host-Access mode).
+ */
+
+#ifndef DIMMLINK_DRAM_DRAM_CONTROLLER_HH
+#define DIMMLINK_DRAM_DRAM_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/bank.hh"
+#include "dram/timing.hh"
+#include "sim/clocked.hh"
+
+namespace dimmlink {
+namespace dram {
+
+/** One line-sized DRAM access. */
+struct DramRequest
+{
+    Addr local = 0;
+    bool isWrite = false;
+    /** Invoked when the data burst completes. */
+    std::function<void()> done;
+};
+
+/**
+ * The controller. Accepts line-granularity requests via enqueue() and
+ * calls each request's completion callback when its burst finishes.
+ */
+class DramController : public Clocked
+{
+  public:
+    DramController(EventQueue &eq, std::string name, const Timing &timing,
+                   unsigned num_ranks, unsigned line_bytes,
+                   stats::Group &stats_group);
+
+    /**
+     * Queue a request. @return false when the read or write queue is
+     * full; the caller must retry (it is notified via onUnblock).
+     */
+    bool enqueue(DramRequest req);
+
+    /** True when a request of the given kind would be rejected. */
+    bool
+    full(bool is_write) const
+    {
+        return is_write ? writeQ.size() >= writeQCap
+                        : readQ.size() >= readQCap;
+    }
+
+    /** Registered by the owner; called when queue space frees up. */
+    void setUnblockCallback(std::function<void()> cb)
+    {
+        onUnblock = std::move(cb);
+    }
+
+    /** Outstanding requests (both queues + in flight). */
+    std::size_t pending() const
+    {
+        return readQ.size() + writeQ.size();
+    }
+
+    bool idle() const { return pending() == 0; }
+
+    unsigned readQueueCapacity() const { return readQCap; }
+    unsigned writeQueueCapacity() const { return writeQCap; }
+
+    const Timing &timing() const { return spec; }
+
+  private:
+    struct QueuedReq
+    {
+        DramRequest req;
+        DramCoord coord;
+        Tick arrival;
+    };
+
+    /** Schedule (or reschedule) the issue event at tick @p when. */
+    void scheduleIssue(Tick when);
+
+    /** Main scheduling loop: issue the best legal command now. */
+    void tick();
+
+    /** FR-FCFS pick from one queue. @return index or npos. */
+    std::size_t pickFrom(const std::deque<QueuedReq> &q, Tick now,
+                         Tick &best_ready) const;
+
+    /** Earliest tick the CAS for @p qr could issue, given bank state. */
+    Tick casReadyAt(const QueuedReq &qr, Tick now) const;
+
+    /** Earliest tick an ACT for @p qr could issue (tFAW, tRRD, ...). */
+    Tick actReadyAt(const QueuedReq &qr, Tick now) const;
+
+    /** Issue ACT/PRE progress toward @p qr; true if CAS was issued. */
+    bool advance(QueuedReq &qr, Tick now);
+
+    /** Kick the per-rank refresh machinery. */
+    void scheduleRefresh(unsigned rank);
+    void doRefresh(unsigned rank);
+
+    Bank &bankOf(const DramCoord &c)
+    {
+        return banks[c.flatBank(spec)];
+    }
+    const Bank &bankOf(const DramCoord &c) const
+    {
+        return banks[c.flatBank(spec)];
+    }
+
+    Timing spec;
+    LocalAddressMap map;
+    unsigned ranks;
+    std::vector<Bank> banks;
+
+    std::deque<QueuedReq> readQ;
+    std::deque<QueuedReq> writeQ;
+    unsigned readQCap = 64;
+    unsigned writeQCap = 64;
+    unsigned writeHighWatermark = 48;
+    unsigned writeLowWatermark = 16;
+    bool drainingWrites = false;
+
+    /** Sliding window of the last four ACT ticks, per rank (tFAW). */
+    std::vector<std::deque<Tick>> actWindow;
+    /** Earliest next CAS per (same-bank-group? tCCD_L : tCCD_S). */
+    Tick nextCasAnyGroup = 0;
+    std::vector<Tick> nextCasSameGroup; ///< indexed rank*bg.
+    /** Rank-level turnaround constraints (tWTR / tRTW). */
+    std::vector<Tick> nextRdCas;
+    std::vector<Tick> nextWrCas;
+    /** ACT-to-ACT spacing (tRRD_S per rank, tRRD_L per bank group). */
+    std::vector<Tick> nextActRank;
+    std::vector<Tick> nextActGroup;
+    /** Data-bus busy-until (one burst at a time). */
+    Tick dataBusFreeAt = 0;
+    /** Bus turnaround bookkeeping. */
+    Tick lastReadEnd = 0;
+    Tick lastWriteEnd = 0;
+    /** Refresh blocks the whole rank. */
+    std::vector<Tick> rankBlockedUntil;
+
+    bool issueScheduled = false;
+    Tick issueAt = 0;
+    std::uint64_t issueEventId = 0;
+
+    std::function<void()> onUnblock;
+
+    stats::Scalar &statReads;
+    stats::Scalar &statWrites;
+    stats::Scalar &statActs;
+    stats::Scalar &statPres;
+    stats::Scalar &statRowHits;
+    stats::Scalar &statRefreshes;
+    stats::Distribution &statLatency;
+};
+
+} // namespace dram
+} // namespace dimmlink
+
+#endif // DIMMLINK_DRAM_DRAM_CONTROLLER_HH

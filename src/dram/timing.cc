@@ -1,0 +1,42 @@
+#include "dram/timing.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace dram {
+
+Timing
+Timing::preset(const std::string &name)
+{
+    if (name == "DDR4_2400")
+        return Timing{};
+
+    if (name == "DDR4_3200") {
+        // Scaled from the 2400 preset: same wall-clock latencies at a
+        // 1600 MHz command clock.
+        Timing t;
+        t.name = "DDR4_3200";
+        t.clkMHz = 1600.0;
+        t.tRCD = 22;
+        t.tRP = 22;
+        t.tCL = 22;
+        t.tCWL = 20;
+        t.tRAS = 52;
+        t.tRC = 74;
+        t.tCCDl = 8;
+        t.tRRDl = 8;
+        t.tFAW = 34;
+        t.tWR = 24;
+        t.tWTRl = 12;
+        t.tWTRs = 4;
+        t.tRTP = 12;
+        t.tREFI = 12480;
+        t.tRFC = 560;
+        return t;
+    }
+
+    fatal("unknown DRAM timing preset '%s'", name.c_str());
+}
+
+} // namespace dram
+} // namespace dimmlink

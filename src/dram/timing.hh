@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DDR4 device timing parameters, expressed in command-clock cycles.
+ * The preset values follow Micron's DDR4-2400 LRDIMM datasheet (the
+ * source the paper's Table V cites).
+ */
+
+#ifndef DIMMLINK_DRAM_TIMING_HH
+#define DIMMLINK_DRAM_TIMING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace dram {
+
+/**
+ * All values in command-clock cycles unless suffixed Ps. DDR4-2400 runs
+ * the command clock at 1200 MHz (tCK = 833 ps), moving data on both
+ * edges (2400 MT/s).
+ */
+struct Timing
+{
+    std::string name = "DDR4_2400";
+    double clkMHz = 1200.0;
+
+    unsigned tRCD = 17;   ///< ACT to RD/WR.
+    unsigned tRP = 17;    ///< PRE to ACT.
+    unsigned tCL = 17;    ///< RD to first data.
+    unsigned tCWL = 16;   ///< WR to first data.
+    unsigned tRAS = 39;   ///< ACT to PRE.
+    unsigned tRC = 56;    ///< ACT to ACT, same bank.
+    unsigned tBL = 4;     ///< Burst length 8 occupies 4 clocks.
+    unsigned tCCDs = 4;   ///< CAS to CAS, different bank group.
+    unsigned tCCDl = 6;   ///< CAS to CAS, same bank group.
+    unsigned tRRDs = 4;   ///< ACT to ACT, different bank group.
+    unsigned tRRDl = 6;   ///< ACT to ACT, same bank group.
+    unsigned tFAW = 26;   ///< Four-activate window per rank.
+    unsigned tWR = 18;    ///< Write recovery (last data to PRE).
+    unsigned tWTRs = 3;   ///< Write-to-read, different bank group.
+    unsigned tWTRl = 9;   ///< Write-to-read, same bank group.
+    unsigned tRTP = 9;    ///< Read to PRE.
+    unsigned tRTW = 8;    ///< Read-to-write turnaround on the bus.
+    unsigned tREFI = 9360; ///< Refresh interval (7.8 us).
+    unsigned tRFC = 420;  ///< Refresh cycle time (350 ns, 16 Gb).
+    unsigned tCS = 2;     ///< Rank-to-rank switch penalty.
+
+    /** Geometry. */
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rows = 65536;
+    unsigned columns = 1024;
+    unsigned deviceBusBytes = 8; ///< 64-bit data bus.
+
+    /** One command-clock period in ticks. */
+    Tick clkPeriod() const { return periodFromMHz(clkMHz); }
+
+    /** Ticks for n command clocks. */
+    Tick cyc(unsigned n) const { return n * clkPeriod(); }
+
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Fetch a preset by name; fatal() when unknown. */
+    static Timing preset(const std::string &name);
+};
+
+} // namespace dram
+} // namespace dimmlink
+
+#endif // DIMMLINK_DRAM_TIMING_HH

@@ -1,0 +1,86 @@
+#include "energy/energy_model.hh"
+
+namespace dimmlink {
+
+namespace {
+
+/** The (group-prefix, stat) sums the model draws on. */
+const std::pair<const char *, const char *> trackedStats[] = {
+    {"dimm", "reads"},          {"dimm", "writes"},
+    {"dimm", "activates"},      {"fabric", "bytesViaLink"},
+    {"fabric", "bytesViaHost"}, {"fabric", "bytesViaBus"},
+    {"host.channel", "bytes"},  {"host.polling", "polls"},
+    {"host.forwarder", "forwards"},
+};
+
+std::string
+key(const std::string &prefix, const std::string &stat)
+{
+    return prefix + "|" + stat;
+}
+
+} // namespace
+
+stats::Registry &
+EnergyModel::snapshotFrom(stats::Registry &reg)
+{
+    base.clear();
+    for (const auto &[prefix, stat] : trackedStats)
+        base[key(prefix, stat)] = reg.sumScalar(prefix, stat);
+    return reg;
+}
+
+double
+EnergyModel::delta(const stats::Registry &reg,
+                   const std::string &group_prefix,
+                   const std::string &stat) const
+{
+    const double now = reg.sumScalar(group_prefix, stat);
+    const auto it = base.find(key(group_prefix, stat));
+    return it == base.end() ? now : now - it->second;
+}
+
+EnergyReport
+EnergyModel::report(const stats::Registry &reg, Tick kernel_ticks,
+                    unsigned active_dimms) const
+{
+    const EnergyConfig &e = cfg.energy;
+    EnergyReport r;
+
+    // DRAM: each read/write moves one 64-byte line through the
+    // array; ACTs are charged separately.
+    const double accesses = delta(reg, "dimm", "reads") +
+                            delta(reg, "dimm", "writes");
+    const double act = delta(reg, "dimm", "activates");
+    r.dramPj = accesses * 64 * 8 * e.ddrRdWrPjPerBit +
+               act * e.activateNj * 1e3;
+
+    // DIMM-Link SerDes traffic.
+    r.linkPj = delta(reg, "fabric", "bytesViaLink") * 8 *
+               e.linkPjPerBit;
+
+    // Memory-bus IO: every byte moved over a host channel, plus the
+    // polling reads (charged per poll).
+    r.hostIoPj = delta(reg, "host.channel", "bytes") * 8 *
+                     e.busIoPjPerBit +
+                 delta(reg, "host.polling", "polls") *
+                     e.hostPollNj * 1e3;
+
+    // Host CPU forwarding operations.
+    r.forwardPj = delta(reg, "host.forwarder", "forwards") *
+                  e.hostForwardNjPerPkt * 1e3;
+
+    // AIM's dedicated bus.
+    r.busPj = delta(reg, "fabric", "bytesViaBus") * 8 *
+              e.dedicatedBusPjPerBit;
+
+    // NMP processors: per-core power over the kernel duration.
+    const double seconds =
+        static_cast<double>(kernel_ticks) / tickPerS;
+    r.nmpCorePj = e.nmpCoreWatt * cfg.dimm.numCores * active_dimms *
+                  seconds * 1e12;
+
+    return r;
+}
+
+} // namespace dimmlink

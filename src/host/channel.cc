@@ -1,0 +1,46 @@
+#include "host/channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace host {
+
+Channel::Channel(EventQueue &eq, std::string name, double gbps,
+                 stats::Group &sg)
+    : eventq(eq),
+      name_(std::move(name)),
+      gbps_(gbps),
+      statBytes(sg.scalar("bytes")),
+      statBusyPs(sg.scalar("busyPs")),
+      statTransfers(sg.scalar("transfers"))
+{
+    if (gbps <= 0)
+        fatal("channel %s: non-positive bandwidth", name_.c_str());
+}
+
+Tick
+Channel::transfer(std::uint64_t bytes)
+{
+    const Tick start = std::max(eventq.now(), busyUntil);
+    const Tick dur = serializationTicks(bytes, gbps_);
+    busyUntil = start + dur;
+    statBytes += static_cast<double>(bytes);
+    statBusyPs += static_cast<double>(dur);
+    ++statTransfers;
+    return busyUntil;
+}
+
+Tick
+Channel::occupy(Tick duration, Tick earliest)
+{
+    const Tick start = std::max({eventq.now(), busyUntil, earliest});
+    busyUntil = start + duration;
+    statBusyPs += static_cast<double>(duration);
+    ++statTransfers;
+    return busyUntil;
+}
+
+} // namespace host
+} // namespace dimmlink

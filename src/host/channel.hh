@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A host memory channel as a shared bandwidth resource. In NMP-Access
+ * mode the channels carry polling reads and forwarded packets; the
+ * occupancy statistics feed Fig. 15-(b) and the energy model.
+ */
+
+#ifndef DIMMLINK_HOST_CHANNEL_HH
+#define DIMMLINK_HOST_CHANNEL_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace host {
+
+class Channel
+{
+  public:
+    Channel(EventQueue &eq, std::string name, double gbps,
+            stats::Group &sg);
+
+    /** Earliest tick a new transfer can begin. */
+    Tick freeAt() const { return busyUntil; }
+
+    /**
+     * Occupy the channel for @p bytes starting no earlier than now.
+     * @return the completion tick.
+     */
+    Tick transfer(std::uint64_t bytes);
+
+    /**
+     * Occupy the channel for a fixed duration (e.g. an uncached
+     * polling read holding the bus), starting no earlier than
+     * @p earliest (lets a single host thread serialize reads across
+     * different channels). @return the completion tick.
+     */
+    Tick occupy(Tick duration, Tick earliest = 0);
+
+    double bandwidthGBps() const { return gbps_; }
+    const std::string &name() const { return name_; }
+
+    /** Busy picoseconds accumulated so far. */
+    double busyPs() const { return statBusyPs.value(); }
+
+  private:
+    EventQueue &eventq;
+    std::string name_;
+    double gbps_;
+    Tick busyUntil = 0;
+
+    stats::Scalar &statBytes;
+    stats::Scalar &statBusyPs;
+    stats::Scalar &statTransfers;
+};
+
+} // namespace host
+} // namespace dimmlink
+
+#endif // DIMMLINK_HOST_CHANNEL_HH

@@ -1,0 +1,168 @@
+#include "host/polling.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace host {
+
+PollingEngine::PollingEngine(EventQueue &eq, const SystemConfig &cfg_,
+                             std::vector<Channel *> channels_,
+                             std::vector<DimmId> targets_,
+                             stats::Registry &reg)
+    : eventq(eq),
+      cfg(cfg_),
+      mode(cfg_.pollingMode),
+      channels(std::move(channels_)),
+      targets(std::move(targets_)),
+      statPolls(reg.group("host.polling").scalar("polls")),
+      statIdlePolls(reg.group("host.polling").scalar("idlePolls")),
+      statInterrupts(reg.group("host.polling").scalar("interrupts")),
+      statDiscoveryPs(
+          reg.group("host.polling").distribution("discoveryPs")),
+      raisedAt(cfg_.numDimms, 0)
+{
+    if (targets.empty())
+        fatal("polling engine needs at least one target DIMM");
+    sweepScheduled.assign(channels.size(), false);
+}
+
+void
+PollingEngine::start()
+{
+    if (running)
+        return;
+    running = true;
+    if (interruptDriven())
+        return;
+    // One polling loop per channel that has polled targets.
+    std::set<ChannelId> chans;
+    for (DimmId t : targets)
+        chans.insert(cfg.channelOf(t));
+    for (ChannelId ch : chans)
+        scheduleSweep(ch, eventq.now());
+}
+
+void
+PollingEngine::stop()
+{
+    running = false;
+    pendingTargets.clear();
+    interruptsInFlight.clear();
+}
+
+void
+PollingEngine::requestRaised(DimmId target)
+{
+    if (std::find(targets.begin(), targets.end(), target) ==
+        targets.end())
+        panic("request raised at DIMM %u which is not a polled target",
+              target);
+    if (pendingTargets.count(target))
+        return;
+    pendingTargets.insert(target);
+    raisedAt[target] = eventq.now();
+
+    if (!interruptDriven())
+        return; // The periodic sweep will find it.
+
+    // ALERT_N is shared per channel: one handler invocation scans the
+    // whole channel (Base+Itrpt) or its proxy (P-P+Itrpt).
+    const ChannelId ch = cfg.channelOf(target);
+    if (interruptsInFlight.count(ch))
+        return;
+    interruptsInFlight.insert(ch);
+    ++statInterrupts;
+    eventq.scheduleIn(cfg.host.interruptLatencyPs,
+                      [this, ch] { serveInterrupt(ch); },
+                      EventPriority::Control);
+}
+
+void
+PollingEngine::requestsCleared(DimmId target)
+{
+    pendingTargets.erase(target);
+}
+
+Tick
+PollingEngine::pollOne(DimmId target, Tick earliest)
+{
+    Channel &ch = *channels[cfg.channelOf(target)];
+    const Tick end = ch.occupy(cfg.host.pollChannelPs, earliest);
+    ++statPolls;
+    const bool found = pendingTargets.count(target) > 0;
+    if (!found) {
+        ++statIdlePolls;
+        return end;
+    }
+    pendingTargets.erase(target);
+    statDiscoveryPs.sample(static_cast<double>(end - raisedAt[target]));
+    eventq.schedule(end,
+                    [this, target] {
+                        if (running && discoverHandler)
+                            discoverHandler(target);
+                    },
+                    EventPriority::Control);
+    return end;
+}
+
+void
+PollingEngine::scheduleSweep(ChannelId ch, Tick when)
+{
+    if (sweepScheduled[ch])
+        return;
+    sweepScheduled[ch] = true;
+    eventq.schedule(std::max(when, eventq.now()),
+                    [this, ch] {
+                        sweepScheduled[ch] = false;
+                        sweep(ch);
+                    },
+                    EventPriority::Control);
+}
+
+void
+PollingEngine::sweep(ChannelId ch)
+{
+    if (!running || interruptDriven())
+        return;
+    // Poll this channel's targets back-to-back, then sleep until the
+    // next period. Distinct channels poll concurrently.
+    const Tick sweep_start = eventq.now();
+    Tick cursor = sweep_start;
+    for (DimmId target : targets)
+        if (cfg.channelOf(target) == ch)
+            cursor = pollOne(target, cursor);
+    const Tick next = std::max(sweep_start + cfg.host.pollIntervalPs,
+                               cursor);
+    scheduleSweep(ch, next);
+}
+
+void
+PollingEngine::serveInterrupt(ChannelId ch)
+{
+    interruptsInFlight.erase(ch);
+    if (!running)
+        return;
+    // Scan every polled target that shares the interrupting channel.
+    bool more = false;
+    Tick cursor = eventq.now();
+    for (DimmId target : targets) {
+        if (cfg.channelOf(target) != ch)
+            continue;
+        cursor = pollOne(target, cursor);
+    }
+    for (DimmId target : pendingTargets)
+        if (cfg.channelOf(target) == ch)
+            more = true;
+    if (more) {
+        interruptsInFlight.insert(ch);
+        ++statInterrupts;
+        eventq.scheduleIn(cfg.host.interruptLatencyPs,
+                          [this, ch] { serveInterrupt(ch); },
+                          EventPriority::Control);
+    }
+}
+
+} // namespace host
+} // namespace dimmlink

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The four host polling mechanisms of Table III. The engine models
+ * when the host CPU learns that a DIMM holds forwarding requests, and
+ * charges every polling read's bus occupancy to the right channel —
+ * including the idle polling that never finds a request (the cost the
+ * polling proxy exists to remove).
+ */
+
+#ifndef DIMMLINK_HOST_POLLING_HH
+#define DIMMLINK_HOST_POLLING_HH
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "host/channel.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace host {
+
+class PollingEngine
+{
+  public:
+    /**
+     * @param targets  DIMMs the host polls (all DIMMs under Baseline;
+     *                 one proxy per group under the proxy schemes).
+     */
+    PollingEngine(EventQueue &eq, const SystemConfig &cfg,
+                  std::vector<Channel *> channels,
+                  std::vector<DimmId> targets, stats::Registry &reg);
+
+    /** Called with a polled DIMM id once the host notices it has
+     * pending requests. */
+    void setDiscoverHandler(std::function<void(DimmId)> h)
+    {
+        discoverHandler = std::move(h);
+    }
+
+    /** Enter NMP-Access mode: background polling begins. */
+    void start();
+
+    /** Leave NMP-Access mode: polling stops. */
+    void stop();
+
+    /**
+     * A forwarding request is now pending at polled target @p target.
+     * Under interrupt modes this raises ALERT_N on the target's
+     * channel; otherwise the next sweep discovers it.
+     */
+    void requestRaised(DimmId target);
+
+    /** The target's requests were drained by the forwarder. */
+    void requestsCleared(DimmId target);
+
+    bool interruptDriven() const
+    {
+        return mode == PollingMode::BaselineInterrupt ||
+               mode == PollingMode::ProxyInterrupt;
+    }
+
+  private:
+    void scheduleSweep(ChannelId ch, Tick when);
+    void sweep(ChannelId ch);
+    /** One polling read of @p target, starting no earlier than
+     * @p earliest. @return the read's completion tick. */
+    Tick pollOne(DimmId target, Tick earliest);
+    void serveInterrupt(ChannelId ch);
+
+    EventQueue &eventq;
+    const SystemConfig &cfg;
+    PollingMode mode;
+    std::vector<Channel *> channels;
+    std::vector<DimmId> targets;
+
+    bool running = false;
+    /** Per-channel sweep-scheduled flags (the host polls channels in
+     * parallel through independent MC queues; Section IV-A notes the
+     * single-thread variant costs less CPU but the paper's Fig. 15
+     * baseline occupancy corresponds to parallel polling). */
+    std::vector<bool> sweepScheduled;
+    std::set<DimmId> pendingTargets;
+    /** Channels with an ALERT_N raised and a handler in flight. */
+    std::set<ChannelId> interruptsInFlight;
+
+    std::function<void(DimmId)> discoverHandler;
+
+    stats::Scalar &statPolls;
+    stats::Scalar &statIdlePolls;
+    stats::Scalar &statInterrupts;
+    stats::Distribution &statDiscoveryPs;
+    /** Tick at which each pending target raised its request. */
+    std::vector<Tick> raisedAt;
+};
+
+} // namespace host
+} // namespace dimmlink
+
+#endif // DIMMLINK_HOST_POLLING_HH

@@ -1,0 +1,122 @@
+#include "idc/abc_fabric.hh"
+
+#include <memory>
+
+namespace dimmlink {
+namespace idc {
+
+namespace {
+
+std::vector<DimmId>
+allDimms(const SystemConfig &cfg)
+{
+    std::vector<DimmId> v(cfg.numDimms);
+    for (unsigned i = 0; i < cfg.numDimms; ++i)
+        v[i] = static_cast<DimmId>(i);
+    return v;
+}
+
+} // namespace
+
+AbcFabric::AbcFabric(EventQueue &eq, const SystemConfig &cfg_,
+                     std::vector<host::Channel *> channels_,
+                     stats::Registry &reg)
+    : Fabric(eq, cfg_, reg, "fabric.abc"),
+      channels(channels_),
+      path(eq, cfg_, channels_, allDimms(cfg_), reg),
+      statChannelBroadcasts(
+          reg.group("fabric.abc").scalar("channelBroadcasts"))
+{
+}
+
+void
+AbcFabric::submit(Transaction t)
+{
+    ++statTransactions;
+    const Tick started = eventq.now();
+    path.request(t.src, [this, t = std::move(t), started]() mutable {
+        execute(std::move(t), started);
+    });
+}
+
+void
+AbcFabric::execute(Transaction t, Tick started)
+{
+    auto finish = [this, cb = std::move(t.onComplete), started]() {
+        statLatencyPs.sample(
+            static_cast<double>(eventq.now() - started));
+        if (cb)
+            cb();
+    };
+
+    switch (t.type) {
+      case Transaction::Type::RemoteRead:
+        // P2P cannot use the broadcast bus: plain CPU forwarding.
+        statBytesViaHost += t.bytes;
+        memAccess(t.dst, t.addr, t.bytes, /*is_write=*/false,
+                  [this, t, finish]() mutable {
+                      path.forwarder().copy(t.dst, t.src, t.bytes,
+                                            finish);
+                  });
+        break;
+
+      case Transaction::Type::RemoteWrite:
+        statBytesViaHost += t.bytes;
+        path.forwarder().copy(
+            t.src, t.dst, t.bytes,
+            [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true,
+                          finish);
+            });
+        break;
+
+      case Transaction::Type::Broadcast:
+        ++statBroadcasts;
+        executeBroadcast(std::move(t), std::move(finish));
+        break;
+
+      case Transaction::Type::SyncMessage:
+        statBytesViaHost += t.bytes;
+        path.forwarder().copy(t.src, t.dst, t.bytes, finish);
+        break;
+    }
+}
+
+void
+AbcFabric::executeBroadcast(Transaction t, std::function<void()> finish)
+{
+    auto finish_sh =
+        std::make_shared<std::function<void()>>(std::move(finish));
+    memAccess(
+        t.src, t.addr, t.bytes, /*is_write=*/false,
+        [this, t, finish_sh]() mutable {
+            // Broadcast-read on the source channel: one occupancy
+            // delivers the data to every sibling DIMM there, and the
+            // host receives a copy off the shared bus.
+            const ChannelId src_ch = cfg.channelOf(t.src);
+            ++statChannelBroadcasts;
+            statBytesViaHost += t.bytes;
+            Tick last = channels[src_ch]->transfer(t.bytes);
+
+            // Broadcast-write on every other channel: the host pushes
+            // the payload once per channel; the multi-drop bus fans it
+            // out to all DIMMs of that channel. Writes to distinct
+            // channels proceed in parallel through the host MC queues.
+            for (ChannelId c = 0; c < cfg.numChannels; ++c) {
+                if (c == src_ch)
+                    continue;
+                ++statChannelBroadcasts;
+                statBytesViaHost += t.bytes;
+                const Tick end = channels[c]->occupy(
+                    serializationTicks(t.bytes,
+                                       channels[c]->bandwidthGBps()),
+                    eventq.now() + cfg.host.forwardLatencyPs);
+                last = std::max(last, end);
+            }
+            eventq.schedule(last, [finish_sh] { (*finish_sh)(); },
+                            EventPriority::Delivery);
+        });
+}
+
+} // namespace idc
+} // namespace dimmlink

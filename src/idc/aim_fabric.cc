@@ -1,0 +1,96 @@
+#include "idc/aim_fabric.hh"
+
+namespace dimmlink {
+namespace idc {
+
+namespace {
+
+/** Command/snoop packet on the dedicated bus (header-only). */
+constexpr unsigned cmdBytes = 16;
+
+} // namespace
+
+AimFabric::AimFabric(EventQueue &eq, const SystemConfig &cfg_,
+                     std::vector<host::Channel *> channels_,
+                     stats::Registry &reg)
+    : Fabric(eq, cfg_, reg, "fabric.aim")
+{
+    (void)channels_; // AIM bypasses the host memory channels.
+    bus = std::make_unique<host::Channel>(
+        eq, "fabric.aim.bus", cfg_.bus.busGBps,
+        reg.group("fabric.aim.bus"));
+}
+
+Tick
+AimFabric::busTransfer(std::uint32_t bytes)
+{
+    // Arbitration delay, then FCFS occupancy of the shared bus.
+    statBytesViaBus += bytes;
+    return bus->occupy(
+        cfg.bus.arbitrationPs +
+        serializationTicks(bytes, bus->bandwidthGBps()));
+}
+
+void
+AimFabric::submit(Transaction t)
+{
+    ++statTransactions;
+    const Tick started = eventq.now();
+    auto finish = [this, cb = std::move(t.onComplete), started]() {
+        statLatencyPs.sample(
+            static_cast<double>(eventq.now() - started));
+        if (cb)
+            cb();
+    };
+
+    switch (t.type) {
+      case Transaction::Type::RemoteRead: {
+        // Broadcast the command; the owner snoops it, fetches from
+        // DRAM, and puts the data on the bus for the requester.
+        const Tick cmd_done = busTransfer(cmdBytes);
+        eventq.schedule(
+            cmd_done,
+            [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/false,
+                          [this, t, finish]() mutable {
+                              const Tick data_done =
+                                  busTransfer(t.bytes);
+                              eventq.schedule(data_done, finish,
+                                              EventPriority::Delivery);
+                          });
+            },
+            EventPriority::Control);
+        break;
+      }
+      case Transaction::Type::RemoteWrite: {
+        const Tick done = busTransfer(cmdBytes + t.bytes);
+        eventq.schedule(
+            done,
+            [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true,
+                          finish);
+            },
+            EventPriority::Control);
+        break;
+      }
+      case Transaction::Type::Broadcast: {
+        // AIM-BC: one bus occupancy reaches every snooping DIMM.
+        ++statBroadcasts;
+        memAccess(t.src, t.addr, t.bytes, /*is_write=*/false,
+                  [this, t, finish]() mutable {
+                      const Tick done = busTransfer(cmdBytes + t.bytes);
+                      eventq.schedule(done, finish,
+                                      EventPriority::Delivery);
+                  });
+        break;
+      }
+      case Transaction::Type::SyncMessage: {
+        const Tick done = busTransfer(t.bytes);
+        eventq.schedule(done, finish, EventPriority::Delivery);
+        break;
+      }
+    }
+}
+
+} // namespace idc
+} // namespace dimmlink

@@ -1,0 +1,447 @@
+#include "idc/dl_fabric.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace idc {
+
+namespace {
+
+/** Flits for one packet carrying @p bytes of payload. */
+unsigned
+flitsFor(std::uint64_t bytes)
+{
+    return 1 + static_cast<unsigned>(
+                   (bytes + proto::flitBytes - 1) / proto::flitBytes);
+}
+
+/** Polling targets: one proxy per group, or every DIMM. */
+std::vector<DimmId>
+pollTargets(const SystemConfig &cfg)
+{
+    std::vector<DimmId> v;
+    const bool proxy = cfg.pollingMode == PollingMode::Proxy ||
+                       cfg.pollingMode == PollingMode::ProxyInterrupt;
+    if (proxy) {
+        for (unsigned g = 0; g < cfg.numGroups(); ++g)
+            v.push_back(static_cast<DimmId>(g * cfg.groupSize() +
+                                            cfg.groupSize() / 2));
+    } else {
+        for (unsigned d = 0; d < cfg.numDimms; ++d)
+            v.push_back(static_cast<DimmId>(d));
+    }
+    return v;
+}
+
+} // namespace
+
+DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
+                   std::vector<host::Channel *> channels_,
+                   stats::Registry &reg)
+    : Fabric(eq, cfg_, reg, "fabric.dl"),
+      channels(channels_),
+      path(eq, cfg_, channels_, pollTargets(cfg_), reg),
+      statPacketsLink(reg.group("fabric.dl").scalar("packetsViaLink")),
+      statPacketsHost(reg.group("fabric.dl").scalar("packetsViaHost")),
+      statProxyNotifies(reg.group("fabric.dl").scalar("proxyNotifies"))
+{
+    const unsigned gs = cfg.groupSize();
+    const unsigned groups = cfg.numGroups();
+    injectQ.assign(groups, {});
+    for (unsigned g = 0; g < groups; ++g) {
+        nets.push_back(std::make_unique<noc::Network>(
+            eq, "fabric.dl.group" + std::to_string(g), cfg.link, gs,
+            reg));
+        injectQ[g].assign(gs, {});
+        for (unsigned node = 0; node < gs; ++node) {
+            nets[g]->setRetryHandler(
+                static_cast<int>(node), [this, g, node] {
+                    drainInjectQueue(g, static_cast<int>(node));
+                });
+        }
+    }
+}
+
+DimmId
+DlFabric::proxyOf(unsigned group) const
+{
+    return static_cast<DimmId>(group * cfg.groupSize() +
+                               cfg.groupSize() / 2);
+}
+
+std::uint64_t
+DlFabric::wireBytesFor(std::uint64_t payload_bytes)
+{
+    std::uint64_t wire = 0;
+    std::uint64_t left = payload_bytes;
+    do {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(left, proto::maxPayloadBytes);
+        wire += static_cast<std::uint64_t>(flitsFor(chunk)) *
+                proto::flitBytes;
+        left -= chunk;
+    } while (left > 0);
+    return wire;
+}
+
+Tick
+DlFabric::packetizeDelay(unsigned flits) const
+{
+    const Tick period = periodFromMHz(cfg.dimm.coreFreqMHz);
+    return (proto::Codec::controlCycles +
+            proto::Codec::crcCyclesPerFlit * flits) *
+           period;
+}
+
+Tick
+DlFabric::decodeDelay(unsigned flits) const
+{
+    return packetizeDelay(flits);
+}
+
+double
+DlFabric::distance(DimmId j, DimmId k) const
+{
+    if (j == k)
+        return 0.0;
+    if (groupIdx(j) == groupIdx(k)) {
+        return static_cast<double>(
+            nets[groupIdx(j)]->graph().distance(nodeIdx(j),
+                                                nodeIdx(k)));
+    }
+    // Inter-group accesses pay polling discovery plus the host copy;
+    // express that as equivalent link hops so the mapper can trade
+    // the two off (profiled latencies in the paper play this role).
+    const double per_hop = static_cast<double>(
+        cfg.link.routerLatencyPs + cfg.link.wireLatencyPs);
+    const double fwd = static_cast<double>(
+        cfg.host.forwardLatencyPs + cfg.host.pollIntervalPs / 2);
+    return fwd / per_hop;
+}
+
+void
+DlFabric::inject(unsigned group, noc::Message msg)
+{
+    auto &q = injectQ[group][static_cast<std::size_t>(msg.src)];
+    if (!q.empty() || !nets[group]->tryInject(msg))
+        q.push_back(std::move(msg));
+}
+
+void
+DlFabric::drainInjectQueue(unsigned group, int node)
+{
+    auto &q = injectQ[group][static_cast<std::size_t>(node)];
+    while (!q.empty()) {
+        if (!nets[group]->tryInject(q.front()))
+            return;
+        q.pop_front();
+    }
+}
+
+void
+DlFabric::sendIntraGroup(DimmId s, DimmId d,
+                         std::uint64_t payload_bytes,
+                         std::function<void()> delivered)
+{
+    const unsigned group = groupIdx(s);
+    if (group != groupIdx(d))
+        panic("sendIntraGroup across groups (%u -> %u)", s, d);
+
+    // Segment into <=256-byte packets; the last delivery completes
+    // the transfer (paths are deterministic and FIFO, but count for
+    // safety).
+    std::uint64_t left = payload_bytes;
+    std::vector<std::uint64_t> chunks;
+    do {
+        const std::uint64_t c =
+            std::min<std::uint64_t>(left, proto::maxPayloadBytes);
+        chunks.push_back(c);
+        left -= c;
+    } while (left > 0);
+
+    auto remaining = std::make_shared<std::size_t>(chunks.size());
+    auto done =
+        std::make_shared<std::function<void()>>(std::move(delivered));
+
+    for (const std::uint64_t c : chunks) {
+        const unsigned flits = flitsFor(c);
+        noc::Message msg;
+        msg.src = nodeIdx(s);
+        msg.dst = nodeIdx(d);
+        msg.flits = flits;
+        msg.id = nextMsgId++;
+        ++statPacketsLink;
+        statBytesViaLink += static_cast<double>(flits) *
+                            proto::flitBytes;
+        msg.deliver = [this, flits, remaining, done](int) {
+            // NW-interface CRC check + decode at the destination.
+            eventq.scheduleIn(decodeDelay(flits),
+                              [remaining, done] {
+                                  if (--*remaining == 0 && *done)
+                                      (*done)();
+                              },
+                              EventPriority::Control);
+        };
+        // NW-interface packetization before hitting the router.
+        eventq.scheduleIn(packetizeDelay(flits),
+                          [this, group, msg = std::move(msg)]() mutable {
+                              inject(group, std::move(msg));
+                          },
+                          EventPriority::Control);
+    }
+}
+
+void
+DlFabric::requestForward(DimmId src, std::function<void()> job)
+{
+    const bool proxy_mode =
+        cfg.pollingMode == PollingMode::Proxy ||
+        cfg.pollingMode == PollingMode::ProxyInterrupt;
+    if (!proxy_mode) {
+        path.request(src, std::move(job));
+        return;
+    }
+    const DimmId proxy = proxyOf(groupIdx(src));
+    if (proxy == src) {
+        path.request(proxy, std::move(job));
+        return;
+    }
+    // Register the request with the group's proxy over the link
+    // network (a single-flit FwdReq packet), so the host only has to
+    // poll one DIMM per group (Fig. 7).
+    ++statProxyNotifies;
+    noc::Message note;
+    note.src = nodeIdx(src);
+    note.dst = nodeIdx(proxy);
+    note.flits = 1;
+    note.id = nextMsgId++;
+    statBytesViaLink += proto::flitBytes;
+    auto job_sh =
+        std::make_shared<std::function<void()>>(std::move(job));
+    note.deliver = [this, proxy, job_sh](int) {
+        path.request(proxy, [job_sh] { (*job_sh)(); });
+    };
+    eventq.scheduleIn(packetizeDelay(1),
+                      [this, g = groupIdx(src),
+                       note = std::move(note)]() mutable {
+                          inject(g, std::move(note));
+                      },
+                      EventPriority::Control);
+}
+
+void
+DlFabric::groupBroadcast(DimmId s, std::uint64_t bytes,
+                         std::function<void()> all_delivered)
+{
+    const unsigned group = groupIdx(s);
+    const unsigned gs = cfg.groupSize();
+    if (gs == 1) {
+        completeLater(all_delivered, eventq.now());
+        return;
+    }
+
+    std::uint64_t left = bytes;
+    std::vector<std::uint64_t> chunks;
+    do {
+        const std::uint64_t c =
+            std::min<std::uint64_t>(left, proto::maxPayloadBytes);
+        chunks.push_back(c);
+        left -= c;
+    } while (left > 0);
+
+    // Every node (including the source's own router) ejects each
+    // broadcast packet once.
+    auto remaining =
+        std::make_shared<std::size_t>(chunks.size() * gs);
+    auto done = std::make_shared<std::function<void()>>(
+        std::move(all_delivered));
+
+    for (const std::uint64_t c : chunks) {
+        const unsigned flits = flitsFor(c);
+        noc::Message msg;
+        msg.src = nodeIdx(s);
+        msg.dst = 0;
+        msg.broadcast = true;
+        msg.flits = flits;
+        msg.id = nextMsgId++;
+        ++statPacketsLink;
+        statBytesViaLink += static_cast<double>(flits) *
+                            proto::flitBytes;
+        msg.deliver = [this, flits, remaining, done,
+                       src_node = nodeIdx(s)](int node) {
+            if (node == src_node) {
+                // The source's local copy needs no decode.
+                if (--*remaining == 0 && *done)
+                    (*done)();
+                return;
+            }
+            eventq.scheduleIn(decodeDelay(flits),
+                              [remaining, done] {
+                                  if (--*remaining == 0 && *done)
+                                      (*done)();
+                              },
+                              EventPriority::Control);
+        };
+        eventq.scheduleIn(packetizeDelay(flits),
+                          [this, group, msg = std::move(msg)]() mutable {
+                              inject(group, std::move(msg));
+                          },
+                          EventPriority::Control);
+    }
+}
+
+void
+DlFabric::doRemoteRead(Transaction t, std::function<void()> finish)
+{
+    if (groupIdx(t.src) == groupIdx(t.dst)) {
+        // Fig. 5-(a): request packet out, read-return data back, all
+        // over the DL-Bridge.
+        sendIntraGroup(
+            t.src, t.dst, 0, [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/false,
+                          [this, t, finish]() mutable {
+                              sendIntraGroup(t.dst, t.src, t.bytes,
+                                             finish);
+                          });
+            });
+        return;
+    }
+    // Fig. 5-(b): the request packet is CPU-forwarded to the remote
+    // group's DIMM; the read-return data is CPU-forwarded back after
+    // the destination registers its own forwarding request.
+    ++statPacketsHost;
+    statBytesViaHost += wireBytesFor(0);
+    requestForward(t.src, [this, t, finish]() mutable {
+        path.forwarder().forward(
+            t.src, t.dst, static_cast<unsigned>(wireBytesFor(0)),
+            [this, t, finish]() mutable {
+                memAccess(
+                    t.dst, t.addr, t.bytes, /*is_write=*/false,
+                    [this, t, finish]() mutable {
+                        const auto wire = static_cast<unsigned>(
+                            wireBytesFor(t.bytes));
+                        ++statPacketsHost;
+                        statBytesViaHost += wire;
+                        requestForward(
+                            t.dst, [this, t, wire, finish]() mutable {
+                                path.forwarder().forward(
+                                    t.dst, t.src, wire, finish);
+                            });
+                    });
+            });
+    });
+}
+
+void
+DlFabric::doRemoteWrite(Transaction t, std::function<void()> finish)
+{
+    if (groupIdx(t.src) == groupIdx(t.dst)) {
+        sendIntraGroup(
+            t.src, t.dst, t.bytes, [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true,
+                          finish);
+            });
+        return;
+    }
+    const auto wire = static_cast<unsigned>(wireBytesFor(t.bytes));
+    ++statPacketsHost;
+    statBytesViaHost += wire;
+    requestForward(t.src, [this, t, wire, finish]() mutable {
+        path.forwarder().forward(
+            t.src, t.dst, wire, [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true,
+                          finish);
+            });
+    });
+}
+
+void
+DlFabric::doBroadcast(Transaction t, std::function<void()> finish)
+{
+    // Fig. 5-(c)/(d): broadcast in the local group over the bridge;
+    // for each remote group, one CPU-forwarded copy to the group's
+    // entry DIMM (its proxy), then a group-local broadcast there.
+    ++statBroadcasts;
+    auto finish_sh =
+        std::make_shared<std::function<void()>>(std::move(finish));
+    auto remaining = std::make_shared<unsigned>(0);
+    auto dec = [remaining, finish_sh]() {
+        if (--*remaining == 0)
+            (*finish_sh)();
+    };
+
+    memAccess(t.src, t.addr, t.bytes, /*is_write=*/false,
+              [this, t, remaining, dec]() mutable {
+                  ++*remaining;
+                  groupBroadcast(t.src, t.bytes, dec);
+                  for (unsigned g = 0; g < cfg.numGroups(); ++g) {
+                      if (g == groupIdx(t.src))
+                          continue;
+                      ++*remaining;
+                      const DimmId entry = proxyOf(g);
+                      const auto wire = static_cast<unsigned>(
+                          wireBytesFor(t.bytes));
+                      ++statPacketsHost;
+                      statBytesViaHost += wire;
+                      requestForward(
+                          t.src,
+                          [this, t, entry, wire, dec]() mutable {
+                              path.forwarder().forward(
+                                  t.src, entry, wire,
+                                  [this, t, entry, dec]() mutable {
+                                      groupBroadcast(entry, t.bytes,
+                                                     dec);
+                                  });
+                          });
+                  }
+              });
+}
+
+void
+DlFabric::doSyncMessage(Transaction t, std::function<void()> finish)
+{
+    if (groupIdx(t.src) == groupIdx(t.dst)) {
+        sendIntraGroup(t.src, t.dst, t.bytes, finish);
+        return;
+    }
+    const auto wire = static_cast<unsigned>(wireBytesFor(t.bytes));
+    ++statPacketsHost;
+    statBytesViaHost += wire;
+    requestForward(t.src, [this, t, wire, finish]() mutable {
+        path.forwarder().forward(t.src, t.dst, wire, finish);
+    });
+}
+
+void
+DlFabric::submit(Transaction t)
+{
+    ++statTransactions;
+    const Tick started = eventq.now();
+    auto finish = [this, cb = std::move(t.onComplete), started]() {
+        statLatencyPs.sample(
+            static_cast<double>(eventq.now() - started));
+        if (cb)
+            cb();
+    };
+
+    switch (t.type) {
+      case Transaction::Type::RemoteRead:
+        doRemoteRead(std::move(t), std::move(finish));
+        break;
+      case Transaction::Type::RemoteWrite:
+        doRemoteWrite(std::move(t), std::move(finish));
+        break;
+      case Transaction::Type::Broadcast:
+        doBroadcast(std::move(t), std::move(finish));
+        break;
+      case Transaction::Type::SyncMessage:
+        doSyncMessage(std::move(t), std::move(finish));
+        break;
+    }
+}
+
+} // namespace idc
+} // namespace dimmlink

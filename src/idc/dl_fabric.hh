@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The DIMM-Link fabric (Section III): per-group packet routing over
+ * the DL-Bridge networks, hybrid routing for inter-group traffic via
+ * host CPU forwarding, the polling-proxy mechanism of Section IV-A,
+ * and group broadcast along per-source spanning trees (Fig. 5).
+ */
+
+#ifndef DIMMLINK_IDC_DL_FABRIC_HH
+#define DIMMLINK_IDC_DL_FABRIC_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "idc/fabric.hh"
+#include "noc/network.hh"
+#include "proto/codec.hh"
+
+namespace dimmlink {
+namespace idc {
+
+class DlFabric : public Fabric
+{
+  public:
+    DlFabric(EventQueue &eq, const SystemConfig &cfg,
+             std::vector<host::Channel *> channels,
+             stats::Registry &reg);
+
+    void submit(Transaction t) override;
+    void enterNmpMode() override { path.start(); }
+    void exitNmpMode() override { path.stop(); }
+
+    /** Hop/forwarding-aware distance for the task mapper (§IV-B). */
+    double distance(DimmId j, DimmId k) const override;
+
+    /** The polling proxy (and sync master) DIMM of @p group: the
+     * middle of the group to minimize average hops. */
+    DimmId proxyOf(unsigned group) const;
+
+    const noc::Network &network(unsigned group) const
+    {
+        return *nets[group];
+    }
+
+    /** Wire bytes (flit-padded, incl. header/tail) for a payload. */
+    static std::uint64_t wireBytesFor(std::uint64_t payload_bytes);
+
+  private:
+    unsigned groupIdx(DimmId d) const { return cfg.groupOf(d); }
+    int nodeIdx(DimmId d) const
+    {
+        return static_cast<int>(d % cfg.groupSize());
+    }
+    DimmId dimmAt(unsigned group, int node) const
+    {
+        return static_cast<DimmId>(group * cfg.groupSize() +
+                                   static_cast<unsigned>(node));
+    }
+
+    /** NW-interface packetize latency for one packet of @p flits. */
+    Tick packetizeDelay(unsigned flits) const;
+    Tick decodeDelay(unsigned flits) const;
+
+    /**
+     * Send @p payload_bytes from @p s to @p d inside one group,
+     * segmented into packets; @p delivered fires at d after the last
+     * packet is decoded.
+     */
+    void sendIntraGroup(DimmId s, DimmId d, std::uint64_t payload_bytes,
+                        std::function<void()> delivered);
+
+    /** Inject one message, queueing on backpressure. */
+    void inject(unsigned group, noc::Message msg);
+    void drainInjectQueue(unsigned group, int node);
+
+    /**
+     * Register a CPU-forwarding job for @p src. Under the proxy
+     * schemes the notification first travels to the group's proxy
+     * DIMM over the link network.
+     */
+    void requestForward(DimmId src, std::function<void()> job);
+
+    /** Broadcast @p bytes within @p group starting at node of @p s. */
+    void groupBroadcast(DimmId s, std::uint64_t bytes,
+                        std::function<void()> all_delivered);
+
+    void doRemoteRead(Transaction t, std::function<void()> finish);
+    void doRemoteWrite(Transaction t, std::function<void()> finish);
+    void doBroadcast(Transaction t, std::function<void()> finish);
+    void doSyncMessage(Transaction t, std::function<void()> finish);
+
+    std::vector<host::Channel *> channels;
+    std::vector<std::unique_ptr<noc::Network>> nets;
+    /** Per (group, node) queue of messages awaiting injection space. */
+    std::vector<std::vector<std::deque<noc::Message>>> injectQ;
+    CpuForwardPath path;
+    std::uint64_t nextMsgId = 1;
+
+    stats::Scalar &statPacketsLink;
+    stats::Scalar &statPacketsHost;
+    stats::Scalar &statProxyNotifies;
+};
+
+} // namespace idc
+} // namespace dimmlink
+
+#endif // DIMMLINK_IDC_DL_FABRIC_HH

@@ -1,0 +1,112 @@
+#include "idc/mcn_fabric.hh"
+
+#include <memory>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace idc {
+
+namespace {
+
+/** All DIMMs are polled individually under the MCN baseline. */
+std::vector<DimmId>
+allDimms(const SystemConfig &cfg)
+{
+    std::vector<DimmId> v(cfg.numDimms);
+    for (unsigned i = 0; i < cfg.numDimms; ++i)
+        v[i] = static_cast<DimmId>(i);
+    return v;
+}
+
+} // namespace
+
+McnFabric::McnFabric(EventQueue &eq, const SystemConfig &cfg_,
+                     std::vector<host::Channel *> channels_,
+                     stats::Registry &reg)
+    : Fabric(eq, cfg_, reg, "fabric.mcn"),
+      channels(channels_),
+      path(eq, cfg_, channels_, allDimms(cfg_), reg)
+{
+}
+
+void
+McnFabric::submit(Transaction t)
+{
+    ++statTransactions;
+    const Tick started = eventq.now();
+    const DimmId reg_at = t.src;
+    path.request(reg_at, [this, t = std::move(t), started]() mutable {
+        execute(std::move(t), started);
+    });
+}
+
+void
+McnFabric::execute(Transaction t, Tick started)
+{
+    auto finish = [this, cb = std::move(t.onComplete), started]() {
+        statLatencyPs.sample(
+            static_cast<double>(eventq.now() - started));
+        if (cb)
+            cb();
+    };
+
+    switch (t.type) {
+      case Transaction::Type::RemoteRead: {
+        // Host reads the data from the remote DIMM (after its local MC
+        // stages it from DRAM) and writes it back to the requester.
+        statBytesViaHost += t.bytes;
+        memAccess(t.dst, t.addr, t.bytes, /*is_write=*/false,
+                  [this, t, finish]() mutable {
+                      path.forwarder().copy(t.dst, t.src, t.bytes,
+                                            finish);
+                  });
+        break;
+      }
+      case Transaction::Type::RemoteWrite: {
+        statBytesViaHost += t.bytes;
+        path.forwarder().copy(
+            t.src, t.dst, t.bytes,
+            [this, t, finish]() mutable {
+                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true,
+                          finish);
+            });
+        break;
+      }
+      case Transaction::Type::Broadcast: {
+        // MCN-BC: the host replays the payload to every other DIMM,
+        // point-to-point (no hardware broadcast support).
+        ++statBroadcasts;
+        auto remaining = std::make_shared<unsigned>(0);
+        auto finish_sh =
+            std::make_shared<std::function<void()>>(std::move(finish));
+        memAccess(
+            t.src, t.addr, t.bytes, /*is_write=*/false,
+            [this, t, remaining, finish_sh]() mutable {
+                for (DimmId d = 0; d < cfg.numDimms; ++d) {
+                    if (d == t.src)
+                        continue;
+                    ++*remaining;
+                    statBytesViaHost += t.bytes;
+                    path.forwarder().copy(
+                        t.src, d, t.bytes,
+                        [remaining, finish_sh]() {
+                            if (--*remaining == 0)
+                                (*finish_sh)();
+                        });
+                }
+                if (*remaining == 0)
+                    (*finish_sh)();
+            });
+        break;
+      }
+      case Transaction::Type::SyncMessage: {
+        statBytesViaHost += t.bytes;
+        path.forwarder().copy(t.src, t.dst, t.bytes, finish);
+        break;
+      }
+    }
+}
+
+} // namespace idc
+} // namespace dimmlink

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The MCN / UPMEM-style CPU-forwarding fabric (Table I, column 2).
+ * Every inter-DIMM transaction registers in the source DIMM's polling
+ * registers, waits for the host to discover it, and is then moved by
+ * the host between memory channels — occupying the channel twice and
+ * bounding the aggregate IDC bandwidth at #Channel x beta / 2.
+ */
+
+#ifndef DIMMLINK_IDC_MCN_FABRIC_HH
+#define DIMMLINK_IDC_MCN_FABRIC_HH
+
+#include <vector>
+
+#include "idc/fabric.hh"
+
+namespace dimmlink {
+namespace idc {
+
+class McnFabric : public Fabric
+{
+  public:
+    McnFabric(EventQueue &eq, const SystemConfig &cfg,
+              std::vector<host::Channel *> channels,
+              stats::Registry &reg);
+
+    void submit(Transaction t) override;
+    void enterNmpMode() override { path.start(); }
+    void exitNmpMode() override { path.stop(); }
+
+  private:
+    void execute(Transaction t, Tick started);
+
+    std::vector<host::Channel *> channels;
+    CpuForwardPath path;
+};
+
+} // namespace idc
+} // namespace dimmlink
+
+#endif // DIMMLINK_IDC_MCN_FABRIC_HH

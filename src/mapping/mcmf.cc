@@ -1,0 +1,110 @@
+#include "mapping/mcmf.hh"
+
+#include <deque>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace mapping {
+
+MinCostMaxFlow::MinCostMaxFlow(int num_vertices)
+    : n(num_vertices), adj(static_cast<std::size_t>(num_vertices))
+{
+}
+
+int
+MinCostMaxFlow::addEdge(int u, int v, std::int64_t cap,
+                        std::int64_t cost)
+{
+    if (u < 0 || u >= n || v < 0 || v >= n)
+        panic("MCMF edge endpoints out of range");
+    const int id = static_cast<int>(edges.size());
+    edges.push_back(Edge{v, cap, cost});
+    edges.push_back(Edge{u, 0, -cost}); // residual
+    adj[static_cast<std::size_t>(u)].push_back(id);
+    adj[static_cast<std::size_t>(v)].push_back(id + 1);
+    return id;
+}
+
+bool
+MinCostMaxFlow::spfa(int s, int t, std::vector<std::int64_t> &dist,
+                     std::vector<int> &prev_edge)
+{
+    constexpr std::int64_t inf =
+        std::numeric_limits<std::int64_t>::max() / 4;
+    dist.assign(static_cast<std::size_t>(n), inf);
+    prev_edge.assign(static_cast<std::size_t>(n), -1);
+    std::vector<bool> in_queue(static_cast<std::size_t>(n), false);
+
+    std::deque<int> q;
+    dist[static_cast<std::size_t>(s)] = 0;
+    q.push_back(s);
+    in_queue[static_cast<std::size_t>(s)] = true;
+
+    while (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        in_queue[static_cast<std::size_t>(u)] = false;
+        for (int id : adj[static_cast<std::size_t>(u)]) {
+            const Edge &e = edges[static_cast<std::size_t>(id)];
+            if (e.cap - e.flow <= 0)
+                continue;
+            const std::int64_t nd =
+                dist[static_cast<std::size_t>(u)] + e.cost;
+            if (nd < dist[static_cast<std::size_t>(e.to)]) {
+                dist[static_cast<std::size_t>(e.to)] = nd;
+                prev_edge[static_cast<std::size_t>(e.to)] = id;
+                if (!in_queue[static_cast<std::size_t>(e.to)]) {
+                    // SLF heuristic keeps SPFA fast on these graphs.
+                    if (!q.empty() &&
+                        nd < dist[static_cast<std::size_t>(
+                                 q.front())])
+                        q.push_front(e.to);
+                    else
+                        q.push_back(e.to);
+                    in_queue[static_cast<std::size_t>(e.to)] = true;
+                }
+            }
+        }
+    }
+    return prev_edge[static_cast<std::size_t>(t)] != -1;
+}
+
+MinCostMaxFlow::Result
+MinCostMaxFlow::solve(int s, int t)
+{
+    Result r;
+    std::vector<std::int64_t> dist;
+    std::vector<int> prev_edge;
+
+    while (spfa(s, t, dist, prev_edge)) {
+        // Find the bottleneck along the shortest path.
+        std::int64_t push =
+            std::numeric_limits<std::int64_t>::max();
+        for (int v = t; v != s;) {
+            const int id = prev_edge[static_cast<std::size_t>(v)];
+            const Edge &e = edges[static_cast<std::size_t>(id)];
+            push = std::min(push, e.cap - e.flow);
+            v = edges[static_cast<std::size_t>(id ^ 1)].to;
+        }
+        for (int v = t; v != s;) {
+            const int id = prev_edge[static_cast<std::size_t>(v)];
+            edges[static_cast<std::size_t>(id)].flow += push;
+            edges[static_cast<std::size_t>(id ^ 1)].flow -= push;
+            v = edges[static_cast<std::size_t>(id ^ 1)].to;
+        }
+        r.flow += push;
+        r.cost += push * dist[static_cast<std::size_t>(t)];
+    }
+    return r;
+}
+
+std::int64_t
+MinCostMaxFlow::flowOn(int id) const
+{
+    return edges[static_cast<std::size_t>(id)].flow;
+}
+
+} // namespace mapping
+} // namespace dimmlink

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimum-cost maximum-flow via successive shortest paths with SPFA
+ * (the Bellman-Ford variant Algorithm 1 cites). Costs are integers;
+ * capacities are integers; complexity is O(V * E * flow), which for
+ * the thread-placement instances (T + N + 2 vertices) matches the
+ * paper's O(T^2 N^2) bound.
+ */
+
+#ifndef DIMMLINK_MAPPING_MCMF_HH
+#define DIMMLINK_MAPPING_MCMF_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dimmlink {
+namespace mapping {
+
+class MinCostMaxFlow
+{
+  public:
+    explicit MinCostMaxFlow(int num_vertices);
+
+    /**
+     * Add a directed edge with @p cap capacity and @p cost per unit.
+     * @return the edge id (usable with flowOn()).
+     */
+    int addEdge(int u, int v, std::int64_t cap, std::int64_t cost);
+
+    struct Result
+    {
+        std::int64_t flow = 0;
+        std::int64_t cost = 0;
+    };
+
+    /** Compute the min-cost max-flow from @p s to @p t. */
+    Result solve(int s, int t);
+
+    /** Flow pushed through edge @p id after solve(). */
+    std::int64_t flowOn(int id) const;
+
+  private:
+    struct Edge
+    {
+        int to;
+        std::int64_t cap;
+        std::int64_t cost;
+        std::int64_t flow = 0;
+    };
+
+    bool spfa(int s, int t, std::vector<std::int64_t> &dist,
+              std::vector<int> &prev_edge);
+
+    int n;
+    std::vector<Edge> edges;
+    std::vector<std::vector<int>> adj;
+};
+
+} // namespace mapping
+} // namespace dimmlink
+
+#endif // DIMMLINK_MAPPING_MCMF_HH

@@ -1,0 +1,169 @@
+#include "mapping/placement.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+#include "mapping/mcmf.hh"
+
+namespace dimmlink {
+namespace mapping {
+
+std::vector<double>
+costTable(const TrafficProfiler &profile, const DistanceFn &dist)
+{
+    const unsigned t_cnt = profile.numThreads();
+    const unsigned n_cnt = profile.numDimms();
+    std::vector<double> cost(static_cast<std::size_t>(t_cnt) * n_cnt,
+                             0.0);
+    // C[i][j] = sum_k dist(j, k) * M[i][k]  (Algorithm 1, Step 1).
+    for (unsigned i = 0; i < t_cnt; ++i) {
+        for (unsigned j = 0; j < n_cnt; ++j) {
+            double c = 0;
+            for (unsigned k = 0; k < n_cnt; ++k) {
+                c += dist(static_cast<DimmId>(j),
+                          static_cast<DimmId>(k)) *
+                     static_cast<double>(
+                         profile.accesses(i, static_cast<DimmId>(k)));
+            }
+            cost[static_cast<std::size_t>(i) * n_cnt + j] = c;
+        }
+    }
+    return cost;
+}
+
+std::vector<DimmId>
+solvePlacement(const TrafficProfiler &profile, const DistanceFn &dist,
+               unsigned max_threads_per_dimm)
+{
+    const unsigned t_cnt = profile.numThreads();
+    const unsigned n_cnt = profile.numDimms();
+    if (t_cnt > n_cnt * max_threads_per_dimm)
+        fatal("placement infeasible: %u threads > %u DIMMs x %u slots",
+              t_cnt, n_cnt, max_threads_per_dimm);
+
+    const std::vector<double> cost = costTable(profile, dist);
+
+    // Scale fractional costs to integers for the flow solver.
+    double max_cost = 0;
+    for (double c : cost)
+        max_cost = std::max(max_cost, c);
+    const double scale =
+        max_cost > 0 ? 1e6 / max_cost : 1.0;
+
+    // Vertices: 0 = source, 1..T = threads, T+1..T+N = DIMMs,
+    // T+N+1 = sink (Algorithm 1, Step 2).
+    const int src = 0;
+    const int sink = static_cast<int>(t_cnt + n_cnt + 1);
+    MinCostMaxFlow flow(sink + 1);
+
+    std::vector<int> bipartite_edge(
+        static_cast<std::size_t>(t_cnt) * n_cnt, -1);
+    for (unsigned i = 0; i < t_cnt; ++i)
+        flow.addEdge(src, static_cast<int>(1 + i), 1, 0);
+    for (unsigned i = 0; i < t_cnt; ++i) {
+        for (unsigned j = 0; j < n_cnt; ++j) {
+            const auto c = static_cast<std::int64_t>(
+                std::llround(cost[static_cast<std::size_t>(i) * n_cnt
+                                  + j] * scale));
+            bipartite_edge[static_cast<std::size_t>(i) * n_cnt + j] =
+                flow.addEdge(static_cast<int>(1 + i),
+                             static_cast<int>(1 + t_cnt + j), 1, c);
+        }
+    }
+    for (unsigned j = 0; j < n_cnt; ++j)
+        flow.addEdge(static_cast<int>(1 + t_cnt + j), sink,
+                     max_threads_per_dimm, 0);
+
+    const auto result = flow.solve(src, sink);
+    if (result.flow != static_cast<std::int64_t>(t_cnt))
+        panic("placement flow incomplete: %lld of %u threads placed",
+              static_cast<long long>(result.flow), t_cnt);
+
+    // Step 3: flowed bipartite edges define the placement.
+    std::vector<DimmId> assignment(t_cnt, 0);
+    for (unsigned i = 0; i < t_cnt; ++i) {
+        bool placed = false;
+        for (unsigned j = 0; j < n_cnt; ++j) {
+            const int id =
+                bipartite_edge[static_cast<std::size_t>(i) * n_cnt +
+                               j];
+            if (flow.flowOn(id) > 0) {
+                assignment[i] = static_cast<DimmId>(j);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            panic("thread %u left unplaced by the flow solution", i);
+    }
+    return assignment;
+}
+
+double
+placementCost(const TrafficProfiler &profile, const DistanceFn &dist,
+              const std::vector<DimmId> &assignment)
+{
+    double total = 0;
+    const unsigned n_cnt = profile.numDimms();
+    for (unsigned i = 0; i < assignment.size(); ++i) {
+        for (unsigned k = 0; k < n_cnt; ++k) {
+            total += dist(assignment[i], static_cast<DimmId>(k)) *
+                     static_cast<double>(
+                         profile.accesses(i, static_cast<DimmId>(k)));
+        }
+    }
+    return total;
+}
+
+namespace {
+
+void
+bruteRecurse(const TrafficProfiler &profile, const DistanceFn &dist,
+             unsigned max_per_dimm, std::vector<DimmId> &cur,
+             std::vector<unsigned> &load, unsigned i, double cur_cost,
+             double &best_cost, std::vector<DimmId> &best)
+{
+    const unsigned t_cnt = profile.numThreads();
+    const unsigned n_cnt = profile.numDimms();
+    if (cur_cost >= best_cost)
+        return;
+    if (i == t_cnt) {
+        best_cost = cur_cost;
+        best = cur;
+        return;
+    }
+    for (unsigned j = 0; j < n_cnt; ++j) {
+        if (load[j] >= max_per_dimm)
+            continue;
+        double c = 0;
+        for (unsigned k = 0; k < n_cnt; ++k)
+            c += dist(static_cast<DimmId>(j), static_cast<DimmId>(k)) *
+                 static_cast<double>(
+                     profile.accesses(i, static_cast<DimmId>(k)));
+        cur[i] = static_cast<DimmId>(j);
+        ++load[j];
+        bruteRecurse(profile, dist, max_per_dimm, cur, load, i + 1,
+                     cur_cost + c, best_cost, best);
+        --load[j];
+    }
+}
+
+} // namespace
+
+std::vector<DimmId>
+bruteForcePlacement(const TrafficProfiler &profile,
+                    const DistanceFn &dist, unsigned max_threads_per_dimm)
+{
+    std::vector<DimmId> cur(profile.numThreads(), 0);
+    std::vector<DimmId> best(profile.numThreads(), 0);
+    std::vector<unsigned> load(profile.numDimms(), 0);
+    double best_cost = std::numeric_limits<double>::infinity();
+    bruteRecurse(profile, dist, max_threads_per_dimm, cur, load, 0,
+                 0.0, best_cost, best);
+    return best;
+}
+
+} // namespace mapping
+} // namespace dimmlink

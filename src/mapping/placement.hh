@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: derive an optimized thread placement from
+ * profiled traffic. Step 1 builds the distance-weighted cost table
+ * C[i][j]; Step 2 solves a min-cost max-flow over the Source ->
+ * Threads -> DIMMs -> Sink network; Step 3 reads the placement off
+ * the saturated bipartite edges.
+ */
+
+#ifndef DIMMLINK_MAPPING_PLACEMENT_HH
+#define DIMMLINK_MAPPING_PLACEMENT_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mapping/profiler.hh"
+
+namespace dimmlink {
+namespace mapping {
+
+/** dist(j, k): relative cost of DIMM j accessing DIMM k. */
+using DistanceFn = std::function<double(DimmId, DimmId)>;
+
+/**
+ * Compute the cost table C[T][N] (Step 1).
+ * @return row-major costs, C[i*N + j].
+ */
+std::vector<double> costTable(const TrafficProfiler &profile,
+                              const DistanceFn &dist);
+
+/**
+ * Solve the placement (Steps 2-3).
+ * @param max_threads_per_dimm the paper's L (DIMM vertex capacity).
+ * @return thread -> DIMM assignment, size T.
+ */
+std::vector<DimmId> solvePlacement(const TrafficProfiler &profile,
+                                   const DistanceFn &dist,
+                                   unsigned max_threads_per_dimm);
+
+/** Brute-force optimal placement for small instances (test oracle). */
+std::vector<DimmId> bruteForcePlacement(
+    const TrafficProfiler &profile, const DistanceFn &dist,
+    unsigned max_threads_per_dimm);
+
+/** Total distance-weighted cost of an assignment. */
+double placementCost(const TrafficProfiler &profile,
+                     const DistanceFn &dist,
+                     const std::vector<DimmId> &assignment);
+
+} // namespace mapping
+} // namespace dimmlink
+
+#endif // DIMMLINK_MAPPING_PLACEMENT_HH

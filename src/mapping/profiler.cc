@@ -1,0 +1,40 @@
+#include "mapping/profiler.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace mapping {
+
+TrafficProfiler::TrafficProfiler(unsigned num_threads,
+                                 unsigned num_dimms)
+    : threads(num_threads),
+      dimms(num_dimms),
+      m(static_cast<std::size_t>(num_threads) * num_dimms, 0)
+{
+}
+
+void
+TrafficProfiler::record(ThreadId tid, DimmId d, std::uint32_t bytes)
+{
+    if (tid >= threads || d >= dimms)
+        panic("profiler record out of range (tid=%u dimm=%u)", tid, d);
+    m[static_cast<std::size_t>(tid) * dimms + d] += bytes;
+    ++refs;
+}
+
+std::uint64_t
+TrafficProfiler::accesses(ThreadId tid, DimmId d) const
+{
+    return m[static_cast<std::size_t>(tid) * dimms + d];
+}
+
+void
+TrafficProfiler::reset()
+{
+    for (auto &v : m)
+        v = 0;
+    refs = 0;
+}
+
+} // namespace mapping
+} // namespace dimmlink

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The profiling phase of the distance-aware task mapping (Fig. 8):
+ * each DIMM records how much traffic every thread sends to every
+ * DIMM; the host accumulates the counters into the table M[T][N].
+ */
+
+#ifndef DIMMLINK_MAPPING_PROFILER_HH
+#define DIMMLINK_MAPPING_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace mapping {
+
+class TrafficProfiler
+{
+  public:
+    TrafficProfiler(unsigned num_threads, unsigned num_dimms);
+
+    /** Record @p bytes of traffic from thread @p tid to DIMM @p d. */
+    void record(ThreadId tid, DimmId d, std::uint32_t bytes);
+
+    /** Total access bytes of thread @p tid to DIMM @p d. */
+    std::uint64_t accesses(ThreadId tid, DimmId d) const;
+
+    /** Total references recorded (profiling-window sizing). */
+    std::uint64_t totalRefs() const { return refs; }
+
+    void reset();
+
+    unsigned numThreads() const { return threads; }
+    unsigned numDimms() const { return dimms; }
+
+    /** The raw M table, row-major [T][N], in bytes. */
+    const std::vector<std::uint64_t> &table() const { return m; }
+
+  private:
+    unsigned threads;
+    unsigned dimms;
+    std::vector<std::uint64_t> m;
+    std::uint64_t refs = 0;
+};
+
+} // namespace mapping
+} // namespace dimmlink
+
+#endif // DIMMLINK_MAPPING_PROFILER_HH

@@ -1,0 +1,53 @@
+#include "noc/link.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace noc {
+
+Link::Link(EventQueue &eq, std::string name, double gbps, Tick wire_ps,
+           unsigned flit_bits, stats::Group &sg)
+    : eventq(eq),
+      name_(std::move(name)),
+      gbps_(gbps),
+      wireLatency(wire_ps),
+      flitBytes(flit_bits / 8),
+      statFlits(sg.scalar("flits")),
+      statMessages(sg.scalar("messages")),
+      statBusyPs(sg.scalar("busyPs"))
+{
+    if (gbps <= 0)
+        fatal("link %s: non-positive bandwidth", name_.c_str());
+}
+
+Tick
+Link::serializationTime(unsigned flits) const
+{
+    return serializationTicks(
+        static_cast<std::uint64_t>(flits) * flitBytes, gbps_);
+}
+
+Tick
+Link::transmit(Message msg, std::function<void(Message)> arrive)
+{
+    const Tick start = std::max(eventq.now(), busyUntil);
+    const Tick ser = serializationTime(msg.flits);
+    busyUntil = start + ser;
+    statFlits += msg.flits;
+    ++statMessages;
+    statBusyPs += static_cast<double>(ser);
+    const Tick arrival = busyUntil + wireLatency;
+    ++msg.hops;
+    eventq.schedule(arrival,
+                    [cb = std::move(arrive), m = std::move(msg)]() mutable {
+                        cb(std::move(m));
+                    },
+                    EventPriority::Delivery);
+    return arrival;
+}
+
+} // namespace noc
+} // namespace dimmlink

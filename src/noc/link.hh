@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A unidirectional SerDes link of the DL-Bridge. Serializes one
+ * message at a time at the configured bandwidth, then presents it to
+ * the downstream router after the wire latency.
+ */
+
+#ifndef DIMMLINK_NOC_LINK_HH
+#define DIMMLINK_NOC_LINK_HH
+
+#include <functional>
+
+#include "common/stats.hh"
+#include "noc/message.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace noc {
+
+class Link
+{
+  public:
+    /**
+     * @param gbps        per-direction bandwidth (GRS: 25 GB/s).
+     * @param wire_ps     SerDes + PCB trace latency per traversal.
+     * @param flit_bits   flit width (128 in the DL protocol).
+     */
+    Link(EventQueue &eq, std::string name, double gbps, Tick wire_ps,
+         unsigned flit_bits, stats::Group &sg);
+
+    /** Earliest tick a new transmission may begin. */
+    Tick freeAt() const { return busyUntil; }
+
+    /** Ticks to push @p flits flits through the serializer. */
+    Tick serializationTime(unsigned flits) const;
+
+    /**
+     * Begin transmitting at max(now, freeAt()). @p arrive fires at the
+     * downstream end after serialization + wire latency.
+     * @return the tick at which the tail flit arrives downstream.
+     */
+    Tick transmit(Message msg, std::function<void(Message)> arrive);
+
+    const std::string &name() const { return name_; }
+    double bandwidthGBps() const { return gbps_; }
+
+  private:
+    EventQueue &eventq;
+    std::string name_;
+    double gbps_;
+    Tick wireLatency;
+    unsigned flitBytes;
+    Tick busyUntil = 0;
+
+    stats::Scalar &statFlits;
+    stats::Scalar &statMessages;
+    stats::Scalar &statBusyPs;
+};
+
+} // namespace noc
+} // namespace dimmlink
+
+#endif // DIMMLINK_NOC_LINK_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The unit the DL network routes: a packetized message measured in
+ * 128-bit flits. The interconnect model is virtual cut-through at
+ * packet granularity with flit-denominated credit flow control — the
+ * modeling granularity BookSim provides to MultiPIM in the paper's
+ * methodology.
+ */
+
+#ifndef DIMMLINK_NOC_MESSAGE_HH
+#define DIMMLINK_NOC_MESSAGE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace noc {
+
+/** A routed message. Payload travels by closure in @ref deliver. */
+struct Message
+{
+    /** Source node index within the network (not global DIMM id). */
+    int src = 0;
+    /** Destination node; ignored when @ref broadcast is set. */
+    int dst = 0;
+    /** Serialization length in flits (header/tail folded in). */
+    unsigned flits = 1;
+    /** Broadcast messages are forwarded along the source's BFS tree
+     * until every node has accepted a copy (Fig. 5-c). */
+    bool broadcast = false;
+    /** Unique id for tracing/debug. */
+    std::uint64_t id = 0;
+    /** Tick at which the message entered the network (set by inject). */
+    Tick injectedAt = 0;
+    /** Number of link traversals so far (hop count statistic). */
+    unsigned hops = 0;
+    /**
+     * Called once per destination when the message is ejected there.
+     * The int argument is the ejecting node index.
+     */
+    std::function<void(int)> deliver;
+};
+
+} // namespace noc
+} // namespace dimmlink
+
+#endif // DIMMLINK_NOC_MESSAGE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * One DL group's interconnect: the TopologyGraph, a Router per DIMM
+ * and a pair of unidirectional Links per adjacent DIMM pair, assembled
+ * and exposed through a small injection/ejection API.
+ */
+
+#ifndef DIMMLINK_NOC_NETWORK_HH
+#define DIMMLINK_NOC_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "noc/link.hh"
+#include "noc/message.hh"
+#include "noc/router.hh"
+#include "noc/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace noc {
+
+class Network
+{
+  public:
+    Network(EventQueue &eq, std::string name, const LinkConfig &cfg,
+            unsigned nodes, stats::Registry &registry);
+
+    /**
+     * Try to inject @p msg at node msg.src. @return false when the
+     * injection port is out of buffer space; the caller should retry
+     * from its retry handler.
+     */
+    bool tryInject(Message msg);
+
+    /** Called whenever node @p node frees injection space. */
+    void setRetryHandler(int node, std::function<void()> h);
+
+    /** Default ejection handler for node (used when a message has no
+     * deliver callback of its own). */
+    void setEjectHandler(int node, std::function<void(Message)> h);
+
+    const TopologyGraph &graph() const { return topo; }
+    unsigned numNodes() const { return topo.numNodes(); }
+
+    /** Aggregate statistics for reporting. */
+    double totalLinkBusyPs() const;
+    std::uint64_t messagesDelivered() const;
+
+  private:
+    std::string name_;
+    LinkConfig cfg;
+    TopologyGraph topo;
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<std::unique_ptr<Link>> links;
+    stats::Registry &registry;
+    stats::Scalar &statInjected;
+    stats::Scalar &statInjectBlocked;
+    stats::Distribution &statLatencyPs;
+    EventQueue &eventq;
+};
+
+} // namespace noc
+} // namespace dimmlink
+
+#endif // DIMMLINK_NOC_NETWORK_HH

@@ -1,0 +1,228 @@
+#include "noc/topology.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace noc {
+
+TopologyGraph::TopologyGraph(Topology kind, unsigned nodes)
+    : kind_(kind), n(nodes), adj(nodes)
+{
+    if (nodes == 0)
+        fatal("topology needs at least one node");
+
+    switch (kind) {
+      case Topology::HalfRing:
+        for (unsigned i = 0; i + 1 < n; ++i)
+            addEdge(static_cast<int>(i), static_cast<int>(i + 1));
+        break;
+
+      case Topology::Ring:
+        for (unsigned i = 0; i + 1 < n; ++i)
+            addEdge(static_cast<int>(i), static_cast<int>(i + 1));
+        if (n > 2) {
+            addEdge(static_cast<int>(n - 1), 0);
+            cyclic_ = true;
+        }
+        break;
+
+      case Topology::Mesh:
+      case Topology::Torus: {
+        // Two facing rows of DIMM slots: 2 x (n/2) grid. Groups of
+        // one or two nodes degrade to a chain.
+        if (n <= 2) {
+            for (unsigned i = 0; i + 1 < n; ++i)
+                addEdge(static_cast<int>(i), static_cast<int>(i + 1));
+            break;
+        }
+        const unsigned cols = n / 2;
+        auto id = [cols](unsigned r, unsigned c) {
+            return static_cast<int>(r * cols + c);
+        };
+        for (unsigned r = 0; r < 2; ++r)
+            for (unsigned c = 0; c + 1 < cols; ++c)
+                addEdge(id(r, c), id(r, c + 1));
+        for (unsigned c = 0; c < cols; ++c)
+            addEdge(id(0, c), id(1, c));
+        if (kind == Topology::Torus && cols > 2) {
+            // Row wrap-around; the column wrap would duplicate the
+            // existing 2-row vertical edges.
+            for (unsigned r = 0; r < 2; ++r)
+                addEdge(id(r, 0), id(r, cols - 1));
+            cyclic_ = true;
+        }
+        break;
+      }
+    }
+
+    for (auto &list : adj)
+        std::sort(list.begin(), list.end());
+
+    computeRouting();
+}
+
+void
+TopologyGraph::addEdge(int a, int b)
+{
+    auto &la = adj[static_cast<std::size_t>(a)];
+    auto &lb = adj[static_cast<std::size_t>(b)];
+    if (std::find(la.begin(), la.end(), b) != la.end())
+        return;
+    la.push_back(b);
+    lb.push_back(a);
+}
+
+int
+TopologyGraph::gridNextHop(int node, int dst) const
+{
+    // Row-first ("XY") routing on the 2 x cols grid: move along the
+    // own row (with wrap on a torus) until the destination column,
+    // then take the single column hop. Row channels are the only
+    // rings, and packets never turn back into a row, which keeps the
+    // channel-dependency graph deadlock-free with bubble injection.
+    const unsigned cols = n / 2;
+    const unsigned row = static_cast<unsigned>(node) / cols;
+    const unsigned col = static_cast<unsigned>(node) % cols;
+    const unsigned drow = static_cast<unsigned>(dst) / cols;
+    const unsigned dcol = static_cast<unsigned>(dst) % cols;
+    auto id = [cols](unsigned r, unsigned c) {
+        return static_cast<int>(r * cols + c);
+    };
+
+    if (col == dcol)
+        return id(drow, dcol); // the column hop (or already there)
+
+    // Choose the shorter row direction (wrap allowed on torus).
+    const unsigned right = (dcol + cols - col) % cols;
+    const unsigned left = (col + cols - dcol) % cols;
+    bool go_right;
+    if (kind_ == Topology::Torus && cyclic_) {
+        go_right = right <= left;
+    } else {
+        go_right = dcol > col;
+    }
+    unsigned next_col;
+    if (go_right)
+        next_col = (col + 1) % cols;
+    else
+        next_col = (col + cols - 1) % cols;
+    return id(row, next_col);
+}
+
+void
+TopologyGraph::computeRouting()
+{
+    const unsigned big = 0xffffffff;
+    dist.assign(n, std::vector<unsigned>(n, big));
+    nextHop_.assign(n, std::vector<int>(n, -1));
+    bcastTree.assign(n, std::vector<std::vector<int>>(n));
+
+    const bool grid = (kind_ == Topology::Mesh ||
+                       kind_ == Topology::Torus) && n > 2;
+
+    if (grid) {
+        // Deterministic row-first routing.
+        for (unsigned s = 0; s < n; ++s) {
+            dist[s][s] = 0;
+            for (unsigned d = 0; d < n; ++d) {
+                if (s == d)
+                    continue;
+                // Walk the XY path to fill nextHop and distance.
+                int cur = static_cast<int>(s);
+                unsigned hops = 0;
+                int first = -1;
+                while (cur != static_cast<int>(d)) {
+                    const int nxt = gridNextHop(cur, static_cast<int>(d));
+                    if (first == -1)
+                        first = nxt;
+                    cur = nxt;
+                    if (++hops > n)
+                        panic("XY routing failed to converge");
+                }
+                nextHop_[s][d] = first;
+                dist[s][d] = hops;
+            }
+        }
+    } else {
+        // BFS shortest paths with lowest-index tie-breaking.
+        for (unsigned s = 0; s < n; ++s) {
+            std::vector<int> parent(n, -1);
+            auto &d = dist[s];
+            d[s] = 0;
+            std::queue<int> q;
+            q.push(static_cast<int>(s));
+            while (!q.empty()) {
+                const int u = q.front();
+                q.pop();
+                for (int v : adj[static_cast<std::size_t>(u)]) {
+                    if (d[static_cast<std::size_t>(v)] != big)
+                        continue;
+                    d[static_cast<std::size_t>(v)] =
+                        d[static_cast<std::size_t>(u)] + 1;
+                    parent[static_cast<std::size_t>(v)] = u;
+                    q.push(v);
+                }
+            }
+            for (unsigned v = 0; v < n; ++v) {
+                if (v == s)
+                    continue;
+                if (d[v] == big)
+                    fatal("topology %s with %u nodes is disconnected",
+                          toString(kind_), n);
+                int cur = static_cast<int>(v);
+                while (parent[static_cast<std::size_t>(cur)] !=
+                       static_cast<int>(s))
+                    cur = parent[static_cast<std::size_t>(cur)];
+                nextHop_[s][v] = cur;
+            }
+        }
+    }
+
+    // Broadcast trees: the union of the unicast paths from the
+    // source to every node, so broadcast copies follow the same
+    // (deadlock-managed) channel order as unicast traffic.
+    for (unsigned s = 0; s < n; ++s) {
+        for (unsigned v = 0; v < n; ++v) {
+            if (v == s)
+                continue;
+            int cur = static_cast<int>(s);
+            while (cur != static_cast<int>(v)) {
+                const int nxt = nextHop_[static_cast<std::size_t>(
+                    cur)][v];
+                auto &children =
+                    bcastTree[s][static_cast<std::size_t>(cur)];
+                if (std::find(children.begin(), children.end(),
+                              nxt) == children.end())
+                    children.push_back(nxt);
+                cur = nxt;
+            }
+        }
+        for (auto &children : bcastTree[s])
+            std::sort(children.begin(), children.end());
+    }
+}
+
+unsigned
+TopologyGraph::diameter() const
+{
+    unsigned d = 0;
+    for (unsigned a = 0; a < n; ++a)
+        for (unsigned b = 0; b < n; ++b)
+            d = std::max(d, dist[a][b]);
+    return d;
+}
+
+unsigned
+TopologyGraph::numDirectedLinks() const
+{
+    unsigned cnt = 0;
+    for (const auto &list : adj)
+        cnt += static_cast<unsigned>(list.size());
+    return cnt;
+}
+
+} // namespace noc
+} // namespace dimmlink

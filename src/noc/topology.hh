@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Topology construction and static routing for one DL group.
+ *
+ * The paper's practical prototype connects adjacent DIMMs in a chain
+ * ("Half-Ring"); Section VI explores Ring, Mesh, and Torus layouts of
+ * the same DIMMs. Routing is deterministic shortest-path (BFS with
+ * lowest-index tie-breaking); broadcast follows a per-source BFS
+ * spanning tree so each link carries the packet at most once.
+ */
+
+#ifndef DIMMLINK_NOC_TOPOLOGY_HH
+#define DIMMLINK_NOC_TOPOLOGY_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace dimmlink {
+namespace noc {
+
+/** The static structure of one group's network. */
+class TopologyGraph
+{
+  public:
+    /**
+     * Build the link set for @p nodes DIMMs under topology @p kind.
+     * Mesh/Torus arrange the group as 2 rows of nodes/2 columns,
+     * mirroring two facing rows of DIMM slots on a board.
+     */
+    TopologyGraph(Topology kind, unsigned nodes);
+
+    unsigned numNodes() const { return n; }
+    Topology kind() const { return kind_; }
+
+    /** Undirected adjacency: neighbors of @p node, sorted. */
+    const std::vector<int> &neighbors(int node) const
+    {
+        return adj[static_cast<std::size_t>(node)];
+    }
+
+    /** Next hop from @p node toward @p dst (== dst when adjacent). */
+    int nextHop(int node, int dst) const
+    {
+        return nextHop_[static_cast<std::size_t>(node)]
+                       [static_cast<std::size_t>(dst)];
+    }
+
+    /** Shortest-path hop distance between two nodes. */
+    unsigned distance(int a, int b) const
+    {
+        return dist[static_cast<std::size_t>(a)]
+                   [static_cast<std::size_t>(b)];
+    }
+
+    /** Children of @p node in the BFS broadcast tree rooted at @p src. */
+    const std::vector<int> &broadcastChildren(int src, int node) const
+    {
+        return bcastTree[static_cast<std::size_t>(src)]
+                        [static_cast<std::size_t>(node)];
+    }
+
+    /** Maximum shortest-path distance over all node pairs. */
+    unsigned diameter() const;
+
+    /** Total number of unidirectional links (2x undirected edges). */
+    unsigned numDirectedLinks() const;
+
+    /**
+     * True when the routed channel-dependency structure contains
+     * rings (Ring, and Torus rows): routers then apply bubble flow
+     * control to injected messages to stay deadlock-free.
+     */
+    bool cyclic() const { return cyclic_; }
+
+  private:
+    void addEdge(int a, int b);
+    void computeRouting();
+    /** Row-first (XY) next hop for Mesh/Torus nodes. */
+    int gridNextHop(int node, int dst) const;
+
+    Topology kind_;
+    unsigned n;
+    bool cyclic_ = false;
+    std::vector<std::vector<int>> adj;
+    std::vector<std::vector<int>> nextHop_;
+    std::vector<std::vector<unsigned>> dist;
+    /** bcastTree[src][node] = children to forward to. */
+    std::vector<std::vector<std::vector<int>>> bcastTree;
+};
+
+} // namespace noc
+} // namespace dimmlink
+
+#endif // DIMMLINK_NOC_TOPOLOGY_HH

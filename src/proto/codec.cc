@@ -1,0 +1,78 @@
+#include "proto/codec.hh"
+
+namespace dimmlink {
+namespace proto {
+
+namespace {
+
+Packet
+base(std::uint8_t src, std::uint8_t dst, DlCommand cmd, Addr addr,
+     std::uint8_t tag, unsigned bytes)
+{
+    Packet p;
+    p.src = src & 0x3f;
+    p.dst = dst & 0x3f;
+    p.cmd = cmd;
+    p.addr = addr & ((1ull << HeaderLayout::addrBits) - 1);
+    p.tag = tag & 0x3f;
+    p.payload.assign(bytes, 0);
+    return p;
+}
+
+} // namespace
+
+Packet
+Codec::makeReadReq(std::uint8_t src, std::uint8_t dst, Addr addr,
+                   std::uint8_t tag)
+{
+    return base(src, dst, DlCommand::ReadReq, addr, tag, 0);
+}
+
+Packet
+Codec::makeReadResp(std::uint8_t src, std::uint8_t dst, Addr addr,
+                    std::uint8_t tag, unsigned bytes)
+{
+    return base(src, dst, DlCommand::ReadResp, addr, tag, bytes);
+}
+
+Packet
+Codec::makeWriteReq(std::uint8_t src, std::uint8_t dst, Addr addr,
+                    std::uint8_t tag, unsigned bytes)
+{
+    return base(src, dst, DlCommand::WriteReq, addr, tag, bytes);
+}
+
+Packet
+Codec::makeWriteAck(std::uint8_t src, std::uint8_t dst, Addr addr,
+                    std::uint8_t tag)
+{
+    return base(src, dst, DlCommand::WriteAck, addr, tag, 0);
+}
+
+Packet
+Codec::makeBroadcast(std::uint8_t src, unsigned bytes, std::uint8_t tag)
+{
+    return base(src, 0, DlCommand::Broadcast, 0, tag, bytes);
+}
+
+Packet
+Codec::makeSyncMsg(std::uint8_t src, std::uint8_t dst, std::uint8_t tag)
+{
+    return base(src, dst, DlCommand::SyncMsg, 0, tag, 0);
+}
+
+std::vector<unsigned>
+Codec::segment(std::uint64_t bytes)
+{
+    std::vector<unsigned> sizes;
+    while (bytes > maxPayloadBytes) {
+        sizes.push_back(maxPayloadBytes);
+        bytes -= maxPayloadBytes;
+    }
+    if (bytes > 0 || sizes.empty())
+        sizes.push_back(static_cast<unsigned>(bytes));
+    return sizes;
+}
+
+} // namespace proto
+} // namespace dimmlink

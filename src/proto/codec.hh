@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The NW-Interface's transaction-layer codec: builders for the DL
+ * function packets plus the packetization/decode latency model the
+ * FPGA prototype of Section V-A measures (18 cycles of control logic
+ * per packet, with the CRC pipelined per flit in an ASIC).
+ */
+
+#ifndef DIMMLINK_PROTO_CODEC_HH
+#define DIMMLINK_PROTO_CODEC_HH
+
+#include "common/types.hh"
+#include "proto/packet.hh"
+
+namespace dimmlink {
+namespace proto {
+
+class Codec
+{
+  public:
+    /** Control-FSM cycles to generate or decode a packet (§V-A). */
+    static constexpr unsigned controlCycles = 18;
+    /** Pipelined CRC cycles per flit in the ASIC implementation. */
+    static constexpr unsigned crcCyclesPerFlit = 2;
+
+    /** Cycles to packetize @p p in the buffer chip. */
+    static unsigned
+    packetizeCycles(const Packet &p)
+    {
+        return controlCycles + crcCyclesPerFlit * p.numFlits();
+    }
+
+    /** Cycles to check + decode @p p at the destination. */
+    static unsigned
+    decodeCycles(const Packet &p)
+    {
+        return controlCycles + crcCyclesPerFlit * p.numFlits();
+    }
+
+    /** Remote read request: header-only packet. */
+    static Packet makeReadReq(std::uint8_t src, std::uint8_t dst,
+                              Addr addr, std::uint8_t tag);
+
+    /** Read-return data of @p bytes (zero-filled timing payload). */
+    static Packet makeReadResp(std::uint8_t src, std::uint8_t dst,
+                               Addr addr, std::uint8_t tag,
+                               unsigned bytes);
+
+    /** Remote write carrying @p bytes of data. */
+    static Packet makeWriteReq(std::uint8_t src, std::uint8_t dst,
+                               Addr addr, std::uint8_t tag,
+                               unsigned bytes);
+
+    static Packet makeWriteAck(std::uint8_t src, std::uint8_t dst,
+                               Addr addr, std::uint8_t tag);
+
+    /** Broadcast payload packet (DST ignored by routers). */
+    static Packet makeBroadcast(std::uint8_t src, unsigned bytes,
+                                std::uint8_t tag);
+
+    /** Synchronization message (single flit). */
+    static Packet makeSyncMsg(std::uint8_t src, std::uint8_t dst,
+                              std::uint8_t tag);
+
+    /**
+     * Split @p bytes of bulk data into maximal packets; the final
+     * packet carries the remainder.
+     * @return per-packet payload sizes.
+     */
+    static std::vector<unsigned> segment(std::uint64_t bytes);
+};
+
+} // namespace proto
+} // namespace dimmlink
+
+#endif // DIMMLINK_PROTO_CODEC_HH

@@ -1,0 +1,180 @@
+#include "proto/dll.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace proto {
+
+namespace {
+
+/** Build a best-effort NACK from a possibly damaged wire image. */
+Packet
+makeNack(const std::vector<std::uint8_t> &image)
+{
+    Packet hdr;
+    std::uint64_t h = 0;
+    for (unsigned i = 0; i < 8 && i < image.size(); ++i)
+        h |= static_cast<std::uint64_t>(image[i]) << (8 * i);
+    decodeHeader(h, hdr);
+
+    Packet nack;
+    nack.src = hdr.dst;
+    nack.dst = hdr.src;
+    nack.cmd = DlCommand::DllNack;
+    nack.tag = hdr.tag;
+    // The sequence number rides in the tail's DLL word.
+    std::uint32_t dll = 0;
+    for (unsigned i = 0; i < 4 && 12 + i < image.size(); ++i)
+        dll |= static_cast<std::uint32_t>(image[12 + i]) << (8 * i);
+    nack.dll = dll & 0xffff;
+    return nack;
+}
+
+} // namespace
+
+RetrySender::RetrySender(EventQueue &eq, Tick timeout_ps,
+                         unsigned max_retries, stats::Group &sg)
+    : eventq(eq),
+      timeout(timeout_ps),
+      maxRetries(max_retries),
+      statSent(sg.scalar("dllSent")),
+      statAcked(sg.scalar("dllAcked")),
+      statRetries(sg.scalar("dllRetries")),
+      statFailures(sg.scalar("dllFailures"))
+{
+}
+
+void
+RetrySender::send(Packet pkt, TransmitFn transmit,
+                  std::function<void()> on_acked,
+                  std::function<void()> on_failed)
+{
+    const std::uint16_t seq = nextSeq++;
+    pkt.dll = (pkt.dll & 0xffff0000u) | seq;
+
+    Entry e;
+    e.pkt = pkt;
+    e.transmit = std::move(transmit);
+    e.onAcked = std::move(on_acked);
+    e.onFailed = std::move(on_failed);
+    auto [it, inserted] = pending.emplace(seq, std::move(e));
+    if (!inserted)
+        panic("DLL sequence number %u wrapped while still in flight",
+              seq);
+
+    ++statSent;
+    it->second.transmit(it->second.pkt);
+    armTimer(seq);
+}
+
+void
+RetrySender::armTimer(std::uint16_t seq)
+{
+    auto it = pending.find(seq);
+    if (it == pending.end())
+        return;
+    it->second.timerId = eventq.scheduleIn(
+        timeout, [this, seq] { onTimeout(seq); },
+        EventPriority::Control);
+}
+
+void
+RetrySender::onTimeout(std::uint16_t seq)
+{
+    auto it = pending.find(seq);
+    if (it == pending.end())
+        return; // ACKed in the meantime.
+    retransmit(seq);
+}
+
+void
+RetrySender::retransmit(std::uint16_t seq)
+{
+    auto it = pending.find(seq);
+    if (it == pending.end())
+        return;
+    Entry &e = it->second;
+    if (e.tries >= maxRetries) {
+        ++statFailures;
+        auto failed = std::move(e.onFailed);
+        pending.erase(it);
+        if (failed)
+            failed();
+        else
+            panic("DL link failed permanently after %u retries",
+                  maxRetries);
+        return;
+    }
+    ++e.tries;
+    ++statRetries;
+    e.transmit(e.pkt);
+    armTimer(seq);
+}
+
+void
+RetrySender::onControl(const Packet &ctrl)
+{
+    const auto seq = static_cast<std::uint16_t>(ctrl.dll & 0xffff);
+    auto it = pending.find(seq);
+    if (it == pending.end())
+        return; // Stale control packet (late duplicate ACK).
+
+    if (ctrl.cmd == DlCommand::DllAck) {
+        eventq.deschedule(it->second.timerId);
+        ++statAcked;
+        auto acked = std::move(it->second.onAcked);
+        pending.erase(it);
+        if (acked)
+            acked();
+    } else if (ctrl.cmd == DlCommand::DllNack) {
+        eventq.deschedule(it->second.timerId);
+        retransmit(seq);
+    } else {
+        panic("non-control packet %s fed to RetrySender",
+              toString(ctrl.cmd));
+    }
+}
+
+RetryReceiver::RetryReceiver(stats::Group &sg)
+    : statValid(sg.scalar("dllValid")),
+      statCorrupt(sg.scalar("dllCorrupt")),
+      statDuplicates(sg.scalar("dllDuplicates"))
+{
+}
+
+bool
+RetryReceiver::onArrive(const std::vector<std::uint8_t> &wire,
+                        bool corrupted, Packet &out, Packet &ack)
+{
+    std::vector<std::uint8_t> image = wire;
+    if (corrupted && !image.empty())
+        image[image.size() / 2] ^= 0x10;
+
+    if (!decode(image, out)) {
+        ++statCorrupt;
+        // Best effort NACK: the header may itself be damaged, but the
+        // sender also has the timeout as a backstop.
+        ack = makeNack(image);
+        return false;
+    }
+
+    ++statValid;
+    ack.src = out.dst;
+    ack.dst = out.src;
+    ack.cmd = DlCommand::DllAck;
+    ack.tag = out.tag;
+    ack.dll = out.dll & 0xffff;
+
+    const auto key = std::make_pair(out.src,
+                                    static_cast<std::uint16_t>(
+                                        out.dll & 0xffff));
+    if (seen.count(key)) {
+        ++statDuplicates;
+        return false; // Re-ACK but do not re-deliver.
+    }
+    seen[key] = true;
+    return true;
+}
+
+} // namespace proto
+} // namespace dimmlink

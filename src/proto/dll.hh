@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Data Link Layer retry control (Section III-B): every transaction
+ * packet is CRC-checked at the destination; an ACK flows back on
+ * success, a NACK (or silence) triggers retransmission from the
+ * source after a timeout, bounded by a retry budget.
+ */
+
+#ifndef DIMMLINK_PROTO_DLL_HH
+#define DIMMLINK_PROTO_DLL_HH
+
+#include <functional>
+#include <map>
+
+#include "common/stats.hh"
+#include "proto/packet.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace proto {
+
+/**
+ * Sender-side retry state for one DIMM's DL-Controller. Sequence
+ * numbers live in the low 16 bits of the DLL field.
+ */
+class RetrySender
+{
+  public:
+    /** Invoked to (re)transmit a packet on the wire. */
+    using TransmitFn = std::function<void(const Packet &)>;
+
+    RetrySender(EventQueue &eq, Tick timeout_ps, unsigned max_retries,
+                stats::Group &sg);
+
+    /**
+     * Send @p pkt reliably. @p transmit is called immediately and
+     * again on every retry; @p on_acked fires when the ACK arrives;
+     * @p on_failed fires after the retry budget is exhausted.
+     */
+    void send(Packet pkt, TransmitFn transmit,
+              std::function<void()> on_acked,
+              std::function<void()> on_failed = nullptr);
+
+    /** Feed an arriving DllAck / DllNack to the sender. */
+    void onControl(const Packet &ctrl);
+
+    /** Outstanding unacknowledged packets. */
+    std::size_t inFlight() const { return pending.size(); }
+
+  private:
+    struct Entry
+    {
+        Packet pkt;
+        TransmitFn transmit;
+        std::function<void()> onAcked;
+        std::function<void()> onFailed;
+        unsigned tries = 0;
+        std::uint64_t timerId = 0;
+    };
+
+    void armTimer(std::uint16_t seq);
+    void onTimeout(std::uint16_t seq);
+    void retransmit(std::uint16_t seq);
+
+    EventQueue &eventq;
+    Tick timeout;
+    unsigned maxRetries;
+    std::map<std::uint16_t, Entry> pending;
+    std::uint16_t nextSeq = 0;
+
+    stats::Scalar &statSent;
+    stats::Scalar &statAcked;
+    stats::Scalar &statRetries;
+    stats::Scalar &statFailures;
+};
+
+/**
+ * Receiver-side helper: validates the wire image (optionally through
+ * an injected corruption), builds the matching ACK/NACK, and filters
+ * duplicate deliveries caused by retransmitted packets whose original
+ * ACK was lost.
+ */
+class RetryReceiver
+{
+  public:
+    explicit RetryReceiver(stats::Group &sg);
+
+    /**
+     * Process an arriving transaction packet's wire image.
+     * @param corrupted true when the transport flipped bits en route.
+     * @param out decoded packet (valid only when the result is true).
+     * @param ack filled with the control packet to send back.
+     * @return true when @p out should be delivered upward (first
+     *         valid arrival of this sequence number).
+     */
+    bool onArrive(const std::vector<std::uint8_t> &wire, bool corrupted,
+                  Packet &out, Packet &ack);
+
+  private:
+    /** Sequence numbers already delivered (per source DIMM). */
+    std::map<std::pair<std::uint8_t, std::uint16_t>, bool> seen;
+
+    stats::Scalar &statValid;
+    stats::Scalar &statCorrupt;
+    stats::Scalar &statDuplicates;
+};
+
+} // namespace proto
+} // namespace dimmlink
+
+#endif // DIMMLINK_PROTO_DLL_HH

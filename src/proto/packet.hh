@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The DIMM-Link packet of Fig. 3: a 64-bit header (SRC, DST, CMD,
+ * ADDR, TAG, LEN), an optional payload, and a tail carrying a 32-bit
+ * CRC plus the 32-bit DLL field (ack/retry sequence + credits). The
+ * packet is sliced into 128-bit flits; header and tail together occupy
+ * exactly one flit, so a zero-payload packet is a single flit and a
+ * maximal packet is 1 + 256/16 = 17 flits (within the paper's 32-flit
+ * bound; LEN is the 5-bit payload flit count).
+ */
+
+#ifndef DIMMLINK_PROTO_PACKET_HH
+#define DIMMLINK_PROTO_PACKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace proto {
+
+/** 4-bit CMD field values (the Function Layer's DL functions). */
+enum class DlCommand : std::uint8_t {
+    ReadReq = 0,   ///< Remote memory read request (no payload).
+    ReadResp = 1,  ///< Read-return data.
+    WriteReq = 2,  ///< Remote memory write (payload = data).
+    WriteAck = 3,  ///< Write completion acknowledgement.
+    Broadcast = 4, ///< Explicit-API broadcast data.
+    SyncMsg = 5,   ///< Synchronization message (barriers/locks).
+    FwdReq = 6,    ///< CPU-forwarding registration (polling proxy).
+    DllAck = 7,    ///< Data-link-layer ACK for retry control.
+    DllNack = 8,   ///< CRC failure: request retransmission.
+};
+
+const char *toString(DlCommand c);
+
+/** Field widths of the 64-bit header. */
+struct HeaderLayout
+{
+    static constexpr unsigned srcBits = 6;
+    static constexpr unsigned dstBits = 6;
+    static constexpr unsigned cmdBits = 4;
+    static constexpr unsigned addrBits = 37;
+    static constexpr unsigned tagBits = 6;
+    static constexpr unsigned lenBits = 5;
+    static_assert(srcBits + dstBits + cmdBits + addrBits + tagBits +
+                  lenBits == 64);
+};
+
+/** Geometry constants. */
+constexpr unsigned flitBytes = 16;     ///< 128-bit flits.
+constexpr unsigned maxPayloadBytes = 256;
+constexpr unsigned maxPayloadFlits = maxPayloadBytes / flitBytes;
+
+/** A decoded (in-memory) DL packet. */
+struct Packet
+{
+    std::uint8_t src = 0;
+    std::uint8_t dst = 0;
+    DlCommand cmd = DlCommand::ReadReq;
+    /** 37-bit DIMM-local address (the DIMM id bits live in SRC/DST). */
+    std::uint64_t addr = 0;
+    std::uint8_t tag = 0;
+    std::vector<std::uint8_t> payload;
+    /** DLL field: low 16 bits = sequence number, high 16 = credits. */
+    std::uint32_t dll = 0;
+
+    /** Payload flit count (the LEN field). */
+    unsigned
+    payloadFlits() const
+    {
+        return static_cast<unsigned>(
+            (payload.size() + flitBytes - 1) / flitBytes);
+    }
+
+    /** Total flits on the wire (header/tail flit + payload flits). */
+    unsigned numFlits() const { return 1 + payloadFlits(); }
+
+    /** Total bytes on the wire. */
+    unsigned wireBytes() const { return numFlits() * flitBytes; }
+
+    bool
+    operator==(const Packet &o) const
+    {
+        return src == o.src && dst == o.dst && cmd == o.cmd &&
+               addr == o.addr && tag == o.tag && dll == o.dll &&
+               payload == o.payload;
+    }
+};
+
+/** Pack the six header fields into the 64-bit header word. */
+std::uint64_t encodeHeader(const Packet &p);
+
+/** Unpack a 64-bit header word into @p p (payload untouched). */
+void decodeHeader(std::uint64_t header, Packet &p);
+
+/**
+ * Serialize to the wire format: header word, payload padded to whole
+ * flits, tail word (CRC32 over header+payload, then the DLL field).
+ */
+std::vector<std::uint8_t> encode(const Packet &p);
+
+/**
+ * Parse a wire buffer. @return true and fill @p out when the CRC
+ * validates; false on corruption (the caller sends DllNack). The
+ * recovered payload is LEN x 16 bytes (flit-padded form); semantic
+ * lengths are tracked by the transaction layer.
+ */
+bool decode(const std::vector<std::uint8_t> &wire, Packet &out);
+
+} // namespace proto
+} // namespace dimmlink
+
+#endif // DIMMLINK_PROTO_PACKET_HH

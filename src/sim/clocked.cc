@@ -1,0 +1,7 @@
+#include "sim/clocked.hh"
+
+// Clocked is header-only today; this translation unit anchors the
+// vtable so the class has a single home object file.
+
+namespace dimmlink {
+} // namespace dimmlink

@@ -1,0 +1,71 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    if (when < currentTick)
+        panic("scheduling event at tick %llu before now (%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(currentTick));
+    const std::uint64_t id = nextSeq++;
+    heap.push(Event{when, static_cast<int>(prio), id, std::move(cb)});
+    pending.insert(id);
+    return id;
+}
+
+void
+EventQueue::deschedule(std::uint64_t id)
+{
+    // Lazy deletion: mark the id dead; skip it when it surfaces.
+    // Idempotent, and a no-op for ids that already fired.
+    pending.erase(id);
+}
+
+void
+EventQueue::pump()
+{
+    while (!heap.empty() && pending.count(heap.top().seq) == 0)
+        heap.pop();
+}
+
+bool
+EventQueue::step()
+{
+    pump();
+    if (heap.empty())
+        return false;
+    // Move the callback out before popping so it can reschedule freely.
+    Event ev = std::move(const_cast<Event &>(heap.top()));
+    heap.pop();
+    pending.erase(ev.seq);
+    currentTick = ev.when;
+    ++executedCount;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return currentTick;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    for (;;) {
+        pump();
+        if (heap.empty() || heap.top().when > limit)
+            break;
+        step();
+    }
+    return currentTick;
+}
+
+} // namespace dimmlink

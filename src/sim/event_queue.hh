@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The discrete-event simulation kernel. A single global EventQueue per
+ * System orders callbacks by (tick, priority, insertion sequence), which
+ * makes every simulation bit-for-bit deterministic.
+ */
+
+#ifndef DIMMLINK_SIM_EVENT_QUEUE_HH
+#define DIMMLINK_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+
+/**
+ * Event priorities; lower values fire first within the same tick.
+ * The defaults follow the dependency order of one simulated cycle:
+ * links deliver, then controllers react, then cores observe.
+ */
+enum class EventPriority : int {
+    Delivery = 0,  ///< Flit/packet arrival, DRAM data return.
+    Control = 10,  ///< Controller state machines, arbiters.
+    Core = 20,     ///< Core op issue/retire.
+    Stat = 30,     ///< End-of-interval statistics sampling.
+    Default = 50,
+};
+
+/**
+ * The global event queue. Not thread-safe: one queue drives one System.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @pre when >= now(); scheduling in the past is a simulator bug.
+     * @return an id usable with deschedule().
+     */
+    std::uint64_t schedule(Tick when, Callback cb,
+                           EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    std::uint64_t
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(currentTick + delta, std::move(cb), prio);
+    }
+
+    /** Cancel a previously scheduled event; idempotent. */
+    void deschedule(std::uint64_t id);
+
+    /** True when no live events remain. */
+    bool empty() const { return pending.empty(); }
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t size() const { return pending.size(); }
+
+    /** Execute events until the queue drains. @return final tick. */
+    Tick run();
+
+    /**
+     * Execute events with tick <= limit. Events scheduled at exactly
+     * @p limit do fire. @return the tick of the last executed event.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute exactly one event if present. @return true if fired. */
+    bool step();
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executedCount; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    void pump();
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    std::unordered_set<std::uint64_t> pending;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executedCount = 0;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The barrier endpoint interface the NMP cores synchronize through.
+ * Implementations (sync/sync_manager.hh) realize the centralized and
+ * hierarchical message-passing schemes of Section III-D.
+ */
+
+#ifndef DIMMLINK_SYNC_BARRIER_HH
+#define DIMMLINK_SYNC_BARRIER_HH
+
+#include <functional>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+
+class BarrierEndpoint
+{
+  public:
+    virtual ~BarrierEndpoint() = default;
+
+    /**
+     * Thread @p tid on DIMM @p dimm reached the barrier. @p release
+     * is invoked once every participating thread has arrived and the
+     * release notification has propagated back.
+     */
+    virtual void arrive(ThreadId tid, DimmId dimm,
+                        std::function<void()> release) = 0;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SYNC_BARRIER_HH

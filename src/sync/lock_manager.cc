@@ -1,0 +1,105 @@
+#include "sync/lock_manager.hh"
+
+#include "common/log.hh"
+
+namespace dimmlink {
+
+LockManager::LockManager(EventQueue &eq, const SystemConfig &cfg_,
+                         idc::Fabric *fabric_, stats::Registry &reg)
+    : eventq(eq),
+      cfg(cfg_),
+      fabric(fabric_),
+      statAcquires(reg.group("sync.locks").scalar("acquires")),
+      statContended(reg.group("sync.locks").scalar("contended"))
+{
+}
+
+void
+LockManager::createLock(LockId id, DimmId home)
+{
+    if (locks.count(id))
+        panic("lock %u already exists", id);
+    locks[id].home = home;
+}
+
+void
+LockManager::message(DimmId src, DimmId dst,
+                     std::function<void()> done)
+{
+    if (src == dst) {
+        eventq.scheduleIn(50 * tickPerNs, std::move(done),
+                          EventPriority::Control);
+        return;
+    }
+    idc::Transaction t;
+    t.type = idc::Transaction::Type::SyncMessage;
+    t.src = src;
+    t.dst = dst;
+    t.bytes = 16;
+    t.onComplete = std::move(done);
+    fabric->submit(std::move(t));
+}
+
+void
+LockManager::acquire(LockId id, DimmId dimm,
+                     std::function<void()> granted)
+{
+    auto it = locks.find(id);
+    if (it == locks.end())
+        panic("acquire of unknown lock %u", id);
+    Lock &lock = it->second;
+
+    // Request message to the home DIMM; the home enqueues/grants.
+    message(dimm, lock.home,
+            [this, id, dimm, granted = std::move(granted)]() mutable {
+                Lock &lock = locks.at(id);
+                ++statAcquires;
+                if (lock.held) {
+                    ++statContended;
+                    lock.waiters.emplace_back(dimm,
+                                              std::move(granted));
+                    return;
+                }
+                lock.held = true;
+                // Grant message travels back to the requester.
+                message(lock.home, dimm, std::move(granted));
+            });
+}
+
+void
+LockManager::release(LockId id, DimmId dimm)
+{
+    auto it = locks.find(id);
+    if (it == locks.end())
+        panic("release of unknown lock %u", id);
+    Lock &lock = it->second;
+    if (!lock.held)
+        panic("release of lock %u that is not held", id);
+
+    message(dimm, lock.home, [this, id] { grantNext(id); });
+}
+
+void
+LockManager::grantNext(LockId id)
+{
+    Lock &lock = locks.at(id);
+    if (lock.waiters.empty()) {
+        lock.held = false;
+        return;
+    }
+    auto [dimm, granted] = std::move(lock.waiters.front());
+    lock.waiters.pop_front();
+    // Ownership passes directly to the next waiter.
+    message(lock.home, dimm, std::move(granted));
+}
+
+bool
+LockManager::idle(LockId id) const
+{
+    const auto it = locks.find(id);
+    if (it == locks.end())
+        return true;
+    return !it->second.held && it->second.waiters.empty();
+}
+
+} // namespace dimmlink

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Message-passing lock support (Section III-B lists synchronization
+ * among the DL functions; prior NMP systems use both barriers and
+ * locks). Each lock is homed on a DIMM; acquire/release requests are
+ * single-flit DL messages to the home, which maintains a FIFO grant
+ * queue — a queue lock in the spirit of SynCron/plock, with no
+ * spinning traffic on the fabric.
+ */
+
+#ifndef DIMMLINK_SYNC_LOCK_MANAGER_HH
+#define DIMMLINK_SYNC_LOCK_MANAGER_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "idc/fabric.hh"
+
+namespace dimmlink {
+
+class LockManager
+{
+  public:
+    using LockId = std::uint32_t;
+
+    LockManager(EventQueue &eq, const SystemConfig &cfg,
+                idc::Fabric *fabric, stats::Registry &reg);
+
+    /** Declare a lock homed on DIMM @p home. */
+    void createLock(LockId id, DimmId home);
+
+    /**
+     * Request the lock from a thread running on @p dimm; @p granted
+     * fires once the home DIMM has granted ownership and the grant
+     * message has returned.
+     */
+    void acquire(LockId id, DimmId dimm,
+                 std::function<void()> granted);
+
+    /** Release the lock; the next waiter (if any) is granted. */
+    void release(LockId id, DimmId dimm);
+
+    /** True when nobody holds or waits for the lock. */
+    bool idle(LockId id) const;
+
+    std::uint64_t
+    acquisitions() const
+    {
+        return static_cast<std::uint64_t>(statAcquires.value());
+    }
+
+  private:
+    struct Lock
+    {
+        DimmId home = 0;
+        bool held = false;
+        std::deque<std::pair<DimmId, std::function<void()>>> waiters;
+    };
+
+    /** One-flit control message src -> dst, then @p done. */
+    void message(DimmId src, DimmId dst, std::function<void()> done);
+    void grantNext(LockId id);
+
+    EventQueue &eventq;
+    const SystemConfig &cfg;
+    idc::Fabric *fabric;
+    std::map<LockId, Lock> locks;
+
+    stats::Scalar &statAcquires;
+    stats::Scalar &statContended;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SYNC_LOCK_MANAGER_HH

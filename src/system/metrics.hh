@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Result records shared by the runners and the bench harnesses: the
+ * metrics the paper's evaluation section reports.
+ */
+
+#ifndef DIMMLINK_SYSTEM_METRICS_HH
+#define DIMMLINK_SYSTEM_METRICS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace dimmlink {
+
+/** Outcome of one kernel execution. */
+struct RunResult
+{
+    /** Wall-clock simulated kernel time (including any profiling
+     * phase, as the paper reports). */
+    Tick kernelTicks = 0;
+    /** Portion spent in the task-mapping profiling phase. */
+    Tick profilingTicks = 0;
+    /** Sum over cores of remote-attributed stall time. */
+    double idcStallPs = 0;
+    /** Sum over cores of barrier wait time. */
+    double barrierPs = 0;
+    /** kernelTicks x active cores: denominator for stall ratios. */
+    double coreTimePs = 0;
+    /** Ratio of non-overlapped IDC cycles (the Fig. 10 line plot). */
+    double
+    idcStallRatio() const
+    {
+        return coreTimePs > 0 ? idcStallPs / coreTimePs : 0;
+    }
+
+    std::uint64_t instructions = 0;
+    bool verified = false;
+
+    /** Traffic breakdown (Fig. 11). */
+    double localBytes = 0;
+    double linkBytes = 0;
+    double hostBytes = 0;
+    double busBytes = 0;
+
+    /** Memory-bus occupancy during the kernel (Fig. 15-b). */
+    double busOccupancy = 0;
+
+    EnergyReport energy;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SYSTEM_METRICS_HH

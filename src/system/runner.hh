@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Drives one NMP kernel through the coarse-grained execution flow:
+ * thread placement, NA-mode entry, optional profiling + distance-
+ * aware remapping (migration-by-restart), completion detection, and
+ * metric collection.
+ */
+
+#ifndef DIMMLINK_SYSTEM_RUNNER_HH
+#define DIMMLINK_SYSTEM_RUNNER_HH
+
+#include <memory>
+#include <vector>
+
+#include "mapping/profiler.hh"
+#include "system/metrics.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+
+class Runner
+{
+  public:
+    Runner(System &sys, workloads::Workload &wl);
+
+    /** Execute the kernel to completion and collect metrics. */
+    RunResult run();
+
+    /** The placement used for the (final phase of the) run. */
+    const std::vector<DimmId> &placement() const { return currentMap; }
+
+  private:
+    std::vector<DimmId> defaultPlacement() const;
+    void launch(const std::vector<DimmId> &map);
+    void attachProbes(mapping::TrafficProfiler &prof,
+                      std::uint64_t ref_limit);
+    void detachProbes();
+    void migrate();
+
+    System &sys;
+    workloads::Workload &wl;
+    std::vector<DimmId> currentMap;
+    unsigned threadsDone = 0;
+    bool allDone = false;
+    bool migrationPending = false;
+    std::unique_ptr<mapping::TrafficProfiler> profiler;
+    Tick profileEndTick = 0;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SYSTEM_RUNNER_HH

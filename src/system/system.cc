@@ -1,0 +1,122 @@
+#include "system/system.hh"
+
+#include "common/log.hh"
+#include "dram/timing.hh"
+
+namespace dimmlink {
+
+System::System(SystemConfig cfg_) : cfg(std::move(cfg_))
+{
+    cfg.validate();
+
+    gmap = std::make_unique<dram::GlobalAddressMap>(
+        cfg.numDimms, cfg.dimm.capacityBytes);
+
+    for (unsigned c = 0; c < cfg.numChannels; ++c) {
+        const std::string name =
+            "host.channel" + std::to_string(c);
+        channels.push_back(std::make_unique<host::Channel>(
+            eventq, name, cfg.host.channelGBps,
+            registry.group(name)));
+    }
+
+    std::vector<host::Channel *> chan_ptrs;
+    for (auto &ch : channels)
+        chan_ptrs.push_back(ch.get());
+    fabric_ = idc::makeFabric(eventq, cfg, chan_ptrs, registry);
+
+    const dram::Timing timing = dram::Timing::preset(cfg.dramPreset);
+    for (unsigned d = 0; d < cfg.numDimms; ++d)
+        dimms.push_back(std::make_unique<Dimm>(
+            eventq, static_cast<DimmId>(d), cfg, timing, *gmap,
+            registry));
+
+    sync_ = std::make_unique<SyncManager>(eventq, cfg, fabric_.get(),
+                                          registry);
+
+    // Wire remote memory accesses into the destination DIMM's MC.
+    fabric_->setMemAccess([this](DimmId d, Addr addr,
+                                 std::uint32_t bytes, bool is_write,
+                                 std::function<void()> done) {
+        dimms[d]->localMc().remoteAccess(addr, bytes, is_write,
+                                         std::move(done));
+    });
+
+    for (auto &dimm : dimms)
+        dimm->connect(fabric_.get(), sync_.get(), gmap.get());
+}
+
+System::~System() = default;
+
+void
+System::enterNmpMode()
+{
+    if (nmpMode)
+        panic("already in NMP-Access mode");
+    nmpMode = true;
+    fabric_->enterNmpMode();
+}
+
+void
+System::exitNmpMode()
+{
+    if (!nmpMode)
+        panic("not in NMP-Access mode");
+    nmpMode = false;
+    fabric_->exitNmpMode();
+    // Kernel end: NMP caches flush so the host sees fresh DRAM.
+    for (auto &dimm : dimms)
+        dimm->flushCaches();
+}
+
+Tick
+System::hostAccess(Addr global, std::uint64_t bytes, bool is_write)
+{
+    if (nmpMode)
+        panic("host DRAM access while the DIMMs are in NMP-Access "
+              "mode (Section III-E forbids concurrent access)");
+    const Tick start = eventq.now();
+    const unsigned line = cfg.dimm.lineBytes;
+    std::uint64_t outstanding = 0;
+
+    for (Addr a = global; a < global + bytes; a += line) {
+        const DimmId d = gmap->dimmOf(a);
+        // The burst crosses the DIMM's channel, then the DIMM's DRAM
+        // performs the access (the host MC owns the devices in HA
+        // mode, but the same rank timing applies).
+        channels[cfg.channelOf(d)]->transfer(line);
+        ++outstanding;
+        dimms[d]->localMc().remoteAccess(
+            gmap->localOf(a), line, is_write, [&outstanding] {
+                --outstanding;
+            });
+    }
+    while (outstanding > 0 && eventq.step()) {
+    }
+    if (outstanding > 0)
+        panic("host access did not drain");
+    return eventq.now() - start;
+}
+
+Tick
+System::hostLoad(Addr global, std::uint64_t bytes)
+{
+    return hostAccess(global, bytes, /*is_write=*/true);
+}
+
+Tick
+System::hostReadback(Addr global, std::uint64_t bytes)
+{
+    return hostAccess(global, bytes, /*is_write=*/false);
+}
+
+double
+System::channelBusyPs() const
+{
+    double sum = 0;
+    for (const auto &ch : channels)
+        sum += ch->busyPs();
+    return sum;
+}
+
+} // namespace dimmlink

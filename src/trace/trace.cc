@@ -1,0 +1,159 @@
+#include "trace/trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace trace {
+
+namespace {
+
+constexpr std::uint32_t traceMagic = 0x444c5452; // "DLTR"
+constexpr std::uint32_t traceVersion = 1;
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        fatal("truncated trace stream");
+    return v;
+}
+
+} // namespace
+
+void
+ThreadTrace::save(std::ostream &os) const
+{
+    put(os, traceMagic);
+    put(os, traceVersion);
+    put(os, static_cast<std::uint64_t>(ops.size()));
+    for (const Op &op : ops) {
+        put(os, static_cast<std::uint8_t>(op.kind));
+        switch (op.kind) {
+          case Op::Kind::Compute:
+            put(os, op.instructions);
+            break;
+          case Op::Kind::Mem:
+            put(os, static_cast<std::uint8_t>(op.fenceAfter));
+            put(os, static_cast<std::uint32_t>(op.refs.size()));
+            for (const MemRef &r : op.refs) {
+                put(os, r.addr);
+                put(os, r.bytes);
+                put(os, static_cast<std::uint8_t>(r.isWrite));
+                put(os, static_cast<std::uint8_t>(r.cls));
+            }
+            break;
+          case Op::Kind::Broadcast:
+            put(os, op.bcastAddr);
+            put(os, op.bcastBytes);
+            break;
+          case Op::Kind::Barrier:
+          case Op::Kind::Done:
+            break;
+        }
+    }
+}
+
+ThreadTrace
+ThreadTrace::load(std::istream &is)
+{
+    if (get<std::uint32_t>(is) != traceMagic)
+        fatal("not a DIMM-Link trace (bad magic)");
+    if (get<std::uint32_t>(is) != traceVersion)
+        fatal("unsupported trace version");
+    const auto count = get<std::uint64_t>(is);
+
+    ThreadTrace t;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Op op;
+        op.kind = static_cast<Op::Kind>(get<std::uint8_t>(is));
+        switch (op.kind) {
+          case Op::Kind::Compute:
+            op.instructions = get<std::uint64_t>(is);
+            break;
+          case Op::Kind::Mem: {
+            op.fenceAfter = get<std::uint8_t>(is) != 0;
+            const auto n = get<std::uint32_t>(is);
+            op.refs.reserve(n);
+            for (std::uint32_t r = 0; r < n; ++r) {
+                MemRef ref;
+                ref.addr = get<Addr>(is);
+                ref.bytes = get<std::uint16_t>(is);
+                ref.isWrite = get<std::uint8_t>(is) != 0;
+                ref.cls =
+                    static_cast<DataClass>(get<std::uint8_t>(is));
+                op.refs.push_back(ref);
+            }
+            break;
+          }
+          case Op::Kind::Broadcast:
+            op.bcastAddr = get<Addr>(is);
+            op.bcastBytes = get<std::uint64_t>(is);
+            break;
+          case Op::Kind::Barrier:
+          case Op::Kind::Done:
+            break;
+        }
+        t.ops.push_back(std::move(op));
+    }
+    return t;
+}
+
+bool
+ThreadTrace::operator==(const ThreadTrace &o) const
+{
+    if (ops.size() != o.ops.size())
+        return false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &a = ops[i];
+        const Op &b = o.ops[i];
+        if (a.kind != b.kind || a.instructions != b.instructions ||
+            a.fenceAfter != b.fenceAfter ||
+            a.bcastAddr != b.bcastAddr ||
+            a.bcastBytes != b.bcastBytes ||
+            a.refs.size() != b.refs.size())
+            return false;
+        for (std::size_t r = 0; r < a.refs.size(); ++r) {
+            const MemRef &x = a.refs[r];
+            const MemRef &y = b.refs[r];
+            if (x.addr != y.addr || x.bytes != y.bytes ||
+                x.isWrite != y.isWrite || x.cls != y.cls)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+ThreadTrace::memRefs() const
+{
+    std::uint64_t n = 0;
+    for (const Op &op : ops)
+        n += op.refs.size();
+    return n;
+}
+
+std::uint64_t
+ThreadTrace::instructions() const
+{
+    std::uint64_t n = 0;
+    for (const Op &op : ops)
+        if (op.kind == Op::Kind::Compute)
+            n += op.instructions;
+    return n;
+}
+
+} // namespace trace
+} // namespace dimmlink

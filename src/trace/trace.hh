@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Op-stream trace capture and replay. The paper's FPGA prototype
+ * (Section V-A) is driven by pre-dumped memory traces; this module
+ * provides the same capability for the simulator: record the op
+ * stream a workload thread emits into a compact binary format, then
+ * replay it later without the workload (useful for regression-exact
+ * performance experiments and for feeding external tools).
+ */
+
+#ifndef DIMMLINK_TRACE_TRACE_HH
+#define DIMMLINK_TRACE_TRACE_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dimm/op.hh"
+
+namespace dimmlink {
+namespace trace {
+
+/** A fully materialized single-thread trace. */
+class ThreadTrace
+{
+  public:
+    void append(const Op &op) { ops.push_back(op); }
+
+    std::size_t size() const { return ops.size(); }
+    const Op &at(std::size_t i) const { return ops[i]; }
+
+    /** Serialize to a stream (versioned binary format). */
+    void save(std::ostream &os) const;
+
+    /** Parse from a stream; fatal() on format errors. */
+    static ThreadTrace load(std::istream &is);
+
+    bool operator==(const ThreadTrace &o) const;
+
+    /** Total memory references across all Mem ops. */
+    std::uint64_t memRefs() const;
+
+    /** Total Compute instructions. */
+    std::uint64_t instructions() const;
+
+  private:
+    std::vector<Op> ops;
+};
+
+/**
+ * Wraps a ThreadProgram and records everything it produces into a
+ * ThreadTrace (observed through trace() after the run).
+ */
+class RecordingProgram : public ThreadProgram
+{
+  public:
+    explicit RecordingProgram(std::unique_ptr<ThreadProgram> inner)
+        : inner(std::move(inner)),
+          trace_(std::make_shared<ThreadTrace>())
+    {
+    }
+
+    Op
+    next() override
+    {
+        Op op = inner->next();
+        trace_->append(op);
+        return op;
+    }
+
+    std::shared_ptr<ThreadTrace> trace() const { return trace_; }
+
+  private:
+    std::unique_ptr<ThreadProgram> inner;
+    std::shared_ptr<ThreadTrace> trace_;
+};
+
+/** Replays a previously captured trace as a ThreadProgram. */
+class ReplayProgram : public ThreadProgram
+{
+  public:
+    explicit ReplayProgram(std::shared_ptr<const ThreadTrace> t)
+        : trace_(std::move(t))
+    {
+    }
+
+    Op
+    next() override
+    {
+        if (pos >= trace_->size())
+            return Op::done();
+        return trace_->at(pos++);
+    }
+
+  private:
+    std::shared_ptr<const ThreadTrace> trace_;
+    std::size_t pos = 0;
+};
+
+} // namespace trace
+} // namespace dimmlink
+
+#endif // DIMMLINK_TRACE_TRACE_HH

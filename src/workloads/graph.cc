@@ -1,0 +1,196 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+Graph
+Graph::fromEdges(
+    std::uint32_t vertices,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+    Rng &rng)
+{
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    // Drop self loops.
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const auto &e) {
+                                   return e.first == e.second;
+                               }),
+                edges.end());
+
+    Graph g;
+    g.rowPtr.assign(vertices + 1, 0);
+    for (const auto &[u, v] : edges) {
+        (void)v;
+        ++g.rowPtr[u + 1];
+    }
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        g.rowPtr[v + 1] += g.rowPtr[v];
+    g.colIdx.resize(edges.size());
+    g.weights.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.rowPtr.begin(),
+                                      g.rowPtr.end() - 1);
+    for (const auto &[u, v] : edges) {
+        const std::uint64_t slot = cursor[u]++;
+        g.colIdx[slot] = v;
+        g.weights[slot] = static_cast<std::uint32_t>(
+            1 + rng.below(63)); // weights in [1, 64)
+    }
+    return g;
+}
+
+Graph
+Graph::rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed)
+{
+    const std::uint32_t n = 1u << scale;
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(edge_factor) * n;
+    Rng rng(seed);
+
+    // LiveJournal-like skew.
+    const double a = 0.57, b = 0.19, c = 0.19;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(m * 2);
+    for (std::uint64_t e = 0; e < m; ++e) {
+        std::uint32_t u = 0, v = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.real();
+            unsigned ub = 0, vb = 0;
+            if (r < a) {
+                // top-left
+            } else if (r < a + b) {
+                vb = 1;
+            } else if (r < a + b + c) {
+                ub = 1;
+            } else {
+                ub = 1;
+                vb = 1;
+            }
+            u = (u << 1) | ub;
+            v = (v << 1) | vb;
+        }
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u); // symmetrize
+    }
+    return fromEdges(n, std::move(edges), rng);
+}
+
+Graph
+Graph::uniform(std::uint32_t vertices, std::uint64_t edge_count,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(edge_count * 2);
+    for (std::uint64_t e = 0; e < edge_count; ++e) {
+        const auto u =
+            static_cast<std::uint32_t>(rng.below(vertices));
+        const auto v =
+            static_cast<std::uint32_t>(rng.below(vertices));
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u);
+    }
+    return fromEdges(vertices, std::move(edges), rng);
+}
+
+Graph
+Graph::grid2d(std::uint32_t rows, std::uint32_t cols)
+{
+    Rng rng(7);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    auto id = [cols](std::uint32_t r, std::uint32_t c) {
+        return r * cols + c;
+    };
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols) {
+                edges.emplace_back(id(r, c), id(r, c + 1));
+                edges.emplace_back(id(r, c + 1), id(r, c));
+            }
+            if (r + 1 < rows) {
+                edges.emplace_back(id(r, c), id(r + 1, c));
+                edges.emplace_back(id(r + 1, c), id(r, c));
+            }
+        }
+    }
+    return fromEdges(rows * cols, std::move(edges), rng);
+}
+
+std::vector<std::uint32_t>
+Graph::bfsReference(std::uint32_t source) const
+{
+    constexpr auto inf = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> dist(numVertices(), inf);
+    std::queue<std::uint32_t> q;
+    dist[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        const std::uint32_t v = q.front();
+        q.pop();
+        for (std::uint64_t e = edgeBegin(v); e < edgeEnd(v); ++e) {
+            const std::uint32_t u = neighbor(e);
+            if (dist[u] == inf) {
+                dist[u] = dist[v] + 1;
+                q.push(u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint64_t>
+Graph::ssspReference(std::uint32_t source) const
+{
+    constexpr auto inf = std::numeric_limits<std::uint64_t>::max();
+    std::vector<std::uint64_t> dist(numVertices(), inf);
+    using Item = std::pair<std::uint64_t, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[source] = 0;
+    pq.emplace(0, source);
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v])
+            continue;
+        for (std::uint64_t e = edgeBegin(v); e < edgeEnd(v); ++e) {
+            const std::uint32_t u = neighbor(e);
+            const std::uint64_t nd = d + weight(e);
+            if (nd < dist[u]) {
+                dist[u] = nd;
+                pq.emplace(nd, u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+Graph::pagerankReference(unsigned iterations, double damping) const
+{
+    const std::uint32_t n = numVertices();
+    std::vector<double> rank(n, 1.0 / n);
+    std::vector<double> next(n, 0.0);
+    for (unsigned it = 0; it < iterations; ++it) {
+        std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+        for (std::uint32_t v = 0; v < n; ++v) {
+            const std::uint32_t deg = degree(v);
+            if (deg == 0)
+                continue;
+            const double share = damping * rank[v] / deg;
+            for (std::uint64_t e = edgeBegin(v); e < edgeEnd(v); ++e)
+                next[neighbor(e)] += share;
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+} // namespace workloads
+} // namespace dimmlink

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared data layout for the graph kernels: vertices are divided into
+ * T contiguous thread slices; each slice's property arrays and edge
+ * lists live on the slice's home DIMM (block distribution). Threads
+ * therefore read their own slice locally and reach into other DIMMs
+ * for neighbor properties — the access pattern whose cost the IDC
+ * fabrics differ on.
+ */
+
+#ifndef DIMMLINK_WORKLOADS_GRAPH_LAYOUT_HH
+#define DIMMLINK_WORKLOADS_GRAPH_LAYOUT_HH
+
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+class GraphSlices
+{
+  public:
+    /**
+     * @param prop_arrays number of per-vertex property arrays to
+     *        place (e.g. dist, rank, contrib).
+     * @param prop_bytes  bytes per property element.
+     */
+    GraphSlices(const Graph &g, const WorkloadParams &p,
+                AddressAllocator &alloc, unsigned prop_arrays,
+                unsigned prop_bytes = 4)
+        : graph(g), params(p), propBytes(prop_bytes)
+    {
+        const std::uint32_t v_cnt = g.numVertices();
+        const unsigned t_cnt = p.numThreads;
+        // Edge-balanced contiguous slices: skewed degree
+        // distributions (R-MAT hubs) would otherwise concentrate
+        // most of the work in slice 0 and serialize every
+        // barrier-synchronized kernel on one thread.
+        bounds.resize(t_cnt + 1);
+        bounds[0] = 0;
+        bounds[t_cnt] = v_cnt;
+        const std::uint64_t e_cnt = g.numEdges();
+        std::uint32_t v = 0;
+        for (unsigned t = 1; t < t_cnt; ++t) {
+            const std::uint64_t target = e_cnt * t / t_cnt;
+            while (v < v_cnt && g.edgeBegin(v) < target)
+                ++v;
+            // Keep at least one vertex per remaining slice when the
+            // graph is tiny.
+            const std::uint32_t max_start = v_cnt - (t_cnt - t);
+            bounds[t] = std::min(std::max(v, bounds[t - 1]),
+                                 std::min(max_start,
+                                          v_cnt));
+            bounds[t] = std::max(bounds[t], bounds[t - 1]);
+            v = bounds[t];
+        }
+
+        propBase.assign(prop_arrays, std::vector<Addr>(t_cnt, 0));
+        edgeBase.assign(t_cnt, 0);
+        for (unsigned t = 0; t < t_cnt; ++t) {
+            const DimmId home = static_cast<DimmId>(
+                static_cast<std::uint64_t>(t) * p.numDimms / t_cnt);
+            const std::uint32_t verts = bounds[t + 1] - bounds[t];
+            for (unsigned a = 0; a < prop_arrays; ++a)
+                propBase[a][t] = alloc.alloc(
+                    home, static_cast<std::uint64_t>(verts) *
+                              prop_bytes);
+            const std::uint64_t edges =
+                g.edgeBegin(bounds[t + 1]) - g.edgeBegin(bounds[t]);
+            edgeBase[t] = alloc.alloc(home, edges * 8);
+        }
+    }
+
+    std::uint32_t vStart(ThreadId t) const { return bounds[t]; }
+    std::uint32_t vEnd(ThreadId t) const { return bounds[t + 1]; }
+
+    /** The thread slice that owns vertex @p v. */
+    ThreadId
+    sliceOf(std::uint32_t v) const
+    {
+        // bounds is sorted; find the last start <= v.
+        unsigned lo = 0, hi = params.numThreads - 1;
+        while (lo < hi) {
+            const unsigned mid = (lo + hi + 1) / 2;
+            if (bounds[mid] <= v)
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        return lo;
+    }
+
+    /** Home DIMM of vertex @p v's data. */
+    DimmId
+    homeOf(std::uint32_t v) const
+    {
+        const ThreadId t = sliceOf(v);
+        return static_cast<DimmId>(
+            static_cast<std::uint64_t>(t) * params.numDimms /
+            params.numThreads);
+    }
+
+    /** Address of property @p array element for vertex @p v. */
+    Addr
+    propAddr(unsigned array, std::uint32_t v) const
+    {
+        const ThreadId t = sliceOf(v);
+        return propBase[array][t] +
+               static_cast<Addr>(v - bounds[t]) * propBytes;
+    }
+
+    /** Address of edge @p e (owned by slice @p t). */
+    Addr
+    edgeAddr(ThreadId t, std::uint64_t e) const
+    {
+        return edgeBase[t] +
+               (e - graph.edgeBegin(bounds[t])) * 8;
+    }
+
+  private:
+    const Graph &graph;
+    const WorkloadParams &params;
+    unsigned propBytes;
+    std::vector<std::uint32_t> bounds;
+    std::vector<std::vector<Addr>> propBase;
+    std::vector<Addr> edgeBase;
+};
+
+} // namespace workloads
+} // namespace dimmlink
+
+#endif // DIMMLINK_WORKLOADS_GRAPH_LAYOUT_HH

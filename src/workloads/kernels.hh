@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal factory entry points for the individual kernels; the
+ * public factory in workload.cc dispatches to these.
+ */
+
+#ifndef DIMMLINK_WORKLOADS_KERNELS_HH
+#define DIMMLINK_WORKLOADS_KERNELS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+std::unique_ptr<Workload> makeBfs(const WorkloadParams &,
+                                  const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeHotspot(const WorkloadParams &,
+                                      const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeKmeans(const WorkloadParams &,
+                                     const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeNw(const WorkloadParams &,
+                                 const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makePagerank(const WorkloadParams &,
+                                       const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeSssp(const WorkloadParams &,
+                                   const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeSpmv(const WorkloadParams &,
+                                   const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeTsPow(const WorkloadParams &,
+                                    const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeSyncBench(const WorkloadParams &,
+                                        const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeStream(const WorkloadParams &,
+                                     const dram::GlobalAddressMap &);
+std::unique_ptr<Workload> makeGups(const WorkloadParams &,
+                                   const dram::GlobalAddressMap &);
+
+} // namespace workloads
+} // namespace dimmlink
+
+#endif // DIMMLINK_WORKLOADS_KERNELS_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A C++20 coroutine generator of Ops. Workload kernels are written as
+ * straight-line algorithms that co_yield Compute/Mem/Barrier ops; the
+ * adapter exposes them through the ThreadProgram interface the NMP
+ * cores consume.
+ */
+
+#ifndef DIMMLINK_WORKLOADS_OP_STREAM_HH
+#define DIMMLINK_WORKLOADS_OP_STREAM_HH
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "dimm/op.hh"
+
+namespace dimmlink {
+
+class OpStream
+{
+  public:
+    struct promise_type
+    {
+        Op value;
+
+        OpStream
+        get_return_object()
+        {
+            return OpStream(std::coroutine_handle<
+                            promise_type>::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        std::suspend_always
+        yield_value(Op op) noexcept
+        {
+            value = std::move(op);
+            return {};
+        }
+        void return_void() noexcept {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    OpStream() = default;
+    explicit OpStream(std::coroutine_handle<promise_type> h)
+        : handle(h)
+    {}
+    OpStream(OpStream &&o) noexcept
+        : handle(std::exchange(o.handle, nullptr))
+    {}
+    OpStream &
+    operator=(OpStream &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle = std::exchange(o.handle, nullptr);
+        }
+        return *this;
+    }
+    OpStream(const OpStream &) = delete;
+    OpStream &operator=(const OpStream &) = delete;
+    ~OpStream() { destroy(); }
+
+    /** Produce the next op; Done forever once the coroutine ends. */
+    Op
+    next()
+    {
+        if (!handle || handle.done())
+            return Op::done();
+        handle.resume();
+        if (handle.done())
+            return Op::done();
+        return std::move(handle.promise().value);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle)
+            handle.destroy();
+        handle = nullptr;
+    }
+
+    std::coroutine_handle<promise_type> handle = nullptr;
+};
+
+/** ThreadProgram adapter over an OpStream. */
+class CoroProgram : public ThreadProgram
+{
+  public:
+    explicit CoroProgram(OpStream s) : stream(std::move(s)) {}
+
+    Op next() override { return stream.next(); }
+
+  private:
+    OpStream stream;
+};
+
+/** Convenience: wrap a coroutine into a heap ThreadProgram. */
+inline std::unique_ptr<ThreadProgram>
+makeProgram(OpStream s)
+{
+    return std::make_unique<CoroProgram>(std::move(s));
+}
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_WORKLOADS_OP_STREAM_HH

@@ -1,0 +1,66 @@
+#include "workloads/workload.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+#include "workloads/kernels.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+Addr
+AddressAllocator::alloc(DimmId d, std::uint64_t bytes)
+{
+    if (d >= next.size())
+        panic("allocation on nonexistent DIMM %u", d);
+    const std::uint64_t base = roundUp(next[d], 64);
+    const std::uint64_t end = base + roundUp(bytes, 64);
+    if (end > gmap_.dimmCapacity())
+        fatal("DIMM %u out of memory (%llu bytes requested)", d,
+              static_cast<unsigned long long>(bytes));
+    next[d] = end;
+    return gmap_.globalOf(d, base);
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params,
+             const dram::GlobalAddressMap &gmap)
+{
+    if (name == "bfs")
+        return makeBfs(params, gmap);
+    if (name == "hotspot")
+        return makeHotspot(params, gmap);
+    if (name == "kmeans")
+        return makeKmeans(params, gmap);
+    if (name == "nw")
+        return makeNw(params, gmap);
+    if (name == "pagerank")
+        return makePagerank(params, gmap);
+    if (name == "sssp")
+        return makeSssp(params, gmap);
+    if (name == "spmv")
+        return makeSpmv(params, gmap);
+    if (name == "tspow")
+        return makeTsPow(params, gmap);
+    if (name == "syncbench")
+        return makeSyncBench(params, gmap);
+    if (name == "stream")
+        return makeStream(params, gmap);
+    if (name == "gups")
+        return makeGups(params, gmap);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+p2pWorkloadNames()
+{
+    return {"bfs", "hotspot", "kmeans", "nw", "pagerank", "sssp"};
+}
+
+std::vector<std::string>
+broadcastWorkloadNames()
+{
+    return {"pagerank", "sssp", "spmv"};
+}
+
+} // namespace workloads
+} // namespace dimmlink

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The workload framework: the benchmark kernels of Table IV expressed
+ * as real algorithms over real data that emit per-thread op streams.
+ * Each workload owns its data, places it across the DIMMs through a
+ * bump allocator over the global address map, and can verify its
+ * computed result against a sequential reference.
+ */
+
+#ifndef DIMMLINK_WORKLOADS_WORKLOAD_HH
+#define DIMMLINK_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dimm/op.hh"
+#include "dram/address_map.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+/** Problem sizing and mode knobs. */
+struct WorkloadParams
+{
+    unsigned numThreads = 16;
+    unsigned numDimms = 4;
+    /** Generic size knob; each workload documents its meaning. */
+    std::uint64_t scale = 1;
+    std::uint64_t seed = 1;
+    /** PR/SSSP/SpMV: distribute shared vectors with explicit DL
+     * broadcasts instead of remote reads (Fig. 12 mode). */
+    bool broadcastMode = false;
+    /** Sync microkernel: instructions between barriers (Fig. 14). */
+    std::uint64_t syncIntervalInstr = 2000;
+    /** Sync microkernel / TS.Pow: number of barrier rounds. */
+    unsigned rounds = 32;
+};
+
+/** Per-DIMM bump allocator over the global physical address space. */
+class AddressAllocator
+{
+  public:
+    explicit AddressAllocator(const dram::GlobalAddressMap &gmap)
+        : gmap_(gmap), next(gmap.numDimms(), 0)
+    {}
+
+    /** Allocate @p bytes on DIMM @p d; 64-byte aligned. */
+    Addr alloc(DimmId d, std::uint64_t bytes);
+
+    /** Bytes allocated so far on DIMM @p d. */
+    std::uint64_t used(DimmId d) const { return next[d]; }
+
+  private:
+    const dram::GlobalAddressMap &gmap_;
+    std::vector<std::uint64_t> next;
+};
+
+/**
+ * A benchmark kernel. The runner calls programs() once per (re)start;
+ * thread tid's program is the kernel slice bound to tid. Data
+ * placement is fixed at construction; the mapper moves threads, not
+ * data (migration-by-restart, Section IV-B).
+ */
+class Workload
+{
+  public:
+    Workload(WorkloadParams params, const dram::GlobalAddressMap &gmap)
+        : p(std::move(params)), gmap(gmap), alloc(gmap)
+    {}
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Build thread @p tid's program for a fresh kernel run. */
+    virtual std::unique_ptr<ThreadProgram> program(ThreadId tid) = 0;
+
+    /** Clear result state before a re-run (migration restart). */
+    virtual void reset() {}
+
+    /** Check the computed result against the reference. */
+    virtual bool verify() const { return true; }
+
+    /** Approximate dynamic instructions (speedup denominators). */
+    virtual std::uint64_t approxInstructions() const { return 0; }
+
+    /** Approximate memory references one run issues; sizes the
+     * profiling window of the distance-aware mapper (~1%). */
+    virtual std::uint64_t
+    approxMemRefs() const
+    {
+        return approxInstructions() / 3;
+    }
+
+    const WorkloadParams &params() const { return p; }
+
+  protected:
+    /** Home DIMM of thread-slice @p tid's data: block distribution. */
+    DimmId
+    sliceHome(ThreadId tid) const
+    {
+        return static_cast<DimmId>(
+            static_cast<std::uint64_t>(tid) * p.numDimms /
+            p.numThreads);
+    }
+
+    WorkloadParams p;
+    const dram::GlobalAddressMap &gmap;
+    AddressAllocator alloc;
+};
+
+/**
+ * Factory. Known names: bfs, hotspot, kmeans, nw, pagerank, sssp,
+ * spmv, tspow, syncbench.
+ */
+std::unique_ptr<Workload> makeWorkload(
+    const std::string &name, const WorkloadParams &params,
+    const dram::GlobalAddressMap &gmap);
+
+/** The six P2P workloads of Fig. 10, in paper order. */
+std::vector<std::string> p2pWorkloadNames();
+
+/** The three broadcast workloads of Fig. 12. */
+std::vector<std::string> broadcastWorkloadNames();
+
+} // namespace workloads
+} // namespace dimmlink
+
+#endif // DIMMLINK_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,157 @@
+/** @file Cache tag-model tests: hits, LRU, writebacks, flush. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "dimm/cache.hh"
+
+namespace dimmlink {
+namespace {
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheTest() : cache("c", 1024, 2, 64, reg.group("c")) {}
+    // 1 KB, 2-way, 64B lines -> 8 sets.
+    stats::Registry reg;
+    Cache cache;
+};
+
+TEST_F(CacheTest, Geometry)
+{
+    EXPECT_EQ(cache.numSets(), 8u);
+    EXPECT_EQ(cache.associativity(), 2u);
+    EXPECT_EQ(cache.lineBytes(), 64u);
+}
+
+TEST_F(CacheTest, MissThenHit)
+{
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1020, false).hit); // same line
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_TRUE(cache.probe(0x1000));
+}
+
+TEST_F(CacheTest, LruEviction)
+{
+    // Set 0 lines: addresses with set bits == 0.
+    const Addr a = 0 << 6, b = 8 << 6, c = 16 << 6;
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false);          // a is MRU
+    const auto r = cache.access(c, false); // evicts b
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST_F(CacheTest, DirtyVictimReportsWriteback)
+{
+    const Addr a = 0 << 6, b = 8 << 6, c = 16 << 6;
+    cache.access(a, true); // dirty
+    cache.access(b, false);
+    cache.access(b, false);
+    // Evict a (LRU): must report writeback of a's line address.
+    const auto r = cache.access(c, false);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, a);
+}
+
+TEST_F(CacheTest, CleanVictimNoWriteback)
+{
+    const Addr a = 0 << 6, b = 8 << 6, c = 16 << 6;
+    cache.access(a, false);
+    cache.access(b, false);
+    const auto r = cache.access(c, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST_F(CacheTest, WriteHitMarksDirty)
+{
+    const Addr a = 0 << 6, b = 8 << 6, c = 16 << 6;
+    cache.access(a, false);
+    cache.access(a, true); // now dirty via write hit
+    cache.access(b, false);
+    cache.access(b, false);
+    const auto r = cache.access(c, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST_F(CacheTest, FlushInvalidatesAndCountsDirty)
+{
+    // Three different sets so nothing evicts (8 sets, 64B lines).
+    cache.access(0x0, true);
+    cache.access(0x40, false);
+    cache.access(0x80, true);
+    EXPECT_EQ(cache.flush(), 2u);
+    EXPECT_FALSE(cache.probe(0x0));
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_EQ(cache.flush(), 0u);
+}
+
+TEST_F(CacheTest, HitRate)
+{
+    cache.access(0x40, false);
+    cache.access(0x40, false);
+    cache.access(0x40, false);
+    cache.access(0x40, false);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.75);
+}
+
+struct CacheShape
+{
+    unsigned size;
+    unsigned assoc;
+};
+
+class CacheShapes : public ::testing::TestWithParam<CacheShape>
+{
+};
+
+TEST_P(CacheShapes, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup)
+{
+    const auto [size, assoc] = GetParam();
+    stats::Registry reg;
+    Cache cache("c", size, assoc, 64, reg.group("c"));
+    const unsigned lines = size / 64;
+    // Warm up with exactly the capacity working set.
+    for (unsigned i = 0; i < lines; ++i)
+        cache.access(static_cast<Addr>(i) * 64, false);
+    for (unsigned i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.access(static_cast<Addr>(i) * 64, false)
+                        .hit);
+}
+
+TEST_P(CacheShapes, RandomStressKeepsAccounting)
+{
+    const auto [size, assoc] = GetParam();
+    stats::Registry reg;
+    Cache cache("c", size, assoc, 64, reg.group("c"));
+    Rng rng(99);
+    unsigned writebacks = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.below(1 << 18) & ~Addr(63);
+        const auto r = cache.access(a, rng.chance(0.5));
+        if (r.writeback) {
+            ++writebacks;
+            // A victim's address must map to the same set as some
+            // line-aligned address.
+            EXPECT_EQ(r.victimAddr % 64, 0u);
+        }
+    }
+    EXPECT_GT(writebacks, 0u);
+    EXPECT_DOUBLE_EQ(reg.scalar("c.writebacks"),
+                     static_cast<double>(writebacks));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheShapes,
+    ::testing::Values(CacheShape{1024, 1}, CacheShape{1024, 2},
+                      CacheShape{4096, 4}, CacheShape{16384, 8},
+                      CacheShape{131072, 8}));
+
+} // namespace
+} // namespace dimmlink

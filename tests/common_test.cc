@@ -1,0 +1,266 @@
+/** @file Unit tests for common utilities: bitfields, RNG, CRC32,
+ * statistics and configuration. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/config.hh"
+#include "common/crc32.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/stats_json.hh"
+
+#include <algorithm>
+
+namespace dimmlink {
+namespace {
+
+TEST(Bitfield, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeefull, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeefull, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeefull, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xffull, 4, 0), 0u);
+
+    std::uint64_t v = 0;
+    v = insertBits(v, 4, 8, 0xab);
+    EXPECT_EQ(v, 0xab0ull);
+    v = insertBits(v, 4, 8, 0xcd);
+    EXPECT_EQ(v, 0xcd0ull);
+    // Field wider than value: masked.
+    v = insertBits(0, 0, 4, 0xff);
+    EXPECT_EQ(v, 0xfull);
+}
+
+TEST(Bitfield, PowersAndLogs)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(65, 64), 64u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(17);
+        ASSERT_LT(v, 17u);
+        seen.insert(v);
+    }
+    // All 17 values should appear in 10k draws.
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double r = rng.real();
+        ASSERT_GE(r, 0.0);
+        ASSERT_LT(r, 1.0);
+        sum += r;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The canonical CRC-32 check value.
+    const char *s = "123456789";
+    EXPECT_EQ(crc32(s, 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    const char *q = "The quick brown fox jumps over the lazy dog";
+    EXPECT_EQ(crc32(q, 43), 0x414fa339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data = "hello, dimm-link world";
+    const auto full = crc32(data.data(), data.size());
+    auto inc = crc32Update(0, data.data(), 5);
+    inc = crc32Update(inc, data.data() + 5, data.size() - 5);
+    EXPECT_EQ(full, inc);
+}
+
+class CrcBitFlip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrcBitFlip, DetectsSingleBitFlips)
+{
+    std::vector<std::uint8_t> data(32);
+    for (unsigned i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 37 + 5);
+    const auto orig = crc32(data.data(), data.size());
+    const int bit = GetParam();
+    data[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(data.data(), data.size()), orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, CrcBitFlip,
+                         ::testing::Range(0, 256));
+
+TEST(Stats, ScalarAndDistribution)
+{
+    stats::Registry reg;
+    auto &g = reg.group("g");
+    auto &s = g.scalar("count");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(reg.scalar("g.count"), 5.0);
+    EXPECT_TRUE(reg.hasScalar("g.count"));
+    EXPECT_FALSE(reg.hasScalar("g.other"));
+    EXPECT_FALSE(reg.hasScalar("nogroup.x"));
+
+    auto &d = g.distribution("lat");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Stats, SumScalarOverPrefix)
+{
+    stats::Registry reg;
+    reg.group("dimm0.mc").scalar("reads") += 3;
+    reg.group("dimm1.mc").scalar("reads") += 4;
+    reg.group("host").scalar("reads") += 100;
+    EXPECT_DOUBLE_EQ(reg.sumScalar("dimm", "reads"), 7.0);
+    EXPECT_DOUBLE_EQ(reg.sumScalar("host", "reads"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.sumScalar("nope", "reads"), 0.0);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    stats::Registry reg;
+    reg.group("a").scalar("x") += 7;
+    reg.group("a").distribution("d").sample(1);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(reg.scalar("a.x"), 0.0);
+    EXPECT_EQ(reg.group("a").distribution("d").count(), 0u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Histogram h(10.0, 4);
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(100); // overflow
+    EXPECT_EQ(h.data()[0], 1u);
+    EXPECT_EQ(h.data()[1], 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Config, PresetsMatchPaper)
+{
+    for (const char *name : {"4D-2C", "8D-4C", "12D-6C", "16D-8C"}) {
+        const auto cfg = SystemConfig::preset(name);
+        cfg.validate();
+        EXPECT_EQ(cfg.dimmsPerChannel(), 2u) << name;
+    }
+    const auto cfg = SystemConfig::preset("16D-8C");
+    EXPECT_EQ(cfg.numDimms, 16u);
+    EXPECT_EQ(cfg.numChannels, 8u);
+    EXPECT_EQ(cfg.numGroups(), 2u);
+    EXPECT_EQ(cfg.groupSize(), 8u);
+}
+
+TEST(Config, GroupAndChannelMapping)
+{
+    auto cfg = SystemConfig::preset("8D-4C");
+    EXPECT_EQ(cfg.groupOf(0), 0u);
+    EXPECT_EQ(cfg.groupOf(3), 0u);
+    EXPECT_EQ(cfg.groupOf(4), 1u);
+    EXPECT_EQ(cfg.groupOf(7), 1u);
+    EXPECT_EQ(cfg.channelOf(0), 0u);
+    EXPECT_EQ(cfg.channelOf(1), 0u);
+    EXPECT_EQ(cfg.channelOf(2), 1u);
+    EXPECT_EQ(cfg.channelOf(7), 3u);
+}
+
+TEST(Config, SmallSystemIsOneGroup)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    EXPECT_EQ(cfg.numGroups(), 1u);
+    EXPECT_EQ(cfg.groupSize(), 4u);
+}
+
+TEST(Config, PrintMentionsKeyFields)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    std::ostringstream os;
+    cfg.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("DIMM-Link"), std::string::npos);
+    EXPECT_NE(s.find("25 GB/s"), std::string::npos);
+}
+
+TEST(StatsJson, EscapesAndSerializes)
+{
+    EXPECT_EQ(stats::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(stats::jsonEscape("x\ny"), "x\\ny");
+
+    stats::Registry reg;
+    reg.group("g.one").scalar("count") += 5;
+    reg.group("g.one").distribution("lat").sample(2.0);
+    reg.group("g.one").distribution("lat").sample(4.0);
+    reg.group("empty"); // omitted by default
+
+    std::ostringstream os;
+    stats::dumpJson(reg, os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"g.one\""), std::string::npos);
+    EXPECT_NE(j.find("\"count\": 5"), std::string::npos);
+    EXPECT_NE(j.find("\"mean\": 3"), std::string::npos);
+    EXPECT_EQ(j.find("\"empty\""), std::string::npos);
+    // Balanced braces (cheap well-formedness check).
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Log, StrFormat)
+{
+    EXPECT_EQ(strFormat("x=%d y=%s", 5, "z"), "x=5 y=z");
+}
+
+} // namespace
+} // namespace dimmlink

@@ -1,0 +1,91 @@
+/** @file Energy-model tests: snapshot/delta accounting and the exact
+ * Section V-C constants. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "energy/energy_model.hh"
+
+namespace dimmlink {
+namespace {
+
+class EnergyFixture : public ::testing::Test
+{
+  protected:
+    EnergyFixture() : model(cfg) {}
+
+    SystemConfig cfg;
+    stats::Registry reg;
+    EnergyModel model;
+};
+
+TEST_F(EnergyFixture, DramEnergyUsesPaperConstants)
+{
+    model.snapshotFrom(reg);
+    reg.group("dimm0.mc.rank0").scalar("reads") += 1000;
+    reg.group("dimm0.mc.rank0").scalar("writes") += 500;
+    reg.group("dimm0.mc.rank0").scalar("activates") += 100;
+
+    const EnergyReport r = model.report(reg, 0, 0);
+    // 1500 accesses x 64 B x 8 b x 14 pJ/b + 100 x 2.1 nJ.
+    const double expect =
+        1500.0 * 64 * 8 * 14.0 + 100.0 * 2.1 * 1e3;
+    EXPECT_DOUBLE_EQ(r.dramPj, expect);
+    EXPECT_DOUBLE_EQ(r.linkPj, 0.0);
+    EXPECT_DOUBLE_EQ(r.forwardPj, 0.0);
+}
+
+TEST_F(EnergyFixture, LinkEnergyAtGrsRate)
+{
+    model.snapshotFrom(reg);
+    reg.group("fabric.dl").scalar("bytesViaLink") += 1e6;
+    const EnergyReport r = model.report(reg, 0, 0);
+    EXPECT_DOUBLE_EQ(r.linkPj, 1e6 * 8 * 1.17);
+}
+
+TEST_F(EnergyFixture, HostSideEnergy)
+{
+    model.snapshotFrom(reg);
+    reg.group("host.channel0").scalar("bytes") += 1000;
+    reg.group("host.polling").scalar("polls") += 10;
+    reg.group("host.forwarder").scalar("forwards") += 5;
+    const EnergyReport r = model.report(reg, 0, 0);
+    EXPECT_DOUBLE_EQ(r.hostIoPj,
+                     1000.0 * 8 * 22.0 + 10.0 * 8.0 * 1e3);
+    EXPECT_DOUBLE_EQ(r.forwardPj, 5.0 * 60.0 * 1e3);
+}
+
+TEST_F(EnergyFixture, NmpCorePowerIntegratesOverTime)
+{
+    model.snapshotFrom(reg);
+    // 4 DIMMs x 4 cores x 0.45 W for 1 ms = 7.2 mJ.
+    const EnergyReport r = model.report(reg, 1 * tickPerMs, 4);
+    EXPECT_NEAR(r.nmpCorePj, 7.2e9, 1e3);
+}
+
+TEST_F(EnergyFixture, SnapshotMakesReportsDeltas)
+{
+    reg.group("dimm0.mc.rank0").scalar("reads") += 777;
+    model.snapshotFrom(reg);
+    // No change since the snapshot: everything zero.
+    EnergyReport r = model.report(reg, 0, 0);
+    EXPECT_DOUBLE_EQ(r.dramPj, 0.0);
+
+    reg.group("dimm0.mc.rank0").scalar("reads") += 3;
+    r = model.report(reg, 0, 0);
+    EXPECT_DOUBLE_EQ(r.dramPj, 3.0 * 64 * 8 * 14.0);
+}
+
+TEST_F(EnergyFixture, AimBusEnergySeparateFromHostIo)
+{
+    model.snapshotFrom(reg);
+    reg.group("fabric.aim").scalar("bytesViaBus") += 100;
+    const EnergyReport r = model.report(reg, 0, 0);
+    EXPECT_DOUBLE_EQ(r.busPj, 100.0 * 8 * 22.0);
+    EXPECT_DOUBLE_EQ(r.hostIoPj, 0.0);
+    EXPECT_DOUBLE_EQ(r.idc(), r.busPj);
+}
+
+} // namespace
+} // namespace dimmlink

@@ -1,0 +1,127 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); },
+                EventPriority::Control);
+    eq.schedule(5, [&] { order.push_back(3); },
+                EventPriority::Control);
+    eq.schedule(5, [&] { order.push_back(1); },
+                EventPriority::Delivery);
+    eq.schedule(5, [&] { order.push_back(4); }, EventPriority::Core);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayRescheduleThemselves)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> tick = [&] {
+        if (++fired < 5)
+            eq.scheduleIn(10, tick);
+    };
+    eq.scheduleIn(10, tick);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, DescheduleCancelsAndIsIdempotent)
+{
+    EventQueue eq;
+    bool fired = false;
+    const auto id = eq.schedule(10, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.deschedule(id); // idempotent
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(21, [&] { ++count; });
+    eq.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "before now");
+}
+
+TEST(Clocked, CycleTickConversions)
+{
+    ClockDomain clk(2000.0); // 2 GHz -> 500 ps
+    EXPECT_EQ(clk.period(), 500u);
+    EXPECT_EQ(clk.cyclesToTicks(4), 2000u);
+    EXPECT_EQ(clk.ticksToCycles(1400), 3u); // rounds up
+}
+
+TEST(Clocked, ClockEdgeAlignsUp)
+{
+    EventQueue eq;
+    Clocked c(eq, "c", 1000.0); // 1 ns period
+    eq.schedule(1500, [&] {
+        EXPECT_EQ(c.clockEdge(), 2000u);
+        EXPECT_EQ(c.clockEdge(2), 4000u);
+    });
+    eq.run();
+}
+
+TEST(Types, SerializationTicksRoundsUp)
+{
+    // 64 bytes at 25 GB/s = 2.56 ns -> 2560 ps.
+    EXPECT_EQ(serializationTicks(64, 25.0), 2560u);
+    // 1 byte at 19.2 GB/s = 52.08.. ps -> rounds up to 53.
+    EXPECT_EQ(serializationTicks(1, 19.2), 53u);
+}
+
+} // namespace
+} // namespace dimmlink

@@ -1,0 +1,286 @@
+/** @file DL protocol tests: header fields, wire format, CRC
+ * protection, segmentation, codec latencies, and DLL retry. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "proto/codec.hh"
+#include "proto/dll.hh"
+#include "proto/packet.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace proto {
+namespace {
+
+TEST(Header, FieldRoundTrip)
+{
+    Packet p;
+    p.src = 0x2a;
+    p.dst = 0x15;
+    p.cmd = DlCommand::WriteReq;
+    p.addr = 0x1234567890ull & ((1ull << 37) - 1);
+    p.tag = 0x3f;
+    p.payload.assign(48, 0);
+
+    Packet q;
+    decodeHeader(encodeHeader(p), q);
+    EXPECT_EQ(q.src, p.src);
+    EXPECT_EQ(q.dst, p.dst);
+    EXPECT_EQ(q.cmd, p.cmd);
+    EXPECT_EQ(q.addr, p.addr);
+    EXPECT_EQ(q.tag, p.tag);
+}
+
+class HeaderSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HeaderSweep, RandomFieldsSurvive)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        Packet p;
+        p.src = static_cast<std::uint8_t>(rng.below(64));
+        p.dst = static_cast<std::uint8_t>(rng.below(64));
+        p.cmd = static_cast<DlCommand>(rng.below(9));
+        p.addr = rng.below(1ull << 37);
+        p.tag = static_cast<std::uint8_t>(rng.below(64));
+        Packet q;
+        decodeHeader(encodeHeader(p), q);
+        ASSERT_EQ(q.src, p.src);
+        ASSERT_EQ(q.dst, p.dst);
+        ASSERT_EQ(q.cmd, p.cmd);
+        ASSERT_EQ(q.addr, p.addr);
+        ASSERT_EQ(q.tag, p.tag);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderSweep,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Packet, FlitGeometry)
+{
+    Packet p = Codec::makeReadReq(1, 2, 0x40, 0);
+    EXPECT_EQ(p.numFlits(), 1u); // header/tail-only packet
+    EXPECT_EQ(p.wireBytes(), 16u);
+
+    p = Codec::makeWriteReq(1, 2, 0x40, 0, 256);
+    EXPECT_EQ(p.numFlits(), 17u); // 16 payload flits + 1
+    EXPECT_EQ(p.wireBytes(), 272u);
+
+    p = Codec::makeWriteReq(1, 2, 0x40, 0, 1);
+    EXPECT_EQ(p.numFlits(), 2u); // padded to a whole flit
+}
+
+TEST(Packet, WireRoundTripWithPayload)
+{
+    Packet p = Codec::makeWriteReq(3, 5, 0xbeef, 7, 100);
+    for (unsigned i = 0; i < p.payload.size(); ++i)
+        p.payload[i] = static_cast<std::uint8_t>(i);
+    p.dll = 0xcafe;
+
+    const auto wire = encode(p);
+    EXPECT_EQ(wire.size(), p.wireBytes());
+
+    Packet q;
+    ASSERT_TRUE(decode(wire, q));
+    EXPECT_EQ(q.src, p.src);
+    EXPECT_EQ(q.dst, p.dst);
+    EXPECT_EQ(q.cmd, p.cmd);
+    EXPECT_EQ(q.addr, p.addr);
+    EXPECT_EQ(q.tag, p.tag);
+    EXPECT_EQ(q.dll, p.dll);
+    // Payload recovered in flit-padded form.
+    ASSERT_EQ(q.payload.size(), 112u);
+    for (unsigned i = 0; i < 100; ++i)
+        ASSERT_EQ(q.payload[i], static_cast<std::uint8_t>(i));
+}
+
+class WireBitFlip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WireBitFlip, CrcCatchesEveryDataBitFlip)
+{
+    Packet p = Codec::makeWriteReq(1, 2, 0x1000, 3, 32);
+    for (unsigned i = 0; i < p.payload.size(); ++i)
+        p.payload[i] = static_cast<std::uint8_t>(0xa0 + i);
+    auto wire = encode(p);
+
+    const int bit = GetParam();
+    const auto byte = static_cast<std::size_t>(bit / 8);
+    // Skip the tail's DLL word (bytes 12..15): it is not covered by
+    // the CRC (it carries the retry sequence itself).
+    if (byte >= 12 && byte < 16)
+        return;
+    wire[byte] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    Packet q;
+    EXPECT_FALSE(decode(wire, q)) << "bit " << bit;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, WireBitFlip,
+                         ::testing::Range(0, 48 * 8, 7));
+
+TEST(Packet, DecodeRejectsBadSizes)
+{
+    Packet q;
+    EXPECT_FALSE(decode({}, q));
+    EXPECT_FALSE(decode(std::vector<std::uint8_t>(8, 0), q));
+    EXPECT_FALSE(decode(std::vector<std::uint8_t>(33, 0), q));
+    // Length not matching LEN: a valid 2-flit packet truncated.
+    const auto wire = encode(Codec::makeWriteReq(0, 1, 0, 0, 16));
+    std::vector<std::uint8_t> cut(wire.begin(), wire.begin() + 16);
+    EXPECT_FALSE(decode(cut, q));
+}
+
+TEST(Codec, Segmentation)
+{
+    EXPECT_EQ(Codec::segment(0).size(), 1u);
+    EXPECT_EQ(Codec::segment(256).size(), 1u);
+    EXPECT_EQ(Codec::segment(257).size(), 2u);
+    const auto sizes = Codec::segment(1000);
+    EXPECT_EQ(sizes.size(), 4u);
+    unsigned total = 0;
+    for (unsigned s : sizes)
+        total += s;
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST(Codec, LatencyModel)
+{
+    const Packet small = Codec::makeReadReq(0, 1, 0, 0);
+    const Packet big = Codec::makeWriteReq(0, 1, 0, 0, 256);
+    EXPECT_EQ(Codec::packetizeCycles(small), 18u + 2u);
+    EXPECT_EQ(Codec::packetizeCycles(big), 18u + 2u * 17);
+    EXPECT_GT(Codec::packetizeCycles(big),
+              Codec::packetizeCycles(small));
+}
+
+/** A lossy in-memory transport between a sender and a receiver. */
+class DllFixture : public ::testing::Test
+{
+  protected:
+    DllFixture()
+        : sender(eq, 1000, 4, reg.group("tx")),
+          receiver(reg.group("rx"))
+    {
+    }
+
+    /** Deliver the packet to the receiver, corrupting the first
+     * @p corrupt_count arrivals. */
+    void
+    transportTo(const Packet &p, unsigned &arrivals,
+                unsigned corrupt_count, unsigned &delivered)
+    {
+        const auto wire = encode(p);
+        const bool corrupted = arrivals < corrupt_count;
+        ++arrivals;
+        Packet out, ctrl;
+        if (receiver.onArrive(wire, corrupted, out, ctrl))
+            ++delivered;
+        sender.onControl(ctrl);
+    }
+
+    EventQueue eq;
+    stats::Registry reg;
+    RetrySender sender;
+    RetryReceiver receiver;
+};
+
+TEST_F(DllFixture, CleanDeliveryAcksImmediately)
+{
+    unsigned arrivals = 0, delivered = 0;
+    bool acked = false;
+    sender.send(Codec::makeWriteReq(0, 1, 0x40, 0, 64),
+                [&](const Packet &p) {
+                    transportTo(p, arrivals, 0, delivered);
+                },
+                [&] { acked = true; });
+    eq.run();
+    EXPECT_TRUE(acked);
+    EXPECT_EQ(delivered, 1u);
+    EXPECT_EQ(arrivals, 1u);
+    EXPECT_DOUBLE_EQ(reg.scalar("tx.dllRetries"), 0.0);
+}
+
+TEST_F(DllFixture, CorruptionTriggersNackRetransmit)
+{
+    unsigned arrivals = 0, delivered = 0;
+    bool acked = false;
+    sender.send(Codec::makeWriteReq(0, 1, 0x40, 1, 64),
+                [&](const Packet &p) {
+                    transportTo(p, arrivals, 2, delivered);
+                },
+                [&] { acked = true; });
+    eq.run();
+    EXPECT_TRUE(acked);
+    EXPECT_EQ(delivered, 1u);
+    EXPECT_EQ(arrivals, 3u); // 2 corrupted + 1 clean
+    EXPECT_DOUBLE_EQ(reg.scalar("tx.dllRetries"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("rx.dllCorrupt"), 2.0);
+}
+
+TEST_F(DllFixture, TimeoutRetransmitsWhenPacketVanishes)
+{
+    unsigned attempts = 0;
+    unsigned delivered = 0;
+    bool acked = false;
+    sender.send(Codec::makeSyncMsg(0, 1, 2),
+                [&](const Packet &p) {
+                    // Drop the first transmission entirely.
+                    if (attempts++ == 0)
+                        return;
+                    unsigned arrivals = 1;
+                    transportTo(p, arrivals, 0, delivered);
+                },
+                [&] { acked = true; });
+    eq.run();
+    EXPECT_TRUE(acked);
+    EXPECT_EQ(attempts, 2u);
+    EXPECT_EQ(delivered, 1u);
+}
+
+TEST_F(DllFixture, DuplicateDeliveryIsFiltered)
+{
+    // Deliver the same wire image twice (retransmit after a lost
+    // ACK): the receiver must deliver upward only once.
+    const Packet p = Codec::makeWriteReq(2, 3, 0x80, 4, 16);
+    unsigned delivered = 0;
+    bool first_ack_dropped = false;
+    sender.send(p,
+                [&](const Packet &wp) {
+                    const auto wire = encode(wp);
+                    Packet out, ctrl;
+                    if (receiver.onArrive(wire, false, out, ctrl))
+                        ++delivered;
+                    if (!first_ack_dropped) {
+                        first_ack_dropped = true; // lose the ACK
+                        return;
+                    }
+                    sender.onControl(ctrl);
+                },
+                nullptr);
+    eq.run();
+    EXPECT_EQ(delivered, 1u);
+    EXPECT_DOUBLE_EQ(reg.scalar("rx.dllDuplicates"), 1.0);
+}
+
+TEST_F(DllFixture, PermanentLossExhaustsRetriesAndFails)
+{
+    bool failed = false;
+    unsigned attempts = 0;
+    sender.send(Codec::makeSyncMsg(0, 1, 5),
+                [&](const Packet &) { ++attempts; },
+                [] { FAIL() << "must not ack"; },
+                [&] { failed = true; });
+    eq.run();
+    EXPECT_TRUE(failed);
+    EXPECT_EQ(attempts, 5u); // initial + 4 retries
+    EXPECT_DOUBLE_EQ(reg.scalar("tx.dllFailures"), 1.0);
+}
+
+} // namespace
+} // namespace proto
+} // namespace dimmlink

@@ -1,0 +1,91 @@
+/** @file Routing-policy tests: XY row-first paths on grids, bubble
+ * flow control on rings, and the cyclic-topology flag. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "dram/timing.hh"
+#include "noc/topology.hh"
+
+namespace dimmlink {
+namespace noc {
+namespace {
+
+TEST(XyRouting, MeshGoesRowFirstThenColumn)
+{
+    // 2 x 4 mesh: nodes 0..3 on row 0, 4..7 on row 1.
+    TopologyGraph g(Topology::Mesh, 8);
+    // 0 -> 6 (row 0 col 0 -> row 1 col 2): walk the path.
+    std::vector<int> path;
+    int cur = 0;
+    while (cur != 6) {
+        cur = g.nextHop(cur, 6);
+        path.push_back(cur);
+    }
+    // Row-first: 0 -> 1 -> 2 -> 6 (column hop last).
+    EXPECT_EQ(path, (std::vector<int>{1, 2, 6}));
+}
+
+TEST(XyRouting, TorusUsesTheShorterWrapDirection)
+{
+    // 2 x 6 torus: rows wrap. 0 -> 5 is 1 hop left via the wrap.
+    TopologyGraph g(Topology::Torus, 12);
+    EXPECT_EQ(g.distance(0, 5), 1u);
+    EXPECT_EQ(g.nextHop(0, 5), 5);
+    // 0 -> 3 is 3 hops either way; direction is deterministic.
+    EXPECT_EQ(g.distance(0, 3), 3u);
+}
+
+TEST(XyRouting, ColumnHopIsAlwaysLast)
+{
+    TopologyGraph g(Topology::Torus, 12); // rows 0..5 / 6..11
+    const unsigned cols = 6;
+    for (int s = 0; s < 12; ++s) {
+        for (int d = 0; d < 12; ++d) {
+            if (s == d)
+                continue;
+            // Once the path changes row, it must terminate.
+            int cur = s;
+            bool changed_row = false;
+            while (cur != d) {
+                const int nxt = g.nextHop(cur, d);
+                const bool row_change =
+                    (static_cast<unsigned>(cur) / cols) !=
+                    (static_cast<unsigned>(nxt) / cols);
+                ASSERT_FALSE(changed_row && row_change)
+                    << s << "->" << d;
+                if (row_change) {
+                    changed_row = true;
+                    ASSERT_EQ(nxt, d) << "column hop must be last";
+                }
+                cur = nxt;
+            }
+        }
+    }
+}
+
+TEST(CyclicFlag, MatchesTopologyStructure)
+{
+    EXPECT_FALSE(TopologyGraph(Topology::HalfRing, 8).cyclic());
+    EXPECT_TRUE(TopologyGraph(Topology::Ring, 8).cyclic());
+    EXPECT_FALSE(TopologyGraph(Topology::Ring, 2).cyclic());
+    EXPECT_FALSE(TopologyGraph(Topology::Mesh, 8).cyclic());
+    EXPECT_TRUE(TopologyGraph(Topology::Torus, 12).cyclic());
+    // 2x2 torus degenerates to a square without row wrap links.
+    EXPECT_FALSE(TopologyGraph(Topology::Torus, 4).cyclic());
+}
+
+TEST(Ddr3200, PresetIsSelfConsistent)
+{
+    const auto t = dram::Timing::preset("DDR4_3200");
+    EXPECT_EQ(t.clkMHz, 1600.0);
+    // Wall-clock latencies roughly match the 2400 preset.
+    const auto base = dram::Timing::preset("DDR4_2400");
+    EXPECT_NEAR(static_cast<double>(t.cyc(t.tRCD)),
+                static_cast<double>(base.cyc(base.tRCD)), 1500.0);
+    EXPECT_GT(t.tCL, base.tCL); // more cycles at the faster clock
+}
+
+} // namespace
+} // namespace noc
+} // namespace dimmlink

@@ -1,0 +1,136 @@
+/** @file Trace capture/replay tests: format round-trips, recording
+ * fidelity, and replay producing identical simulated timing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace trace {
+namespace {
+
+ThreadTrace
+sampleTrace()
+{
+    ThreadTrace t;
+    t.append(Op::compute(123));
+    t.append(Op::read(0x1000, 64, DataClass::SharedRO));
+    t.append(Op::write(0x2040, 8, DataClass::SharedRW, true));
+    std::vector<MemRef> batch;
+    batch.push_back(MemRef{0x40, 4, false, DataClass::Private});
+    batch.push_back(MemRef{0x80, 64, true, DataClass::SharedRW});
+    t.append(Op::mem(batch, false));
+    t.append(Op::barrier());
+    t.append(Op::broadcast(0x4000, 4096));
+    t.append(Op::done());
+    return t;
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    const ThreadTrace t = sampleTrace();
+    std::stringstream ss;
+    t.save(ss);
+    const ThreadTrace u = ThreadTrace::load(ss);
+    EXPECT_TRUE(t == u);
+    EXPECT_EQ(u.size(), 7u);
+    EXPECT_EQ(u.memRefs(), 4u);
+    EXPECT_EQ(u.instructions(), 123u);
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::stringstream ss("not a trace at all");
+    EXPECT_EXIT(ThreadTrace::load(ss),
+                ::testing::ExitedWithCode(1), "magic|truncated");
+}
+
+TEST(Trace, RecordingCapturesTheStream)
+{
+    auto inner = std::make_unique<ReplayProgram>(
+        std::make_shared<ThreadTrace>(sampleTrace()));
+    RecordingProgram rec(std::move(inner));
+    while (rec.next().kind != Op::Kind::Done) {
+    }
+    // The recording includes the Done op.
+    EXPECT_EQ(rec.trace()->size(), 7u);
+    EXPECT_TRUE(*rec.trace() == sampleTrace());
+}
+
+TEST(Trace, ReplayIsExhaustibleAndSticky)
+{
+    ThreadTrace t;
+    t.append(Op::compute(5));
+    ReplayProgram rp(std::make_shared<ThreadTrace>(t));
+    EXPECT_EQ(rp.next().kind, Op::Kind::Compute);
+    EXPECT_EQ(rp.next().kind, Op::Kind::Done);
+    EXPECT_EQ(rp.next().kind, Op::Kind::Done); // stays Done
+}
+
+TEST(Trace, RecordedKernelReplaysWithIdenticalTiming)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    workloads::WorkloadParams p;
+    p.numThreads = 16;
+    p.numDimms = 4;
+    p.scale = 8;
+    p.rounds = 4;
+
+    // Run 1: record every thread's op stream.
+    std::vector<std::shared_ptr<ThreadTrace>> traces(p.numThreads);
+    Tick recorded_ticks = 0;
+    {
+        System sys(cfg);
+        auto wl = workloads::makeWorkload("kmeans", p,
+                                          sys.addressMap());
+        sys.enterNmpMode();
+        std::vector<DimmId> homes(p.numThreads);
+        for (unsigned t = 0; t < p.numThreads; ++t)
+            homes[t] = static_cast<DimmId>(t / 4);
+        sys.sync().setParticipants(homes);
+        unsigned done = 0;
+        const Tick start = sys.queue().now();
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            auto rec = std::make_unique<RecordingProgram>(
+                wl->program(t));
+            traces[t] = rec->trace();
+            sys.dimm(homes[t]).core(t % 4).run(
+                t, std::move(rec), [&done] { ++done; });
+        }
+        while (done < p.numThreads && sys.queue().step()) {
+        }
+        recorded_ticks = sys.queue().now() - start;
+        sys.exitNmpMode();
+    }
+
+    // Run 2: replay the traces on a fresh system.
+    {
+        System sys(cfg);
+        sys.enterNmpMode();
+        std::vector<DimmId> homes(p.numThreads);
+        for (unsigned t = 0; t < p.numThreads; ++t)
+            homes[t] = static_cast<DimmId>(t / 4);
+        sys.sync().setParticipants(homes);
+        unsigned done = 0;
+        const Tick start = sys.queue().now();
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            sys.dimm(homes[t]).core(t % 4).run(
+                t, std::make_unique<ReplayProgram>(traces[t]),
+                [&done] { ++done; });
+        }
+        while (done < p.numThreads && sys.queue().step()) {
+        }
+        const Tick replayed = sys.queue().now() - start;
+        sys.exitNmpMode();
+        EXPECT_EQ(replayed, recorded_ticks);
+    }
+}
+
+} // namespace
+} // namespace trace
+} // namespace dimmlink
