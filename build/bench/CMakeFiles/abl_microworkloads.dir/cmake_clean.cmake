@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_microworkloads.dir/abl_microworkloads.cc.o"
+  "CMakeFiles/abl_microworkloads.dir/abl_microworkloads.cc.o.d"
+  "abl_microworkloads"
+  "abl_microworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_microworkloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

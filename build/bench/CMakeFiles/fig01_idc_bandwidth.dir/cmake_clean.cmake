@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_idc_bandwidth.dir/fig01_idc_bandwidth.cc.o"
+  "CMakeFiles/fig01_idc_bandwidth.dir/fig01_idc_bandwidth.cc.o.d"
+  "fig01_idc_bandwidth"
+  "fig01_idc_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_idc_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_broadcast.dir/fig12_broadcast.cc.o"
+  "CMakeFiles/fig12_broadcast.dir/fig12_broadcast.cc.o.d"
+  "fig12_broadcast"
+  "fig12_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

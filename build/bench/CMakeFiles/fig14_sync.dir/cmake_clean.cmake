@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sync.dir/fig14_sync.cc.o"
+  "CMakeFiles/fig14_sync.dir/fig14_sync.cc.o.d"
+  "fig14_sync"
+  "fig14_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

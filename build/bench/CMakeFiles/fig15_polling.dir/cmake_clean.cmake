@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_polling.dir/fig15_polling.cc.o"
+  "CMakeFiles/fig15_polling.dir/fig15_polling.cc.o.d"
+  "fig15_polling"
+  "fig15_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_topology.dir/fig17_topology.cc.o"
+  "CMakeFiles/fig17_topology.dir/fig17_topology.cc.o.d"
+  "fig17_topology"
+  "fig17_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

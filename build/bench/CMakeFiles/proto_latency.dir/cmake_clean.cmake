@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_latency.dir/proto_latency.cc.o"
+  "CMakeFiles/proto_latency.dir/proto_latency.cc.o.d"
+  "proto_latency"
+  "proto_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_serdes.dir/table2_serdes.cc.o"
+  "CMakeFiles/table2_serdes.dir/table2_serdes.cc.o.d"
+  "table2_serdes"
+  "table2_serdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_serdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

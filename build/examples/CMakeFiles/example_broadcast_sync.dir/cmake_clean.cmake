@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_broadcast_sync.dir/broadcast_sync.cpp.o"
+  "CMakeFiles/example_broadcast_sync.dir/broadcast_sync.cpp.o.d"
+  "example_broadcast_sync"
+  "example_broadcast_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_broadcast_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_task_mapping.dir/task_mapping.cpp.o"
+  "CMakeFiles/example_task_mapping.dir/task_mapping.cpp.o.d"
+  "example_task_mapping"
+  "example_task_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_task_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

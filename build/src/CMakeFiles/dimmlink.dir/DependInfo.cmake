@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/dimmlink.dir/common/config.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/common/config.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/dimmlink.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/dimmlink.dir/common/log.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/dimmlink.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/stats_json.cc" "src/CMakeFiles/dimmlink.dir/common/stats_json.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/common/stats_json.cc.o.d"
+  "/root/repo/src/dimm/cache.cc" "src/CMakeFiles/dimmlink.dir/dimm/cache.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dimm/cache.cc.o.d"
+  "/root/repo/src/dimm/dimm.cc" "src/CMakeFiles/dimmlink.dir/dimm/dimm.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dimm/dimm.cc.o.d"
+  "/root/repo/src/dimm/dl_controller.cc" "src/CMakeFiles/dimmlink.dir/dimm/dl_controller.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dimm/dl_controller.cc.o.d"
+  "/root/repo/src/dimm/local_mc.cc" "src/CMakeFiles/dimmlink.dir/dimm/local_mc.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dimm/local_mc.cc.o.d"
+  "/root/repo/src/dimm/nmp_core.cc" "src/CMakeFiles/dimmlink.dir/dimm/nmp_core.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dimm/nmp_core.cc.o.d"
+  "/root/repo/src/dram/address_map.cc" "src/CMakeFiles/dimmlink.dir/dram/address_map.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dram/address_map.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/dimmlink.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/dram_controller.cc" "src/CMakeFiles/dimmlink.dir/dram/dram_controller.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dram/dram_controller.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/dimmlink.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/dram/timing.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/dimmlink.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/host/channel.cc" "src/CMakeFiles/dimmlink.dir/host/channel.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/host/channel.cc.o.d"
+  "/root/repo/src/host/forwarder.cc" "src/CMakeFiles/dimmlink.dir/host/forwarder.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/host/forwarder.cc.o.d"
+  "/root/repo/src/host/polling.cc" "src/CMakeFiles/dimmlink.dir/host/polling.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/host/polling.cc.o.d"
+  "/root/repo/src/idc/abc_fabric.cc" "src/CMakeFiles/dimmlink.dir/idc/abc_fabric.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/idc/abc_fabric.cc.o.d"
+  "/root/repo/src/idc/aim_fabric.cc" "src/CMakeFiles/dimmlink.dir/idc/aim_fabric.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/idc/aim_fabric.cc.o.d"
+  "/root/repo/src/idc/dl_fabric.cc" "src/CMakeFiles/dimmlink.dir/idc/dl_fabric.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/idc/dl_fabric.cc.o.d"
+  "/root/repo/src/idc/fabric.cc" "src/CMakeFiles/dimmlink.dir/idc/fabric.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/idc/fabric.cc.o.d"
+  "/root/repo/src/idc/mcn_fabric.cc" "src/CMakeFiles/dimmlink.dir/idc/mcn_fabric.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/idc/mcn_fabric.cc.o.d"
+  "/root/repo/src/mapping/mcmf.cc" "src/CMakeFiles/dimmlink.dir/mapping/mcmf.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/mapping/mcmf.cc.o.d"
+  "/root/repo/src/mapping/placement.cc" "src/CMakeFiles/dimmlink.dir/mapping/placement.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/mapping/placement.cc.o.d"
+  "/root/repo/src/mapping/profiler.cc" "src/CMakeFiles/dimmlink.dir/mapping/profiler.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/mapping/profiler.cc.o.d"
+  "/root/repo/src/noc/link.cc" "src/CMakeFiles/dimmlink.dir/noc/link.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/noc/link.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/dimmlink.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/dimmlink.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/noc/router.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/CMakeFiles/dimmlink.dir/noc/topology.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/noc/topology.cc.o.d"
+  "/root/repo/src/proto/codec.cc" "src/CMakeFiles/dimmlink.dir/proto/codec.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/proto/codec.cc.o.d"
+  "/root/repo/src/proto/dll.cc" "src/CMakeFiles/dimmlink.dir/proto/dll.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/proto/dll.cc.o.d"
+  "/root/repo/src/proto/packet.cc" "src/CMakeFiles/dimmlink.dir/proto/packet.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/proto/packet.cc.o.d"
+  "/root/repo/src/sim/clocked.cc" "src/CMakeFiles/dimmlink.dir/sim/clocked.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/sim/clocked.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/dimmlink.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sync/lock_manager.cc" "src/CMakeFiles/dimmlink.dir/sync/lock_manager.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/sync/lock_manager.cc.o.d"
+  "/root/repo/src/sync/sync_manager.cc" "src/CMakeFiles/dimmlink.dir/sync/sync_manager.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/sync/sync_manager.cc.o.d"
+  "/root/repo/src/system/host_runner.cc" "src/CMakeFiles/dimmlink.dir/system/host_runner.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/system/host_runner.cc.o.d"
+  "/root/repo/src/system/runner.cc" "src/CMakeFiles/dimmlink.dir/system/runner.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/system/runner.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/dimmlink.dir/system/system.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/system/system.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/dimmlink.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/dimmlink.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/dimmlink.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/CMakeFiles/dimmlink.dir/workloads/gups.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/gups.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/CMakeFiles/dimmlink.dir/workloads/hotspot.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/hotspot.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/dimmlink.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/CMakeFiles/dimmlink.dir/workloads/nw.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/nw.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/dimmlink.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/CMakeFiles/dimmlink.dir/workloads/spmv.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/spmv.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/CMakeFiles/dimmlink.dir/workloads/sssp.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/sssp.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/CMakeFiles/dimmlink.dir/workloads/stream.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/stream.cc.o.d"
+  "/root/repo/src/workloads/syncbench.cc" "src/CMakeFiles/dimmlink.dir/workloads/syncbench.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/syncbench.cc.o.d"
+  "/root/repo/src/workloads/tspow.cc" "src/CMakeFiles/dimmlink.dir/workloads/tspow.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/tspow.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/dimmlink.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/dimmlink.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dimm_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/dimm_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/dimm_test.cc.o.d"
+  "/root/repo/tests/dram_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/dram_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/dram_test.cc.o.d"
+  "/root/repo/tests/energy_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/energy_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/energy_test.cc.o.d"
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/host_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/host_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/host_test.cc.o.d"
+  "/root/repo/tests/idc_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/idc_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/idc_test.cc.o.d"
+  "/root/repo/tests/lock_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/lock_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/lock_test.cc.o.d"
+  "/root/repo/tests/mapping_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/mapping_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/mapping_test.cc.o.d"
+  "/root/repo/tests/noc_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/noc_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/noc_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/proto_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/proto_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/proto_test.cc.o.d"
+  "/root/repo/tests/routing_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/routing_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/routing_test.cc.o.d"
+  "/root/repo/tests/sync_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/sync_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/sync_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/system_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/dimmlink_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/dimmlink_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimmlink.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
