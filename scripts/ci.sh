@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 CI: plain build + full test suite, then an ASan+UBSan build of
+# the same suite, then the event-kernel microbench as a smoke test.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1 build"
+cmake -S "$root" -B "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$root/build" -j "$jobs"
+
+echo "==> tier-1 tests"
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo "==> sanitizer build (ASan+UBSan)"
+cmake -S "$root" -B "$root/build-asan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_SANITIZERS=ON
+cmake --build "$root/build-asan" -j "$jobs"
+
+echo "==> sanitizer tests"
+# Leak checking needs ptrace, which most CI containers deny; the
+# sanitizers' aborts on ASan/UBSan findings are what we are after.
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+
+echo "==> event-kernel microbench (smoke)"
+"$root/build/bench/micro_eventqueue" \
+    --benchmark_min_time=0.05 --benchmark_format=json
+
+echo "==> CI green"

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/rng.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 
@@ -94,6 +99,297 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "before now");
+}
+
+TEST(EventQueue, RunUntilAdvancesNowToLimit)
+{
+    // Regression: callers comparing now() to the limit used to see
+    // the tick of the last executed event instead of the limit.
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(10, [&] { fired = true; });
+    EXPECT_EQ(eq.runUntil(100), 100u);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilWithNoEventsAdvancesNow)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(42), 42u);
+    EXPECT_EQ(eq.now(), 42u);
+}
+
+TEST(EventQueue, RunUntilDoesNotRewindNow)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    EXPECT_EQ(eq.runUntil(20), 50u);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, DescheduleAcrossWheelLevelsAndSpill)
+{
+    // Exercise cancellation of events parked in the L0 wheel, the L1
+    // wheel, and the far-future spill heap.
+    EventQueue eq;
+    std::vector<int> order;
+    const auto near = eq.schedule(100, [&] { order.push_back(0); });
+    const auto mid = eq.schedule(1u << 16, [&] { order.push_back(1); });
+    const auto far =
+        eq.schedule(Tick(1) << 30, [&] { order.push_back(2); });
+    eq.schedule(101, [&] { order.push_back(3); });
+    eq.schedule(1u << 17, [&] { order.push_back(4); });
+    eq.schedule((Tick(1) << 30) + 1, [&] { order.push_back(5); });
+    EXPECT_EQ(eq.size(), 6u);
+    eq.deschedule(near);
+    eq.deschedule(mid);
+    eq.deschedule(far);
+    EXPECT_EQ(eq.size(), 3u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{3, 4, 5}));
+    EXPECT_EQ(eq.executed(), 3u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, StaleIdForRecycledSlotIsNoOp)
+{
+    // After an event fires, its slot may be recycled; the generation
+    // tag in the old id must keep deschedule() from cancelling the
+    // slot's new tenant.
+    EventQueue eq;
+    const auto id1 = eq.schedule(1, [] {});
+    eq.run();
+    bool fired = false;
+    const auto id2 = eq.schedule(2, [&] { fired = true; });
+    eq.deschedule(id1); // Stale: must not touch id2's event.
+    EXPECT_NE(id1, id2);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SameTickEventsScheduledMidDrainInterleaveByPriority)
+{
+    // A low-priority-value (earlier) event scheduled during the drain
+    // of its own tick must still fire before remaining higher-value
+    // events, exactly like the seed kernel's global (prio, seq) order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5,
+                [&] {
+                    order.push_back(0);
+                    eq.schedule(5, [&] { order.push_back(1); },
+                                EventPriority::Delivery);
+                },
+                EventPriority::Control);
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::Core);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, LargeCapturesExecuteViaPooledStorage)
+{
+    // Captures beyond EventCallback's inline buffer go through the
+    // slab pool; they must still run and destruct exactly once.
+    EventQueue eq;
+    auto guard = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = guard;
+    struct Big
+    {
+        std::uint64_t pad[12];
+        std::shared_ptr<int> p;
+    };
+    static_assert(sizeof(Big) > EventCallback::inlineCapacity);
+    int seen = 0;
+    eq.schedule(3, [big = Big{{}, std::move(guard)}, &seen] {
+        seen = *big.p;
+    });
+    eq.run();
+    EXPECT_EQ(seen, 7);
+    EXPECT_TRUE(watch.expired()); // Capture destroyed after firing.
+}
+
+TEST(EventQueue, DescheduledCallbackIsEventuallyDestroyed)
+{
+    EventQueue eq;
+    auto guard = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = guard;
+    const auto id = eq.schedule(10, [g = std::move(guard)] {});
+    eq.deschedule(id);
+    eq.schedule(11, [] {});
+    eq.run(); // Walking tick 10's bucket reclaims the tombstone.
+    EXPECT_TRUE(watch.expired());
+}
+
+/**
+ * Naive reference implementation of the kernel's ordering contract:
+ * a flat vector scanned for the (tick, prio, seq) minimum each step.
+ */
+class ReferenceQueue
+{
+  public:
+    std::uint64_t
+    schedule(Tick when, std::function<void()> cb, EventPriority prio)
+    {
+        events.push_back(Ev{when, static_cast<int>(prio), nextSeq,
+                            std::move(cb)});
+        return nextSeq++;
+    }
+
+    void
+    deschedule(std::uint64_t id)
+    {
+        for (auto it = events.begin(); it != events.end(); ++it) {
+            if (it->seq == id) {
+                events.erase(it);
+                return;
+            }
+        }
+    }
+
+    Tick now() const { return currentTick; }
+
+    bool
+    step()
+    {
+        if (events.empty())
+            return false;
+        auto best = events.begin();
+        for (auto it = events.begin(); it != events.end(); ++it) {
+            if (it->when < best->when ||
+                (it->when == best->when &&
+                 (it->prio < best->prio ||
+                  (it->prio == best->prio && it->seq < best->seq))))
+                best = it;
+        }
+        Ev ev = std::move(*best);
+        events.erase(best);
+        currentTick = ev.when;
+        ev.cb();
+        return true;
+    }
+
+  private:
+    struct Ev
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        std::function<void()> cb;
+    };
+    std::vector<Ev> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+/**
+ * Drives one queue implementation through a randomized
+ * schedule/deschedule/reschedule scenario. All decisions flow from
+ * deterministic Rng streams (one for the outer driver, one derived
+ * from each event's label), so two queues that execute events in the
+ * same order make bit-identical decisions.
+ */
+template <typename Q>
+class ScenarioDriver
+{
+  public:
+    ScenarioDriver(Q &q_, std::uint64_t seed_) : q(q_), seed(seed_) {}
+
+    std::vector<std::uint64_t>
+    run()
+    {
+        Rng rng(seed);
+        for (int i = 0; i < 400; ++i) {
+            scheduleOne(rng);
+            if (rng.chance(0.25) && !ids.empty())
+                q.deschedule(ids[rng.below(ids.size())]);
+        }
+        while (q.step()) {
+        }
+        return fired;
+    }
+
+  private:
+    static constexpr EventPriority prios[5] = {
+        EventPriority::Delivery, EventPriority::Control,
+        EventPriority::Core, EventPriority::Stat,
+        EventPriority::Default};
+
+    Tick
+    randomDelta(Rng &rng)
+    {
+        switch (rng.below(8)) {
+          case 0:
+            return 0; // Same-tick burst.
+          case 1:
+            return rng.range(1, 16); // Near events.
+          case 2:
+            return rng.range(500, 3000); // Router/DRAM latencies.
+          case 3:
+            return rng.range(4090, 4102); // L0/L1 wheel boundary.
+          case 4:
+            return rng.range(1u << 15, 1u << 20); // Deep L1.
+          case 5:
+            // L1/spill boundary.
+            return rng.range((1u << 24) - 8, (1u << 24) + 8);
+          case 6:
+            return rng.range(Tick(1) << 25, Tick(1) << 28); // Spill.
+          default:
+            return rng.range(1, 4096);
+        }
+    }
+
+    void
+    scheduleOne(Rng &rng)
+    {
+        if (budget == 0)
+            return;
+        --budget;
+        const Tick when = q.now() + randomDelta(rng);
+        const EventPriority prio = prios[rng.below(5)];
+        const std::uint64_t label = nextLabel++;
+        ids.push_back(q.schedule(
+            when, [this, label] { onFire(label); }, prio));
+    }
+
+    void
+    onFire(std::uint64_t label)
+    {
+        fired.push_back(label);
+        // Per-label stream: both queues reach this label with the
+        // same history, so both derive identical follow-up actions.
+        Rng r(seed ^ (label * 0x9e3779b97f4a7c15ull));
+        const std::uint64_t n = r.below(3);
+        for (std::uint64_t i = 0; i < n; ++i)
+            scheduleOne(r);
+        if (r.chance(0.35) && !ids.empty())
+            q.deschedule(ids[r.below(ids.size())]);
+    }
+
+    Q &q;
+    std::uint64_t seed;
+    std::vector<std::uint64_t> fired;
+    std::vector<std::uint64_t> ids;
+    std::uint64_t nextLabel = 0;
+    int budget = 1500;
+};
+
+TEST(EventQueueStress, ExecutionOrderMatchesReferenceQueue)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        EventQueue wheel;
+        ReferenceQueue ref;
+        const auto wheelOrder =
+            ScenarioDriver<EventQueue>(wheel, seed).run();
+        const auto refOrder =
+            ScenarioDriver<ReferenceQueue>(ref, seed).run();
+        ASSERT_FALSE(wheelOrder.empty());
+        ASSERT_EQ(wheelOrder, refOrder) << "seed " << seed;
+        EXPECT_EQ(wheel.now(), ref.now()) << "seed " << seed;
+        EXPECT_TRUE(wheel.empty());
+    }
 }
 
 TEST(Clocked, CycleTickConversions)
