@@ -4,21 +4,32 @@
  * shape, fabric, polling/sync/topology/mapping options and a
  * workload, run it, and print every metric the library collects.
  *
+ * The machine can come from three layered sources, later ones
+ * overriding earlier ones:
+ *
+ *   1. --preset / --config FILE   (base configuration)
+ *   2. convenience flags          (--fabric, --topology, ...)
+ *   3. -p section.key=value       (Ramulator-style point overrides)
+ *
  * Usage:
  *   example_simulate [options]
- *     --preset   4D-2C|8D-4C|12D-6C|16D-8C   (default 8D-4C)
- *     --fabric   mcn|aim|abc|dimmlink        (default dimmlink)
- *     --workload bfs|hotspot|kmeans|nw|pagerank|sssp|spmv|tspow
- *     --scale    N                           (default 12)
- *     --rounds   N                           (default 4)
- *     --topology halfring|ring|mesh|torus    (default halfring)
- *     --polling  base|base-itrpt|proxy|proxy-itrpt (default proxy)
- *     --sync     central|hier                (default hier)
- *     --mapping                              (enable Algorithm 1)
- *     --broadcast                            (broadcast-mode kernel)
- *     --linkgbps F                           (default 25)
- *     --cpu                                  (run the host baseline too)
- *     --stats                                (dump raw statistics)
+ *     --config FILE    flat JSON config (see configs/default.json)
+ *     --preset 4D-2C|8D-4C|12D-6C|16D-8C      (default 8D-4C)
+ *     -p section.key=value                    (repeatable override)
+ *     --dump-config    print the resolved config JSON and exit
+ *     --fabric   mcn|aim|abc|dimmlink         (default dimmlink)
+ *     --workload bfs|hotspot|kmeans|nw|pagerank|sssp|spmv|tspow|...
+ *     --scale    N                            (default 12)
+ *     --rounds   N                            (default 4)
+ *     --topology halfring|ring|mesh|torus
+ *     --polling  base|base-itrpt|proxy|proxy-itrpt
+ *     --sync     central|hier
+ *     --mapping                               (enable Algorithm 1)
+ *     --broadcast                             (broadcast-mode kernel)
+ *     --linkgbps F
+ *     --cpu                                   (run the host baseline)
+ *     --stats                                 (dump raw statistics)
+ *     --json                                  (stats + config as JSON)
  */
 
 #include <cstdio>
@@ -44,22 +55,33 @@ usage(const char *msg)
     std::exit(2);
 }
 
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string preset = "8D-4C";
-    std::string fabric = "dimmlink";
+    std::string config_file;
     std::string workload = "pagerank";
-    std::string topology = "halfring";
-    std::string polling = "proxy";
-    std::string sync = "hier";
     std::uint64_t scale = 12;
     unsigned rounds = 4;
-    double link_gbps = 25.0;
-    bool mapping = false, broadcast = false, run_cpu = false,
-         dump_stats = false, dump_json = false;
+    bool broadcast = false, run_cpu = false, dump_stats = false,
+         dump_json = false, dump_config = false;
+    // Convenience flags and -p overrides, applied onto the base
+    // config in command-line order.
+    std::vector<std::string> overrides;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -70,8 +92,14 @@ main(int argc, char **argv)
         };
         if (a == "--preset")
             preset = next();
+        else if (a == "--config")
+            config_file = next();
+        else if (a == "-p")
+            overrides.push_back(next());
+        else if (a == "--dump-config")
+            dump_config = true;
         else if (a == "--fabric")
-            fabric = next();
+            overrides.push_back("system.idcMethod=" + next());
         else if (a == "--workload")
             workload = next();
         else if (a == "--scale")
@@ -79,17 +107,17 @@ main(int argc, char **argv)
         else if (a == "--rounds")
             rounds = static_cast<unsigned>(std::stoul(next()));
         else if (a == "--topology")
-            topology = next();
+            overrides.push_back("link.topology=" + next());
         else if (a == "--polling")
-            polling = next();
+            overrides.push_back("system.pollingMode=" + next());
         else if (a == "--sync")
-            sync = next();
+            overrides.push_back("system.syncScheme=" + next());
         else if (a == "--mapping")
-            mapping = true;
+            overrides.push_back("system.distanceAwareMapping=true");
         else if (a == "--broadcast")
             broadcast = true;
         else if (a == "--linkgbps")
-            link_gbps = std::stod(next());
+            overrides.push_back("link.linkGBps=" + next());
         else if (a == "--cpu")
             run_cpu = true;
         else if (a == "--stats")
@@ -100,44 +128,21 @@ main(int argc, char **argv)
             usage(("unknown option " + a).c_str());
     }
 
-    SystemConfig cfg = SystemConfig::preset(preset);
-    if (fabric == "mcn")
-        cfg.idcMethod = IdcMethod::CpuForwarding;
-    else if (fabric == "aim")
-        cfg.idcMethod = IdcMethod::DedicatedBus;
-    else if (fabric == "abc")
-        cfg.idcMethod = IdcMethod::ChannelBroadcast;
-    else if (fabric == "dimmlink")
-        cfg.idcMethod = IdcMethod::DimmLink;
-    else
-        usage("bad --fabric");
+    SystemConfig cfg = config_file.empty()
+        ? SystemConfig::preset(preset)
+        : SystemConfig::fromFile(config_file);
+    for (const std::string &o : overrides)
+        cfg.applyOverride(o);
 
-    if (topology == "halfring")
-        cfg.link.topology = Topology::HalfRing;
-    else if (topology == "ring")
-        cfg.link.topology = Topology::Ring;
-    else if (topology == "mesh")
-        cfg.link.topology = Topology::Mesh;
-    else if (topology == "torus")
-        cfg.link.topology = Topology::Torus;
-    else
-        usage("bad --topology");
+    if (dump_config) {
+        std::cout << cfg.describe();
+        return 0;
+    }
 
-    if (polling == "base")
-        cfg.pollingMode = PollingMode::Baseline;
-    else if (polling == "base-itrpt")
-        cfg.pollingMode = PollingMode::BaselineInterrupt;
-    else if (polling == "proxy")
-        cfg.pollingMode = PollingMode::Proxy;
-    else if (polling == "proxy-itrpt")
-        cfg.pollingMode = PollingMode::ProxyInterrupt;
-    else
-        usage("bad --polling");
+    if (!workloads::WorkloadFactory::instance().contains(workload))
+        usage(("unknown workload '" + workload + "' (registered: " +
+               joined(workloads::knownWorkloads()) + ")").c_str());
 
-    cfg.syncScheme = sync == "central" ? SyncScheme::Centralized
-                                       : SyncScheme::Hierarchical;
-    cfg.distanceAwareMapping = mapping;
-    cfg.link.linkGBps = link_gbps;
     cfg.print(std::cout);
 
     System sys(cfg);
@@ -152,8 +157,8 @@ main(int argc, char **argv)
     Runner runner(sys, *wl);
     const RunResult r = runner.run();
 
-    std::printf("\n%s on %s over %s:\n", workload.c_str(),
-                preset.c_str(), toString(cfg.idcMethod));
+    std::printf("\n%s on %uD-%uC over %s:\n", workload.c_str(),
+                cfg.numDimms, cfg.numChannels, toString(cfg.idcMethod));
     std::printf("  kernel time          : %10.3f ms\n",
                 r.kernelTicks / 1e9);
     std::printf("  profiling time       : %10.3f ms\n",
@@ -197,6 +202,6 @@ main(int argc, char **argv)
         sys.stats().dump(std::cout);
     }
     if (dump_json)
-        stats::dumpJson(sys.stats(), std::cout);
+        stats::dumpJson(sys.stats(), std::cout, false, &cfg);
     return r.verified ? 0 : 1;
 }

@@ -7,8 +7,9 @@ set -euo pipefail
 root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> tier-1 build"
-cmake -S "$root" -B "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "==> tier-1 build (-Wall -Wextra -Werror)"
+cmake -S "$root" -B "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS=-Werror
 cmake --build "$root/build" -j "$jobs"
 
 echo "==> tier-1 tests"
@@ -28,5 +29,12 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
 echo "==> event-kernel microbench (smoke)"
 "$root/build/bench/micro_eventqueue" \
     --benchmark_min_time=0.05 --benchmark_format=json
+
+echo "==> end-to-end run from the checked-in config"
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 -p system.dramScheduler=FCFS \
+    --workload stream --scale 4 --rounds 1
 
 echo "==> CI green"

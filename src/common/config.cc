@@ -1,7 +1,16 @@
 #include "common/config.hh"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+
 #include "common/bitfield.hh"
+#include "common/json.hh"
 #include "common/log.hh"
+#include "dram/sched_policy.hh"
+#include "dram/timing.hh"
 
 namespace dimmlink {
 
@@ -51,6 +60,330 @@ toString(SyncScheme s)
     return "?";
 }
 
+namespace {
+
+/** Lowercase with punctuation stripped: "P-P+Itrpt" -> "ppitrpt". */
+std::string
+normalized(const std::string &s)
+{
+    std::string out;
+    for (const char c : s)
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace
+
+IdcMethod
+idcMethodFromString(const std::string &s)
+{
+    const std::string n = normalized(s);
+    if (n == "mcn" || n == "cpuforwarding")
+        return IdcMethod::CpuForwarding;
+    if (n == "aim" || n == "dedicatedbus")
+        return IdcMethod::DedicatedBus;
+    if (n == "abcdimm" || n == "abc" || n == "channelbroadcast")
+        return IdcMethod::ChannelBroadcast;
+    if (n == "dimmlink" || n == "dl")
+        return IdcMethod::DimmLink;
+    fatal("unknown IDC method '%s' (valid: MCN, AIM, ABC-DIMM, "
+          "DIMM-Link)", s.c_str());
+}
+
+PollingMode
+pollingModeFromString(const std::string &s)
+{
+    const std::string n = normalized(s);
+    if (n == "base" || n == "baseline")
+        return PollingMode::Baseline;
+    if (n == "baseitrpt" || n == "baselineinterrupt")
+        return PollingMode::BaselineInterrupt;
+    if (n == "pp" || n == "proxy")
+        return PollingMode::Proxy;
+    if (n == "ppitrpt" || n == "proxyitrpt" || n == "proxyinterrupt")
+        return PollingMode::ProxyInterrupt;
+    fatal("unknown polling mode '%s' (valid: Base, Base+Itrpt, P-P, "
+          "P-P+Itrpt)", s.c_str());
+}
+
+Topology
+topologyFromString(const std::string &s)
+{
+    const std::string n = normalized(s);
+    if (n == "halfring" || n == "chain")
+        return Topology::HalfRing;
+    if (n == "ring")
+        return Topology::Ring;
+    if (n == "mesh")
+        return Topology::Mesh;
+    if (n == "torus")
+        return Topology::Torus;
+    fatal("unknown topology '%s' (valid: HalfRing, Ring, Mesh, Torus)",
+          s.c_str());
+}
+
+SyncScheme
+syncSchemeFromString(const std::string &s)
+{
+    const std::string n = normalized(s);
+    if (n == "centralized" || n == "central")
+        return SyncScheme::Centralized;
+    if (n == "hierarchical" || n == "hier")
+        return SyncScheme::Hierarchical;
+    fatal("unknown sync scheme '%s' (valid: Centralized, Hierarchical)",
+          s.c_str());
+}
+
+namespace {
+
+// ---- config key schema -------------------------------------------------
+//
+// One Field per knob: the dotted key, a getter producing the value's
+// JSON token, and a setter parsing the config-file spelling. The
+// parse/format pairs below are chosen by overload on the member type.
+
+[[noreturn]] void
+badValue(const char *key, const std::string &v, const char *expected)
+{
+    fatal("config key '%s': cannot parse '%s' as %s", key, v.c_str(),
+          expected);
+}
+
+std::uint64_t
+parseValue(const std::string &v, const char *key, std::uint64_t)
+{
+    char *end = nullptr;
+    if (!v.empty() && v[0] == '-')
+        badValue(key, v, "a non-negative integer");
+    const unsigned long long r = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        badValue(key, v, "a non-negative integer");
+    return r;
+}
+
+unsigned
+parseValue(const std::string &v, const char *key, unsigned)
+{
+    const std::uint64_t r = parseValue(v, key, std::uint64_t{});
+    if (r > 0xffffffffull)
+        badValue(key, v, "a 32-bit unsigned integer");
+    return static_cast<unsigned>(r);
+}
+
+double
+parseValue(const std::string &v, const char *key, double)
+{
+    char *end = nullptr;
+    const double r = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        badValue(key, v, "a number");
+    return r;
+}
+
+bool
+parseValue(const std::string &v, const char *key, bool)
+{
+    const std::string n = normalized(v);
+    if (n == "true" || n == "1" || n == "yes" || n == "on")
+        return true;
+    if (n == "false" || n == "0" || n == "no" || n == "off")
+        return false;
+    badValue(key, v, "a boolean (true/false)");
+}
+
+std::string
+parseValue(const std::string &v, const char *, const std::string &)
+{
+    return v;
+}
+
+IdcMethod
+parseValue(const std::string &v, const char *, IdcMethod)
+{
+    return idcMethodFromString(v);
+}
+
+PollingMode
+parseValue(const std::string &v, const char *, PollingMode)
+{
+    return pollingModeFromString(v);
+}
+
+Topology
+parseValue(const std::string &v, const char *, Topology)
+{
+    return topologyFromString(v);
+}
+
+SyncScheme
+parseValue(const std::string &v, const char *, SyncScheme)
+{
+    return syncSchemeFromString(v);
+}
+
+std::string
+formatValue(unsigned v)
+{
+    return std::to_string(v);
+}
+
+std::string
+formatValue(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+formatValue(bool v)
+{
+    return v ? "true" : "false";
+}
+
+/** Shortest decimal form that parses back to exactly @p v. */
+std::string
+formatValue(double v)
+{
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + s + "\"";
+}
+
+std::string
+formatValue(const std::string &v)
+{
+    return quoted(v);
+}
+
+std::string formatValue(IdcMethod v) { return quoted(toString(v)); }
+std::string formatValue(PollingMode v) { return quoted(toString(v)); }
+std::string formatValue(Topology v) { return quoted(toString(v)); }
+std::string formatValue(SyncScheme v) { return quoted(toString(v)); }
+
+struct Field
+{
+    const char *key;
+    std::string (*get)(const SystemConfig &);
+    void (*set)(SystemConfig &, const std::string &);
+};
+
+#define CFG_FIELD(key, expr)                                            \
+    Field{key,                                                          \
+          [](const SystemConfig &c) { return formatValue(c.expr); },    \
+          [](SystemConfig &c, const std::string &v) {                   \
+              c.expr = parseValue(v, key, c.expr);                      \
+          }}
+
+const std::vector<Field> &
+fields()
+{
+    static const std::vector<Field> table = {
+        CFG_FIELD("system.numDimms", numDimms),
+        CFG_FIELD("system.numChannels", numChannels),
+        CFG_FIELD("system.dimmsPerGroup", dimmsPerGroup),
+        CFG_FIELD("system.idcMethod", idcMethod),
+        CFG_FIELD("system.pollingMode", pollingMode),
+        CFG_FIELD("system.syncScheme", syncScheme),
+        CFG_FIELD("system.distanceAwareMapping", distanceAwareMapping),
+        CFG_FIELD("system.profileFraction", profileFraction),
+        CFG_FIELD("system.dramPreset", dramPreset),
+        CFG_FIELD("system.dramScheduler", dramScheduler),
+        CFG_FIELD("system.seed", seed),
+
+        CFG_FIELD("host.numCores", host.numCores),
+        CFG_FIELD("host.coreFreqMHz", host.coreFreqMHz),
+        CFG_FIELD("host.computeIpc", host.computeIpc),
+        CFG_FIELD("host.numChannels", host.numChannels),
+        CFG_FIELD("host.channelGBps", host.channelGBps),
+        CFG_FIELD("host.l1Bytes", host.l1Bytes),
+        CFG_FIELD("host.l1Assoc", host.l1Assoc),
+        CFG_FIELD("host.llcBytes", host.llcBytes),
+        CFG_FIELD("host.llcAssoc", host.llcAssoc),
+        CFG_FIELD("host.lineBytes", host.lineBytes),
+        CFG_FIELD("host.l1LatencyPs", host.l1LatencyPs),
+        CFG_FIELD("host.llcLatencyPs", host.llcLatencyPs),
+        CFG_FIELD("host.forwardLatencyPs", host.forwardLatencyPs),
+        CFG_FIELD("host.interruptLatencyPs", host.interruptLatencyPs),
+        CFG_FIELD("host.pollIntervalPs", host.pollIntervalPs),
+        CFG_FIELD("host.pollReadBytes", host.pollReadBytes),
+        CFG_FIELD("host.pollChannelPs", host.pollChannelPs),
+        CFG_FIELD("host.pollThreads", host.pollThreads),
+        CFG_FIELD("host.forwardIssuePs", host.forwardIssuePs),
+
+        CFG_FIELD("dimm.numCores", dimm.numCores),
+        CFG_FIELD("dimm.coreFreqMHz", dimm.coreFreqMHz),
+        CFG_FIELD("dimm.computeIpc", dimm.computeIpc),
+        CFG_FIELD("dimm.l1Bytes", dimm.l1Bytes),
+        CFG_FIELD("dimm.l1Assoc", dimm.l1Assoc),
+        CFG_FIELD("dimm.l2Bytes", dimm.l2Bytes),
+        CFG_FIELD("dimm.l2Assoc", dimm.l2Assoc),
+        CFG_FIELD("dimm.lineBytes", dimm.lineBytes),
+        CFG_FIELD("dimm.l1LatencyPs", dimm.l1LatencyPs),
+        CFG_FIELD("dimm.l2LatencyPs", dimm.l2LatencyPs),
+        CFG_FIELD("dimm.maxOutstanding", dimm.maxOutstanding),
+        CFG_FIELD("dimm.numRanks", dimm.numRanks),
+        CFG_FIELD("dimm.capacityBytes", dimm.capacityBytes),
+
+        CFG_FIELD("link.linkGBps", link.linkGBps),
+        CFG_FIELD("link.routerLatencyPs", link.routerLatencyPs),
+        CFG_FIELD("link.wireLatencyPs", link.wireLatencyPs),
+        CFG_FIELD("link.bufferFlits", link.bufferFlits),
+        CFG_FIELD("link.flitBits", link.flitBits),
+        CFG_FIELD("link.retryTimeoutPs", link.retryTimeoutPs),
+        CFG_FIELD("link.maxRetries", link.maxRetries),
+        CFG_FIELD("link.topology", link.topology),
+
+        CFG_FIELD("bus.busGBps", bus.busGBps),
+        CFG_FIELD("bus.arbitrationPs", bus.arbitrationPs),
+
+        CFG_FIELD("energy.linkPjPerBit", energy.linkPjPerBit),
+        CFG_FIELD("energy.ddrRdWrPjPerBit", energy.ddrRdWrPjPerBit),
+        CFG_FIELD("energy.busIoPjPerBit", energy.busIoPjPerBit),
+        CFG_FIELD("energy.activateNj", energy.activateNj),
+        CFG_FIELD("energy.nmpCoreWatt", energy.nmpCoreWatt),
+        CFG_FIELD("energy.hostForwardNjPerPkt",
+                  energy.hostForwardNjPerPkt),
+        CFG_FIELD("energy.hostPollNj", energy.hostPollNj),
+        CFG_FIELD("energy.dedicatedBusPjPerBit",
+                  energy.dedicatedBusPjPerBit),
+    };
+    return table;
+}
+
+#undef CFG_FIELD
+
+/** Shared cache-geometry constraints (mirrors the Cache ctor checks,
+ * surfaced here so a bad config fails before any component builds). */
+void
+validateCache(const char *what, unsigned bytes, unsigned assoc,
+              unsigned line)
+{
+    if (line < 8 || !isPow2(line))
+        fatal("%s: line size %u must be a power of two >= 8", what,
+              line);
+    if (assoc == 0)
+        fatal("%s: associativity must be positive", what);
+    if (bytes == 0 || bytes % (assoc * line) != 0)
+        fatal("%s: %u bytes do not divide into %u ways of %u-byte "
+              "lines", what, bytes, assoc, line);
+    const unsigned sets = bytes / (assoc * line);
+    if (!isPow2(sets))
+        fatal("%s: set count %u must be a power of two", what, sets);
+}
+
+} // namespace
+
 unsigned
 SystemConfig::groupSize() const
 {
@@ -72,6 +405,7 @@ SystemConfig::numGroups() const
 void
 SystemConfig::validate() const
 {
+    // System shape: DIMMs, channels, groups.
     if (numDimms == 0)
         fatal("numDimms must be positive");
     if (numChannels == 0 || numDimms % numChannels != 0)
@@ -83,17 +417,81 @@ SystemConfig::validate() const
     if (numDimms % groupSize() != 0)
         fatal("numDimms (%u) must be a multiple of the group size (%u)",
               numDimms, groupSize());
+    if (host.numChannels < numChannels)
+        fatal("host provides %u channels but the system needs %u",
+              host.numChannels, numChannels);
+
+    // Topology vs. group shape.
     if (link.topology == Topology::Mesh ||
         link.topology == Topology::Torus) {
         if (groupSize() % 2 != 0 && groupSize() > 2)
             fatal("mesh/torus groups need an even number of DIMMs, "
                   "got %u", groupSize());
     }
-    if (host.numChannels < numChannels)
-        fatal("host provides %u channels but the system needs %u",
-              host.numChannels, numChannels);
+    if (link.linkGBps <= 0)
+        fatal("link.linkGBps must be positive, got %g", link.linkGBps);
+    if (link.flitBits == 0 || link.flitBits % 8 != 0)
+        fatal("link.flitBits (%u) must be a positive multiple of 8",
+              link.flitBits);
+    if (link.bufferFlits == 0)
+        fatal("link.bufferFlits must be positive");
+
+    // Address map: the DIMM-id bits sit above the capacity bits, so
+    // per-DIMM capacity must be a power of two and line-aligned.
+    if (!isPow2(dimm.capacityBytes))
+        fatal("dimm.capacityBytes (%llu) must be a power of two "
+              "(the DIMM id occupies the high address bits)",
+              static_cast<unsigned long long>(dimm.capacityBytes));
+    if (dimm.capacityBytes % dimm.lineBytes != 0)
+        fatal("dimm.capacityBytes must be a multiple of the line size");
+
+    // Cache geometry (checked here so errors name the config keys).
+    validateCache("host L1", host.l1Bytes, host.l1Assoc,
+                  host.lineBytes);
+    validateCache("host LLC", host.llcBytes, host.llcAssoc,
+                  host.lineBytes);
+    validateCache("NMP L1", dimm.l1Bytes, dimm.l1Assoc,
+                  dimm.lineBytes);
+    validateCache("NMP L2", dimm.l2Bytes, dimm.l2Assoc,
+                  dimm.lineBytes);
+
+    // Host and DIMM resources.
+    if (host.numCores == 0 || dimm.numCores == 0)
+        fatal("host and DIMM core counts must be positive");
+    if (host.coreFreqMHz <= 0 || dimm.coreFreqMHz <= 0)
+        fatal("core frequencies must be positive");
+    if (host.channelGBps <= 0 || bus.busGBps <= 0)
+        fatal("channel and bus bandwidths must be positive");
+    if (host.pollThreads == 0)
+        fatal("host.pollThreads must be positive (the forwarder "
+              "issues through the polling threads)");
+    if (host.pollIntervalPs == 0)
+        fatal("host.pollIntervalPs must be positive");
     if (dimm.maxOutstanding == 0)
         fatal("NMP cores need at least one MSHR");
+    if (dimm.numRanks == 0)
+        fatal("dimm.numRanks must be positive");
+
+    // Registry-keyed names, checked here so a bad config fails with
+    // the valid alternatives before any component builds.
+    const auto &sched = dram::SchedPolicyFactory::instance();
+    if (!sched.contains(dramScheduler))
+        fatal("unknown DRAM scheduling policy '%s' (registered: %s)",
+              dramScheduler.c_str(), sched.knownList().c_str());
+    const auto &presets = dram::Timing::presets();
+    if (std::find(presets.begin(), presets.end(), dramPreset) ==
+        presets.end()) {
+        std::string list;
+        for (const std::string &p : presets)
+            list += (list.empty() ? "" : ", ") + p;
+        fatal("unknown DRAM timing preset '%s' (valid: %s)",
+              dramPreset.c_str(), list.c_str());
+    }
+
+    // Mapping knobs.
+    if (profileFraction < 0.0 || profileFraction > 1.0)
+        fatal("profileFraction (%g) must be within [0, 1]",
+              profileFraction);
 }
 
 SystemConfig
@@ -113,10 +511,103 @@ SystemConfig::preset(const std::string &name)
         cfg.numDimms = 16;
         cfg.numChannels = 8;
     } else {
-        fatal("unknown system preset '%s'", name.c_str());
+        fatal("unknown system preset '%s' (valid: 4D-2C, 8D-4C, "
+              "12D-6C, 16D-8C)", name.c_str());
     }
     cfg.host.numChannels = cfg.numChannels;
     return cfg;
+}
+
+void
+SystemConfig::set(const std::string &key, const std::string &value)
+{
+    for (const Field &f : fields()) {
+        if (key == f.key) {
+            f.set(*this, value);
+            return;
+        }
+    }
+    // Unknown key: point at the section's keys when the section
+    // exists, otherwise list the sections.
+    const std::string section = key.substr(0, key.find('.'));
+    std::string siblings;
+    for (const Field &f : fields()) {
+        const std::string fkey = f.key;
+        if (fkey.compare(0, section.size() + 1, section + ".") == 0) {
+            if (!siblings.empty())
+                siblings += ", ";
+            siblings += fkey;
+        }
+    }
+    if (!siblings.empty())
+        fatal("unknown config key '%s' (keys in section '%s': %s)",
+              key.c_str(), section.c_str(), siblings.c_str());
+    fatal("unknown config key '%s' (sections: system, host, dimm, "
+          "link, bus, energy)", key.c_str());
+}
+
+void
+SystemConfig::applyOverride(const std::string &key_eq_value)
+{
+    const std::size_t eq = key_eq_value.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("malformed override '%s' (expected section.key=value)",
+              key_eq_value.c_str());
+    set(key_eq_value.substr(0, eq), key_eq_value.substr(eq + 1));
+}
+
+std::vector<std::string>
+SystemConfig::knownKeys()
+{
+    std::vector<std::string> keys;
+    keys.reserve(fields().size());
+    for (const Field &f : fields())
+        keys.push_back(f.key);
+    return keys;
+}
+
+SystemConfig
+SystemConfig::fromString(const std::string &text,
+                         const std::string &origin)
+{
+    SystemConfig cfg;
+    for (const json::Entry &e : json::parseFlat(text, origin))
+        cfg.set(e.key, e.value);
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::fromFile(const std::string &path)
+{
+    SystemConfig cfg;
+    for (const json::Entry &e : json::parseFlatFile(path))
+        cfg.set(e.key, e.value);
+    return cfg;
+}
+
+std::vector<std::pair<std::string, std::string>>
+SystemConfig::describeEntries() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(fields().size());
+    for (const Field &f : fields())
+        out.emplace_back(f.key, f.get(*this));
+    return out;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::string out = "{\n";
+    const auto entries = describeEntries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        out += "  \"" + entries[i].first + "\": " + entries[i].second;
+        if (i + 1 < entries.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "}\n";
+    return out;
 }
 
 void
@@ -144,7 +635,8 @@ SystemConfig::print(std::ostream &os) const
        << toString(link.topology) << ", " << link.flitBits
        << "-bit flits, " << link.bufferFlits << "-flit buffers\n"
        << "  AIM bus: " << bus.busGBps << " GB/s shared\n"
-       << "  DRAM preset: " << dramPreset << "\n";
+       << "  DRAM preset: " << dramPreset
+       << "  scheduler: " << dramScheduler << "\n";
 }
 
 } // namespace dimmlink

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -50,6 +52,18 @@ const char *toString(IdcMethod m);
 const char *toString(PollingMode m);
 const char *toString(Topology t);
 const char *toString(SyncScheme s);
+
+/**
+ * Enum parsers for config files and CLI flags. Matching is
+ * case-insensitive and ignores punctuation, so the canonical paper
+ * names ("DIMM-Link", "P-P+Itrpt") and the CLI spellings ("dimmlink",
+ * "proxy-itrpt") both parse; unknown names fatal() listing the valid
+ * ones. Each round-trips with its toString().
+ */
+IdcMethod idcMethodFromString(const std::string &s);
+PollingMode pollingModeFromString(const std::string &s);
+Topology topologyFromString(const std::string &s);
+SyncScheme syncSchemeFromString(const std::string &s);
 
 /** Host CPU and memory-channel parameters. */
 struct HostConfig
@@ -185,8 +199,12 @@ struct SystemConfig
     BusConfig bus;
     EnergyConfig energy;
 
-    /** DRAM timing preset name ("DDR4_2400" only, for now). */
+    /** DRAM timing preset name ("DDR4_2400" or "DDR4_3200"). */
     std::string dramPreset = "DDR4_2400";
+
+    /** DRAM controller scheduling policy (registry-keyed; the seed
+     * behavior is "FRFCFS", "FCFS" serves strictly in order). */
+    std::string dramScheduler = "FRFCFS";
 
     std::uint64_t seed = 1;
 
@@ -204,11 +222,48 @@ struct SystemConfig
         return static_cast<ChannelId>(d / dimmsPerChannel());
     }
 
-    /** Validate derived invariants; fatal() on bad configs. */
+    /** Validate every cross-field invariant; fatal() on bad configs. */
     void validate() const;
 
     /** Named preset for the four paper configurations. */
     static SystemConfig preset(const std::string &name);
+
+    /**
+     * Build a config from a flat JSON document (see configs/ for the
+     * schema): defaults first, then every "section.key" member applied
+     * through set(). fatal()s on unknown keys or malformed values.
+     */
+    static SystemConfig fromFile(const std::string &path);
+    static SystemConfig fromString(const std::string &text,
+                                   const std::string &origin = "<config>");
+
+    /**
+     * Set one field by its dotted config key ("system.numDimms",
+     * "link.topology", ...). Values use the same spellings as config
+     * files; fatal()s on unknown keys with the keys of the section.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /** Apply one Ramulator-style "-p section.key=value" override. */
+    void applyOverride(const std::string &key_eq_value);
+
+    /** Every config key, sorted, for tooling and error messages. */
+    static std::vector<std::string> knownKeys();
+
+    /**
+     * The fully-resolved config as (dotted key, JSON token) pairs in
+     * schema order: the source of truth for describe() and for the
+     * config section embedded into stats JSON dumps.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    describeEntries() const;
+
+    /**
+     * Dump the fully-resolved config as a flat JSON document. The
+     * output reparses through fromString() into an identical config,
+     * so every run is reproducible from its own stats header.
+     */
+    std::string describe() const;
 
     /** Table V-style dump. */
     void print(std::ostream &os) const;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "common/config.hh"
+
 namespace dimmlink {
 namespace stats {
 
@@ -55,13 +57,28 @@ num(std::ostream &os, double v)
 } // namespace
 
 void
-dumpJson(const Registry &reg, std::ostream &os, bool include_empty)
+dumpJson(const Registry &reg, std::ostream &os, bool include_empty,
+         const SystemConfig *config)
 {
     // Walk groups via a const-cast-free path: Registry only exposes
     // groups through dump(); we mirror its deterministic iteration
     // by re-dumping through the public accessors.
     os << "{";
     bool first_group = true;
+    if (config) {
+        first_group = false;
+        os << "\n  \"config\": {";
+        bool first = true;
+        for (const auto &[key, value] : config->describeEntries()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            // The value is already a JSON token (describeEntries
+            // quotes strings itself).
+            os << "\"" << jsonEscape(key) << "\": " << value;
+        }
+        os << "}";
+    }
     reg.forEachGroup([&](const Group &g) {
         const bool has_scalars = [&] {
             for (const auto &[n, s] : g.scalars())

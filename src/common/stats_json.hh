@@ -14,6 +14,9 @@
 #include "common/stats.hh"
 
 namespace dimmlink {
+
+struct SystemConfig;
+
 namespace stats {
 
 /**
@@ -22,9 +25,14 @@ namespace stats {
  *     {count,mean,min,max} } }, ... }
  * Groups with no populated statistics are omitted unless
  * @p include_empty is set. Output is deterministic (sorted names).
+ *
+ * When @p config is given, a leading "config" section holds the fully
+ * resolved configuration (SystemConfig::describeEntries()), so every
+ * stats file records the exact machine that produced it.
  */
 void dumpJson(const Registry &reg, std::ostream &os,
-              bool include_empty = false);
+              bool include_empty = false,
+              const SystemConfig *config = nullptr);
 
 /** JSON string-escape helper (quotes, backslashes, control chars). */
 std::string jsonEscape(const std::string &s);

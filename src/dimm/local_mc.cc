@@ -25,7 +25,7 @@ LocalMc::LocalMc(EventQueue &eq, const std::string &name, DimmId self_,
         const std::string cname = name + ".rank" + std::to_string(r);
         rankCtrl.push_back(std::make_unique<dram::DramController>(
             eq, cname, timing, /*num_ranks=*/1, lineBytes,
-            reg.group(cname)));
+            reg.group(cname), cfg.dramScheduler));
         rankCtrl.back()->setUnblockCallback([this] { drainPending(); });
     }
 }

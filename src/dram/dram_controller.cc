@@ -9,19 +9,21 @@ namespace dram {
 
 namespace {
 
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
+constexpr std::size_t npos = SchedPolicy::npos;
 
 } // namespace
 
 DramController::DramController(EventQueue &eq, std::string name,
                                const Timing &timing, unsigned num_ranks,
                                unsigned line_bytes,
-                               stats::Group &stats_group)
+                               stats::Group &stats_group,
+                               const std::string &sched_policy)
     : Clocked(eq, std::move(name), timing.clkMHz),
       spec(timing),
       map(timing, num_ranks, line_bytes),
       ranks(num_ranks),
       banks(num_ranks * timing.banksPerRank()),
+      sched(makeSchedPolicy(sched_policy)),
       actWindow(num_ranks),
       nextCasSameGroup(num_ranks * timing.bankGroups, 0),
       rankBlockedUntil(num_ranks, 0),
@@ -139,58 +141,18 @@ DramController::casReadyAt(const QueuedReq &qr, Tick now_t) const
     return std::max(ready, now_t);
 }
 
-std::size_t
-DramController::pickFrom(const std::deque<QueuedReq> &q, Tick now_t,
-                         Tick &best_ready) const
+Tick
+DramController::stepReadyAt(const QueuedReq &qr, Tick now_t,
+                            bool &row_hit) const
 {
-    // FR-FCFS: oldest ready row-hit first; otherwise the oldest
-    // request overall makes progress (ACT or PRE). best_ready reports
-    // the earliest tick at which any request could take its next step,
-    // used to schedule the wakeup.
-    std::size_t hit_idx = npos;
-    Tick hit_ready = maxTick;
-    best_ready = maxTick;
-
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        const QueuedReq &qr = q[i];
-        const Bank &bank = bankOf(qr.coord);
-        const unsigned r = qr.coord.rank;
-        Tick step_ready;
-        if (bank.isOpen() && bank.openRow() == qr.coord.row) {
-            step_ready = casReadyAt(qr, now_t);
-            if (step_ready <= now_t && hit_idx == npos) {
-                hit_idx = i;
-                hit_ready = step_ready;
-            }
-        } else if (!bank.isOpen()) {
-            step_ready = actReadyAt(qr, now_t);
-        } else {
-            step_ready = std::max({bank.readyAt(DramCmd::Pre),
-                                   rankBlockedUntil[r], now_t});
-        }
-        best_ready = std::min(best_ready, step_ready);
-        (void)hit_ready;
-    }
-    if (hit_idx != npos)
-        return hit_idx;
-    // No ready row hit: let the oldest request make progress if its
-    // next step is ready now.
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        const QueuedReq &qr = q[i];
-        const Bank &bank = bankOf(qr.coord);
-        Tick step_ready;
-        if (bank.isOpen() && bank.openRow() == qr.coord.row)
-            step_ready = casReadyAt(qr, now_t);
-        else if (!bank.isOpen())
-            step_ready = actReadyAt(qr, now_t);
-        else
-            step_ready = std::max({bank.readyAt(DramCmd::Pre),
-                                   rankBlockedUntil[qr.coord.rank],
-                                   now_t});
-        if (step_ready <= now_t)
-            return i;
-    }
-    return npos;
+    const Bank &bank = bankOf(qr.coord);
+    row_hit = bank.isOpen() && bank.openRow() == qr.coord.row;
+    if (row_hit)
+        return casReadyAt(qr, now_t);
+    if (!bank.isOpen())
+        return actReadyAt(qr, now_t);
+    return std::max({bank.readyAt(DramCmd::Pre),
+                     rankBlockedUntil[qr.coord.rank], now_t});
 }
 
 Tick
@@ -284,7 +246,7 @@ DramController::tick()
 
     Tick best_ready = maxTick;
     if (!q.empty()) {
-        const std::size_t idx = pickFrom(q, now_t, best_ready);
+        const std::size_t idx = sched->pick(*this, q, now_t, best_ready);
         if (idx != npos) {
             QueuedReq &qr = q[static_cast<std::size_t>(idx)];
             const bool was_full =
@@ -305,7 +267,7 @@ DramController::tick()
     std::deque<QueuedReq> &other = serve_writes ? readQ : writeQ;
     if (!other.empty()) {
         Tick other_ready = maxTick;
-        pickFrom(other, now_t, other_ready);
+        sched->pick(*this, other, now_t, other_ready);
         best_ready = std::min(best_ready, other_ready);
     }
 

@@ -18,6 +18,7 @@
 #include "common/types.hh"
 #include "dram/address_map.hh"
 #include "dram/bank.hh"
+#include "dram/sched_policy.hh"
 #include "dram/timing.hh"
 #include "sim/clocked.hh"
 
@@ -33,6 +34,14 @@ struct DramRequest
     std::function<void()> done;
 };
 
+/** A request waiting in a controller queue, as scheduling sees it. */
+struct QueuedReq
+{
+    DramRequest req;
+    DramCoord coord;
+    Tick arrival;
+};
+
 /**
  * The controller. Accepts line-granularity requests via enqueue() and
  * calls each request's completion callback when its burst finishes.
@@ -42,7 +51,8 @@ class DramController : public Clocked
   public:
     DramController(EventQueue &eq, std::string name, const Timing &timing,
                    unsigned num_ranks, unsigned line_bytes,
-                   stats::Group &stats_group);
+                   stats::Group &stats_group,
+                   const std::string &sched_policy = "FRFCFS");
 
     /**
      * Queue a request. @return false when the read or write queue is
@@ -77,23 +87,20 @@ class DramController : public Clocked
 
     const Timing &timing() const { return spec; }
 
-  private:
-    struct QueuedReq
-    {
-        DramRequest req;
-        DramCoord coord;
-        Tick arrival;
-    };
+    /**
+     * Earliest tick the next command toward @p qr (CAS on a row hit,
+     * ACT on a closed bank, PRE on a conflict) could issue, never
+     * before @p now. Sets @p row_hit when the bank has qr's row open.
+     * This is the timing oracle SchedPolicy implementations pick from.
+     */
+    Tick stepReadyAt(const QueuedReq &qr, Tick now, bool &row_hit) const;
 
+  private:
     /** Schedule (or reschedule) the issue event at tick @p when. */
     void scheduleIssue(Tick when);
 
     /** Main scheduling loop: issue the best legal command now. */
     void tick();
-
-    /** FR-FCFS pick from one queue. @return index or npos. */
-    std::size_t pickFrom(const std::deque<QueuedReq> &q, Tick now,
-                         Tick &best_ready) const;
 
     /** Earliest tick the CAS for @p qr could issue, given bank state. */
     Tick casReadyAt(const QueuedReq &qr, Tick now) const;
@@ -121,6 +128,7 @@ class DramController : public Clocked
     LocalAddressMap map;
     unsigned ranks;
     std::vector<Bank> banks;
+    std::unique_ptr<SchedPolicy> sched;
 
     std::deque<QueuedReq> readQ;
     std::deque<QueuedReq> writeQ;

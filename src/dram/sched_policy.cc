@@ -1,0 +1,80 @@
+#include "dram/sched_policy.hh"
+
+#include "dram/dram_controller.hh"
+
+namespace dimmlink {
+namespace dram {
+
+std::unique_ptr<SchedPolicy>
+makeSchedPolicy(const std::string &name)
+{
+    return SchedPolicyFactory::instance().create(name);
+}
+
+namespace {
+
+/**
+ * FR-FCFS (the seed behavior): the oldest request whose row is open
+ * and whose CAS is ready issues first; otherwise the oldest request
+ * whose next step (ACT or PRE) is ready makes progress.
+ */
+class FrFcfs : public SchedPolicy
+{
+  public:
+    std::size_t
+    pick(const DramController &ctrl, const std::deque<QueuedReq> &q,
+         Tick now, Tick &best_ready) const override
+    {
+        std::size_t hit_idx = npos;
+        best_ready = maxTick;
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            bool row_hit = false;
+            const Tick step_ready = ctrl.stepReadyAt(q[i], now, row_hit);
+            if (row_hit && step_ready <= now && hit_idx == npos)
+                hit_idx = i;
+            best_ready = std::min(best_ready, step_ready);
+        }
+        if (hit_idx != npos)
+            return hit_idx;
+        // No ready row hit: let the oldest request make progress if
+        // its next step is ready now.
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            bool row_hit = false;
+            if (ctrl.stepReadyAt(q[i], now, row_hit) <= now)
+                return i;
+        }
+        return npos;
+    }
+};
+
+/** Strict in-order service: only the head of the queue may issue. */
+class Fcfs : public SchedPolicy
+{
+  public:
+    std::size_t
+    pick(const DramController &ctrl, const std::deque<QueuedReq> &q,
+         Tick now, Tick &best_ready) const override
+    {
+        best_ready = maxTick;
+        if (q.empty())
+            return npos;
+        bool row_hit = false;
+        best_ready = ctrl.stepReadyAt(q.front(), now, row_hit);
+        return best_ready <= now ? 0 : npos;
+    }
+};
+
+SchedPolicyFactory::Registrar regFrFcfs("FRFCFS", []()
+    -> std::unique_ptr<SchedPolicy> {
+    return std::make_unique<FrFcfs>();
+});
+
+SchedPolicyFactory::Registrar regFcfs("FCFS", []()
+    -> std::unique_ptr<SchedPolicy> {
+    return std::make_unique<Fcfs>();
+});
+
+} // namespace
+
+} // namespace dram
+} // namespace dimmlink

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DRAM command scheduling policies as registered implementations. A
+ * policy only decides *which* queued request takes its next command;
+ * the controller owns all timing state and exposes it through
+ * DramController::stepReadyAt().
+ */
+
+#ifndef DIMMLINK_DRAM_SCHED_POLICY_HH
+#define DIMMLINK_DRAM_SCHED_POLICY_HH
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/factory.hh"
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace dram {
+
+class DramController;
+struct QueuedReq;
+
+class SchedPolicy
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    virtual ~SchedPolicy() = default;
+
+    /**
+     * Pick the request in @p q whose next command should issue at
+     * @p now, or npos when none is ready. @p best_ready must be set to
+     * the earliest tick at which any considered request could take its
+     * next step (maxTick when the queue is empty) — the controller
+     * schedules its wakeup from it.
+     */
+    virtual std::size_t pick(const DramController &ctrl,
+                             const std::deque<QueuedReq> &q, Tick now,
+                             Tick &best_ready) const = 0;
+};
+
+using SchedPolicyFactory = Factory<SchedPolicy>;
+
+/** Build the policy registered under @p name ("FRFCFS", "FCFS", ...). */
+std::unique_ptr<SchedPolicy> makeSchedPolicy(const std::string &name);
+
+} // namespace dram
+
+template <>
+struct FactoryTraits<dram::SchedPolicy>
+{
+    static constexpr const char *noun = "DRAM scheduling policy";
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_DRAM_SCHED_POLICY_HH

@@ -38,5 +38,14 @@ Timing::preset(const std::string &name)
     fatal("unknown DRAM timing preset '%s'", name.c_str());
 }
 
+const std::vector<std::string> &
+Timing::presets()
+{
+    static const std::vector<std::string> names = {
+        "DDR4_2400", "DDR4_3200",
+    };
+    return names;
+}
+
 } // namespace dram
 } // namespace dimmlink

@@ -9,6 +9,7 @@
 #define DIMMLINK_DRAM_TIMING_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -63,6 +64,9 @@ struct Timing
 
     /** Fetch a preset by name; fatal() when unknown. */
     static Timing preset(const std::string &name);
+
+    /** The known preset names, for validation and error messages. */
+    static const std::vector<std::string> &presets();
 };
 
 } // namespace dram

@@ -13,19 +13,17 @@ PollingEngine::PollingEngine(EventQueue &eq, const SystemConfig &cfg_,
                              stats::Registry &reg)
     : eventq(eq),
       cfg(cfg_),
-      mode(cfg_.pollingMode),
       channels(std::move(channels_)),
       targets(std::move(targets_)),
+      statInterrupts(reg.group("host.polling").scalar("interrupts")),
       statPolls(reg.group("host.polling").scalar("polls")),
       statIdlePolls(reg.group("host.polling").scalar("idlePolls")),
-      statInterrupts(reg.group("host.polling").scalar("interrupts")),
       statDiscoveryPs(
           reg.group("host.polling").distribution("discoveryPs")),
       raisedAt(cfg_.numDimms, 0)
 {
     if (targets.empty())
         fatal("polling engine needs at least one target DIMM");
-    sweepScheduled.assign(channels.size(), false);
 }
 
 void
@@ -34,14 +32,7 @@ PollingEngine::start()
     if (running)
         return;
     running = true;
-    if (interruptDriven())
-        return;
-    // One polling loop per channel that has polled targets.
-    std::set<ChannelId> chans;
-    for (DimmId t : targets)
-        chans.insert(cfg.channelOf(t));
-    for (ChannelId ch : chans)
-        scheduleSweep(ch, eventq.now());
+    onStart();
 }
 
 void
@@ -49,7 +40,7 @@ PollingEngine::stop()
 {
     running = false;
     pendingTargets.clear();
-    interruptsInFlight.clear();
+    onStop();
 }
 
 void
@@ -63,20 +54,7 @@ PollingEngine::requestRaised(DimmId target)
         return;
     pendingTargets.insert(target);
     raisedAt[target] = eventq.now();
-
-    if (!interruptDriven())
-        return; // The periodic sweep will find it.
-
-    // ALERT_N is shared per channel: one handler invocation scans the
-    // whole channel (Base+Itrpt) or its proxy (P-P+Itrpt).
-    const ChannelId ch = cfg.channelOf(target);
-    if (interruptsInFlight.count(ch))
-        return;
-    interruptsInFlight.insert(ch);
-    ++statInterrupts;
-    eventq.scheduleIn(cfg.host.interruptLatencyPs,
-                      [this, ch] { serveInterrupt(ch); },
-                      EventPriority::Control);
+    onRequestRaised(target);
 }
 
 void
@@ -107,61 +85,14 @@ PollingEngine::pollOne(DimmId target, Tick earliest)
     return end;
 }
 
-void
-PollingEngine::scheduleSweep(ChannelId ch, Tick when)
+std::unique_ptr<PollingEngine>
+makePollingEngine(EventQueue &eq, const SystemConfig &cfg,
+                  std::vector<Channel *> channels,
+                  std::vector<DimmId> targets, stats::Registry &reg)
 {
-    if (sweepScheduled[ch])
-        return;
-    sweepScheduled[ch] = true;
-    eventq.schedule(std::max(when, eventq.now()),
-                    [this, ch] {
-                        sweepScheduled[ch] = false;
-                        sweep(ch);
-                    },
-                    EventPriority::Control);
-}
-
-void
-PollingEngine::sweep(ChannelId ch)
-{
-    if (!running || interruptDriven())
-        return;
-    // Poll this channel's targets back-to-back, then sleep until the
-    // next period. Distinct channels poll concurrently.
-    const Tick sweep_start = eventq.now();
-    Tick cursor = sweep_start;
-    for (DimmId target : targets)
-        if (cfg.channelOf(target) == ch)
-            cursor = pollOne(target, cursor);
-    const Tick next = std::max(sweep_start + cfg.host.pollIntervalPs,
-                               cursor);
-    scheduleSweep(ch, next);
-}
-
-void
-PollingEngine::serveInterrupt(ChannelId ch)
-{
-    interruptsInFlight.erase(ch);
-    if (!running)
-        return;
-    // Scan every polled target that shares the interrupting channel.
-    bool more = false;
-    Tick cursor = eventq.now();
-    for (DimmId target : targets) {
-        if (cfg.channelOf(target) != ch)
-            continue;
-        cursor = pollOne(target, cursor);
-    }
-    for (DimmId target : pendingTargets)
-        if (cfg.channelOf(target) == ch)
-            more = true;
-    if (more) {
-        interruptsInFlight.insert(ch);
-        ++statInterrupts;
-        eventq.scheduleIn(cfg.host.interruptLatencyPs,
-                          [this, ch] { serveInterrupt(ch); },
-                          EventPriority::Control);
-    }
+    return PollingEngineFactory::instance().create(
+        toString(cfg.pollingMode), eq, cfg, std::move(channels),
+        std::move(targets), reg);
 }
 
 } // namespace host

@@ -5,16 +5,27 @@
  * charges every polling read's bus occupancy to the right channel —
  * including the idle polling that never finds a request (the cost the
  * polling proxy exists to remove).
+ *
+ * PollingEngine is the shared machinery (the polling reads, discovery
+ * accounting, pending-target bookkeeping); how the host *learns* that
+ * a target needs attention is the pluggable part. The periodic modes
+ * ("Base", "P-P") sweep each channel's targets every poll interval;
+ * the ALERT_N modes ("Base+Itrpt", "P-P+Itrpt") sleep until a target
+ * raises the shared interrupt line. Implementations register under
+ * the PollingMode toString() names; build one with
+ * makePollingEngine().
  */
 
 #ifndef DIMMLINK_HOST_POLLING_HH
 #define DIMMLINK_HOST_POLLING_HH
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/factory.hh"
 #include "common/stats.hh"
 #include "host/channel.hh"
 #include "sim/event_queue.hh"
@@ -32,6 +43,8 @@ class PollingEngine
     PollingEngine(EventQueue &eq, const SystemConfig &cfg,
                   std::vector<Channel *> channels,
                   std::vector<DimmId> targets, stats::Registry &reg);
+
+    virtual ~PollingEngine() = default;
 
     /** Called with a polled DIMM id once the host notices it has
      * pending requests. */
@@ -56,47 +69,75 @@ class PollingEngine
     /** The target's requests were drained by the forwarder. */
     void requestsCleared(DimmId target);
 
-    bool interruptDriven() const
-    {
-        return mode == PollingMode::BaselineInterrupt ||
-               mode == PollingMode::ProxyInterrupt;
-    }
+    /** True when ALERT_N wakes the host instead of a periodic sweep. */
+    virtual bool interruptDriven() const = 0;
 
-  private:
-    void scheduleSweep(ChannelId ch, Tick when);
-    void sweep(ChannelId ch);
+  protected:
+    /** Begin the mode's discovery machinery (engine just started). */
+    virtual void onStart() = 0;
+
+    /** React to a newly pending target (engine is running). */
+    virtual void onRequestRaised(DimmId target) = 0;
+
+    /** Drop any in-flight discovery state (engine just stopped). */
+    virtual void onStop() = 0;
+
     /** One polling read of @p target, starting no earlier than
      * @p earliest. @return the read's completion tick. */
     Tick pollOne(DimmId target, Tick earliest);
-    void serveInterrupt(ChannelId ch);
+
+    /** True when any pending target sits on channel @p ch. */
+    bool anyPendingOn(ChannelId ch) const
+    {
+        for (DimmId t : pendingTargets)
+            if (cfg.channelOf(t) == ch)
+                return true;
+        return false;
+    }
 
     EventQueue &eventq;
     const SystemConfig &cfg;
-    PollingMode mode;
     std::vector<Channel *> channels;
     std::vector<DimmId> targets;
 
     bool running = false;
-    /** Per-channel sweep-scheduled flags (the host polls channels in
-     * parallel through independent MC queues; Section IV-A notes the
-     * single-thread variant costs less CPU but the paper's Fig. 15
-     * baseline occupancy corresponds to parallel polling). */
-    std::vector<bool> sweepScheduled;
+
+    stats::Scalar &statInterrupts;
+
+  private:
     std::set<DimmId> pendingTargets;
-    /** Channels with an ALERT_N raised and a handler in flight. */
-    std::set<ChannelId> interruptsInFlight;
 
     std::function<void(DimmId)> discoverHandler;
 
     stats::Scalar &statPolls;
     stats::Scalar &statIdlePolls;
-    stats::Scalar &statInterrupts;
     stats::Distribution &statDiscoveryPs;
     /** Tick at which each pending target raised its request. */
     std::vector<Tick> raisedAt;
 };
 
+using PollingEngineFactory =
+    Factory<PollingEngine, EventQueue &, const SystemConfig &,
+            std::vector<Channel *>, std::vector<DimmId>,
+            stats::Registry &>;
+
+/**
+ * Build the engine registered under toString(cfg.pollingMode) for the
+ * given polled @p targets.
+ */
+std::unique_ptr<PollingEngine>
+makePollingEngine(EventQueue &eq, const SystemConfig &cfg,
+                  std::vector<Channel *> channels,
+                  std::vector<DimmId> targets, stats::Registry &reg);
+
 } // namespace host
+
+template <>
+struct FactoryTraits<host::PollingEngine>
+{
+    static constexpr const char *noun = "polling mode";
+};
+
 } // namespace dimmlink
 
 #endif // DIMMLINK_HOST_POLLING_HH

@@ -118,5 +118,17 @@ AbcFabric::executeBroadcast(Transaction t, std::function<void()> finish)
         });
 }
 
+namespace {
+
+FabricFactory::Registrar regAbc("ABC-DIMM",
+    [](EventQueue &eq, const SystemConfig &cfg,
+       std::vector<host::Channel *> channels, stats::Registry &reg)
+        -> std::unique_ptr<Fabric> {
+        return std::make_unique<AbcFabric>(eq, cfg, std::move(channels),
+                                       reg);
+    });
+
+} // namespace
+
 } // namespace idc
 } // namespace dimmlink

@@ -443,5 +443,17 @@ DlFabric::submit(Transaction t)
     }
 }
 
+namespace {
+
+FabricFactory::Registrar regDl("DIMM-Link",
+    [](EventQueue &eq, const SystemConfig &cfg,
+       std::vector<host::Channel *> channels, stats::Registry &reg)
+        -> std::unique_ptr<Fabric> {
+        return std::make_unique<DlFabric>(eq, cfg, std::move(channels),
+                                       reg);
+    });
+
+} // namespace
+
 } // namespace idc
 } // namespace dimmlink

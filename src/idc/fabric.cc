@@ -1,10 +1,6 @@
 #include "idc/fabric.hh"
 
 #include "common/log.hh"
-#include "idc/abc_fabric.hh"
-#include "idc/aim_fabric.hh"
-#include "idc/dl_fabric.hh"
-#include "idc/mcn_fabric.hh"
 
 namespace dimmlink {
 namespace idc {
@@ -47,17 +43,18 @@ CpuForwardPath::CpuForwardPath(EventQueue &eq, const SystemConfig &cfg,
                                stats::Registry &reg)
     : eventq(eq),
       fwd(eq, cfg, channels, reg),
-      poll(eq, cfg, channels, std::move(poll_targets), reg),
+      poll(host::makePollingEngine(eq, cfg, channels,
+                                   std::move(poll_targets), reg)),
       queued(cfg.numDimms)
 {
-    poll.setDiscoverHandler([this](DimmId d) { onDiscover(d); });
+    poll->setDiscoverHandler([this](DimmId d) { onDiscover(d); });
 }
 
 void
 CpuForwardPath::request(DimmId target, std::function<void()> job)
 {
     queued[target].push_back(std::move(job));
-    poll.requestRaised(target);
+    poll->requestRaised(target);
 }
 
 void
@@ -72,7 +69,7 @@ CpuForwardPath::onDiscover(DimmId target)
 void
 CpuForwardPath::stop()
 {
-    poll.stop();
+    poll->stop();
     for (auto &q : queued)
         q.clear();
 }
@@ -81,21 +78,8 @@ std::unique_ptr<Fabric>
 makeFabric(EventQueue &eq, const SystemConfig &cfg,
            std::vector<host::Channel *> channels, stats::Registry &reg)
 {
-    switch (cfg.idcMethod) {
-      case IdcMethod::CpuForwarding:
-        return std::make_unique<McnFabric>(eq, cfg, std::move(channels),
-                                           reg);
-      case IdcMethod::DedicatedBus:
-        return std::make_unique<AimFabric>(eq, cfg, std::move(channels),
-                                           reg);
-      case IdcMethod::ChannelBroadcast:
-        return std::make_unique<AbcFabric>(eq, cfg, std::move(channels),
-                                           reg);
-      case IdcMethod::DimmLink:
-        return std::make_unique<DlFabric>(eq, cfg, std::move(channels),
-                                          reg);
-    }
-    fatal("unknown IDC method");
+    return FabricFactory::instance().create(
+        toString(cfg.idcMethod), eq, cfg, std::move(channels), reg);
 }
 
 } // namespace idc

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/config.hh"
+#include "common/factory.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "host/channel.hh"
@@ -121,9 +122,9 @@ class CpuForwardPath
     void request(DimmId target, std::function<void()> job);
 
     host::Forwarder &forwarder() { return fwd; }
-    host::PollingEngine &polling() { return poll; }
+    host::PollingEngine &polling() { return *poll; }
 
-    void start() { poll.start(); }
+    void start() { poll->start(); }
     void stop();
 
   private:
@@ -131,17 +132,33 @@ class CpuForwardPath
 
     EventQueue &eventq;
     host::Forwarder fwd;
-    host::PollingEngine poll;
+    std::unique_ptr<host::PollingEngine> poll;
     std::vector<std::vector<std::function<void()>>> queued;
 };
 
-/** Build the fabric selected by @p cfg.idcMethod. */
+/**
+ * The fabric registry: implementations register under the IdcMethod
+ * toString() names ("MCN", "AIM", "ABC-DIMM", "DIMM-Link") from their
+ * own translation units.
+ */
+using FabricFactory =
+    Factory<Fabric, EventQueue &, const SystemConfig &,
+            std::vector<host::Channel *>, stats::Registry &>;
+
+/** Build the fabric registered under toString(cfg.idcMethod). */
 std::unique_ptr<Fabric> makeFabric(EventQueue &eq,
                                    const SystemConfig &cfg,
                                    std::vector<host::Channel *> channels,
                                    stats::Registry &reg);
 
 } // namespace idc
+
+template <>
+struct FactoryTraits<idc::Fabric>
+{
+    static constexpr const char *noun = "IDC fabric";
+};
+
 } // namespace dimmlink
 
 #endif // DIMMLINK_IDC_FABRIC_HH

@@ -108,5 +108,17 @@ McnFabric::execute(Transaction t, Tick started)
     }
 }
 
+namespace {
+
+FabricFactory::Registrar regMcn("MCN",
+    [](EventQueue &eq, const SystemConfig &cfg,
+       std::vector<host::Channel *> channels, stats::Registry &reg)
+        -> std::unique_ptr<Fabric> {
+        return std::make_unique<McnFabric>(eq, cfg, std::move(channels),
+                                       reg);
+    });
+
+} // namespace
+
 } // namespace idc
 } // namespace dimmlink

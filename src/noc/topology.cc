@@ -14,49 +14,9 @@ TopologyGraph::TopologyGraph(Topology kind, unsigned nodes)
     if (nodes == 0)
         fatal("topology needs at least one node");
 
-    switch (kind) {
-      case Topology::HalfRing:
-        for (unsigned i = 0; i + 1 < n; ++i)
-            addEdge(static_cast<int>(i), static_cast<int>(i + 1));
-        break;
-
-      case Topology::Ring:
-        for (unsigned i = 0; i + 1 < n; ++i)
-            addEdge(static_cast<int>(i), static_cast<int>(i + 1));
-        if (n > 2) {
-            addEdge(static_cast<int>(n - 1), 0);
-            cyclic_ = true;
-        }
-        break;
-
-      case Topology::Mesh:
-      case Topology::Torus: {
-        // Two facing rows of DIMM slots: 2 x (n/2) grid. Groups of
-        // one or two nodes degrade to a chain.
-        if (n <= 2) {
-            for (unsigned i = 0; i + 1 < n; ++i)
-                addEdge(static_cast<int>(i), static_cast<int>(i + 1));
-            break;
-        }
-        const unsigned cols = n / 2;
-        auto id = [cols](unsigned r, unsigned c) {
-            return static_cast<int>(r * cols + c);
-        };
-        for (unsigned r = 0; r < 2; ++r)
-            for (unsigned c = 0; c + 1 < cols; ++c)
-                addEdge(id(r, c), id(r, c + 1));
-        for (unsigned c = 0; c < cols; ++c)
-            addEdge(id(0, c), id(1, c));
-        if (kind == Topology::Torus && cols > 2) {
-            // Row wrap-around; the column wrap would duplicate the
-            // existing 2-row vertical edges.
-            for (unsigned r = 0; r < 2; ++r)
-                addEdge(id(r, 0), id(r, cols - 1));
-            cyclic_ = true;
-        }
-        break;
-      }
-    }
+    const auto builder =
+        TopologyFactory::instance().create(toString(kind));
+    builder->build(*this);
 
     for (auto &list : adj)
         std::sort(list.begin(), list.end());
@@ -75,43 +35,6 @@ TopologyGraph::addEdge(int a, int b)
     lb.push_back(a);
 }
 
-int
-TopologyGraph::gridNextHop(int node, int dst) const
-{
-    // Row-first ("XY") routing on the 2 x cols grid: move along the
-    // own row (with wrap on a torus) until the destination column,
-    // then take the single column hop. Row channels are the only
-    // rings, and packets never turn back into a row, which keeps the
-    // channel-dependency graph deadlock-free with bubble injection.
-    const unsigned cols = n / 2;
-    const unsigned row = static_cast<unsigned>(node) / cols;
-    const unsigned col = static_cast<unsigned>(node) % cols;
-    const unsigned drow = static_cast<unsigned>(dst) / cols;
-    const unsigned dcol = static_cast<unsigned>(dst) % cols;
-    auto id = [cols](unsigned r, unsigned c) {
-        return static_cast<int>(r * cols + c);
-    };
-
-    if (col == dcol)
-        return id(drow, dcol); // the column hop (or already there)
-
-    // Choose the shorter row direction (wrap allowed on torus).
-    const unsigned right = (dcol + cols - col) % cols;
-    const unsigned left = (col + cols - dcol) % cols;
-    bool go_right;
-    if (kind_ == Topology::Torus && cyclic_) {
-        go_right = right <= left;
-    } else {
-        go_right = dcol > col;
-    }
-    unsigned next_col;
-    if (go_right)
-        next_col = (col + 1) % cols;
-    else
-        next_col = (col + cols - 1) % cols;
-    return id(row, next_col);
-}
-
 void
 TopologyGraph::computeRouting()
 {
@@ -120,27 +43,25 @@ TopologyGraph::computeRouting()
     nextHop_.assign(n, std::vector<int>(n, -1));
     bcastTree.assign(n, std::vector<std::vector<int>>(n));
 
-    const bool grid = (kind_ == Topology::Mesh ||
-                       kind_ == Topology::Torus) && n > 2;
-
-    if (grid) {
-        // Deterministic row-first routing.
+    if (routeFn) {
+        // Deterministic builder-provided routing (the grids' XY walk).
         for (unsigned s = 0; s < n; ++s) {
             dist[s][s] = 0;
             for (unsigned d = 0; d < n; ++d) {
                 if (s == d)
                     continue;
-                // Walk the XY path to fill nextHop and distance.
+                // Walk the route to fill nextHop and distance.
                 int cur = static_cast<int>(s);
                 unsigned hops = 0;
                 int first = -1;
                 while (cur != static_cast<int>(d)) {
-                    const int nxt = gridNextHop(cur, static_cast<int>(d));
+                    const int nxt = routeFn(cur, static_cast<int>(d));
                     if (first == -1)
                         first = nxt;
                     cur = nxt;
                     if (++hops > n)
-                        panic("XY routing failed to converge");
+                        panic("%s routing failed to converge",
+                              toString(kind_));
                 }
                 nextHop_[s][d] = first;
                 dist[s][d] = hops;

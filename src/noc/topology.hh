@@ -4,30 +4,54 @@
  *
  * The paper's practical prototype connects adjacent DIMMs in a chain
  * ("Half-Ring"); Section VI explores Ring, Mesh, and Torus layouts of
- * the same DIMMs. Routing is deterministic shortest-path (BFS with
- * lowest-index tie-breaking); broadcast follows a per-source BFS
- * spanning tree so each link carries the packet at most once.
+ * the same DIMMs. The link sets come from TopologyBuilder
+ * implementations registered by name (see noc/topologies.cc); routing
+ * is deterministic shortest-path (BFS with lowest-index tie-breaking)
+ * unless the builder installs its own route function (the grids use
+ * row-first XY routing). Broadcast follows a per-source spanning tree
+ * built from the unicast paths so each link carries the packet at most
+ * once.
  */
 
 #ifndef DIMMLINK_NOC_TOPOLOGY_HH
 #define DIMMLINK_NOC_TOPOLOGY_HH
 
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/factory.hh"
 
 namespace dimmlink {
 namespace noc {
+
+class TopologyGraph;
+
+/**
+ * One registered topology: populates a TopologyGraph's link set via
+ * the graph's addEdge()/markCyclic()/setUnicastRoute() mutators. The
+ * registry key is the Topology enum's toString() name, so configs and
+ * the enum stay in lockstep.
+ */
+class TopologyBuilder
+{
+  public:
+    virtual ~TopologyBuilder() = default;
+
+    /** Add the edges of the topology to @p g (g.numNodes() nodes). */
+    virtual void build(TopologyGraph &g) const = 0;
+};
+
+using TopologyFactory = Factory<TopologyBuilder>;
 
 /** The static structure of one group's network. */
 class TopologyGraph
 {
   public:
     /**
-     * Build the link set for @p nodes DIMMs under topology @p kind.
-     * Mesh/Torus arrange the group as 2 rows of nodes/2 columns,
-     * mirroring two facing rows of DIMM slots on a board.
+     * Build the link set for @p nodes DIMMs under topology @p kind,
+     * via the TopologyBuilder registered under toString(kind).
      */
     TopologyGraph(Topology kind, unsigned nodes);
 
@@ -54,7 +78,7 @@ class TopologyGraph
                    [static_cast<std::size_t>(b)];
     }
 
-    /** Children of @p node in the BFS broadcast tree rooted at @p src. */
+    /** Children of @p node in the broadcast tree rooted at @p src. */
     const std::vector<int> &broadcastChildren(int src, int node) const
     {
         return bcastTree[static_cast<std::size_t>(src)]
@@ -74,15 +98,31 @@ class TopologyGraph
      */
     bool cyclic() const { return cyclic_; }
 
-  private:
+    // -- TopologyBuilder interface ------------------------------------
+
+    /** Add an undirected link (idempotent). Builders only. */
     void addEdge(int a, int b);
+
+    /** Declare that the routed channel structure contains rings. */
+    void markCyclic() { cyclic_ = true; }
+
+    /**
+     * Install a deterministic next-hop function (node, dst) -> next
+     * node; when set, routes follow it instead of BFS. The function
+     * must converge to dst within numNodes() hops along every pair.
+     */
+    void setUnicastRoute(std::function<int(int, int)> route)
+    {
+        routeFn = std::move(route);
+    }
+
+  private:
     void computeRouting();
-    /** Row-first (XY) next hop for Mesh/Torus nodes. */
-    int gridNextHop(int node, int dst) const;
 
     Topology kind_;
     unsigned n;
     bool cyclic_ = false;
+    std::function<int(int, int)> routeFn;
     std::vector<std::vector<int>> adj;
     std::vector<std::vector<int>> nextHop_;
     std::vector<std::vector<unsigned>> dist;
@@ -91,6 +131,13 @@ class TopologyGraph
 };
 
 } // namespace noc
+
+template <>
+struct FactoryTraits<noc::TopologyBuilder>
+{
+    static constexpr const char *noun = "NoC topology";
+};
+
 } // namespace dimmlink
 
 #endif // DIMMLINK_NOC_TOPOLOGY_HH

@@ -208,7 +208,7 @@ HostRunner::HostRunner(SystemConfig cfg_) : cfg(std::move(cfg_))
         const std::string n = "host.dram" + std::to_string(c);
         dramCtrl.push_back(std::make_unique<dram::DramController>(
             eventq, n, timing, /*num_ranks=*/2, cfg.host.lineBytes,
-            registry.group(n)));
+            registry.group(n), cfg.dramScheduler));
         dramCtrl.back()->setUnblockCallback(
             [this, c] { drainDram(static_cast<ChannelId>(c)); });
     }

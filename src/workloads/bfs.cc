@@ -11,8 +11,8 @@
 
 #include "workloads/graph.hh"
 #include "workloads/graph_layout.hh"
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -166,13 +166,13 @@ class BfsWorkload : public Workload
     Addr flagAddr[2] = {0, 0};
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("bfs",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<BfsWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeBfs(const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<BfsWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

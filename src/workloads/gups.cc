@@ -7,8 +7,8 @@
  * the most.
  */
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -127,14 +127,13 @@ class GupsWorkload : public Workload
     std::vector<Addr> blockAddr;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("gups",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<GupsWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeGups(const WorkloadParams &params,
-         const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<GupsWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

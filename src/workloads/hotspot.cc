@@ -8,8 +8,8 @@
 
 #include <cmath>
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -254,14 +254,13 @@ class HotspotWorkload : public Workload
     std::vector<Addr> powerAddr;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("hotspot",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<HotspotWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeHotspot(const WorkloadParams &params,
-            const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<HotspotWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

@@ -10,8 +10,8 @@
 
 #include <cmath>
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -266,14 +266,13 @@ class KmeansWorkload : public Workload
     Addr centroidAddr = 0;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("kmeans",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<KmeansWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeKmeans(const WorkloadParams &params,
-           const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<KmeansWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

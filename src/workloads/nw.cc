@@ -10,8 +10,8 @@
 
 #include <algorithm>
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -228,13 +228,13 @@ class NwWorkload : public Workload
     std::vector<Addr> boundaryAddr;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("nw",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<NwWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeNw(const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<NwWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

@@ -12,8 +12,8 @@
 
 #include "workloads/graph.hh"
 #include "workloads/graph_layout.hh"
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -228,14 +228,13 @@ class PagerankWorkload : public Workload
     std::vector<Addr> localCopy;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("pagerank",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<PagerankWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makePagerank(const WorkloadParams &params,
-             const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<PagerankWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

@@ -11,8 +11,8 @@
 
 #include "workloads/graph.hh"
 #include "workloads/graph_layout.hh"
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -193,14 +193,13 @@ class SpmvWorkload : public Workload
     std::vector<Addr> localCopy;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("spmv",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<SpmvWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeSpmv(const WorkloadParams &params,
-         const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<SpmvWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

@@ -12,8 +12,8 @@
 
 #include "workloads/graph.hh"
 #include "workloads/graph_layout.hh"
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -225,14 +225,13 @@ class SsspWorkload : public Workload
     std::vector<Addr> localCopy;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("sssp",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<SsspWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeSssp(const WorkloadParams &params,
-         const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<SsspWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

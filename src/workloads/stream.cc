@@ -9,8 +9,8 @@
 
 #include <cmath>
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -143,14 +143,13 @@ class StreamWorkload : public Workload
     std::vector<Addr> aAddr, bAddr, cAddr;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("stream",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<StreamWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeStream(const WorkloadParams &params,
-           const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<StreamWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

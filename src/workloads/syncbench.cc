@@ -6,8 +6,8 @@
  * interval exposes the cost of each synchronization scheme.
  */
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -58,14 +58,13 @@ class SyncBenchWorkload : public Workload
     std::vector<Addr> scratch;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("syncbench",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<SyncBenchWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeSyncBench(const WorkloadParams &params,
-              const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<SyncBenchWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

@@ -9,8 +9,8 @@
 
 #include <cmath>
 
-#include "workloads/kernels.hh"
 #include "workloads/op_stream.hh"
+#include "workloads/workload.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -152,14 +152,13 @@ class TsPowWorkload : public Workload
     double computedMax = -1.0;
 };
 
-} // namespace
+WorkloadFactory::Registrar reg("tspow",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<TsPowWorkload>(params, gmap);
+    });
 
-std::unique_ptr<Workload>
-makeTsPow(const WorkloadParams &params,
-          const dram::GlobalAddressMap &gmap)
-{
-    return std::make_unique<TsPowWorkload>(params, gmap);
-}
+} // namespace
 
 } // namespace workloads
 } // namespace dimmlink

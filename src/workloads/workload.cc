@@ -2,7 +2,6 @@
 
 #include "common/bitfield.hh"
 #include "common/log.hh"
-#include "workloads/kernels.hh"
 
 namespace dimmlink {
 namespace workloads {
@@ -25,29 +24,13 @@ std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadParams &params,
              const dram::GlobalAddressMap &gmap)
 {
-    if (name == "bfs")
-        return makeBfs(params, gmap);
-    if (name == "hotspot")
-        return makeHotspot(params, gmap);
-    if (name == "kmeans")
-        return makeKmeans(params, gmap);
-    if (name == "nw")
-        return makeNw(params, gmap);
-    if (name == "pagerank")
-        return makePagerank(params, gmap);
-    if (name == "sssp")
-        return makeSssp(params, gmap);
-    if (name == "spmv")
-        return makeSpmv(params, gmap);
-    if (name == "tspow")
-        return makeTsPow(params, gmap);
-    if (name == "syncbench")
-        return makeSyncBench(params, gmap);
-    if (name == "stream")
-        return makeStream(params, gmap);
-    if (name == "gups")
-        return makeGups(params, gmap);
-    fatal("unknown workload '%s'", name.c_str());
+    return WorkloadFactory::instance().create(name, params, gmap);
+}
+
+std::vector<std::string>
+knownWorkloads()
+{
+    return WorkloadFactory::instance().known();
 }
 
 std::vector<std::string>
