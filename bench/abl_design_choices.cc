@@ -104,11 +104,12 @@ dllErrorSweep()
             tx.send(p,
                     [&](const proto::Packet &wp) {
                         const auto wire = proto::encode(wp);
-                        proto::Packet out, ctrl;
-                        if (rx.onArrive(wire, rng.chance(rate), out,
-                                        ctrl))
-                            ++delivered;
-                        tx.onControl(ctrl);
+                        std::vector<proto::Packet> out;
+                        std::optional<proto::Packet> ctrl;
+                        rx.onArrive(wire, rng.chance(rate), out, ctrl);
+                        delivered += static_cast<unsigned>(out.size());
+                        if (ctrl)
+                            tx.onControl(*ctrl);
                     },
                     nullptr);
         }

@@ -27,6 +27,9 @@
  *     --mapping                               (enable Algorithm 1)
  *     --broadcast                             (broadcast-mode kernel)
  *     --linkgbps F
+ *     --ber F          (shorthand for -p faults.model=ber
+ *                       -p faults.ber=F; routes intra-group data
+ *                       over the reliable DLL transport)
  *     --cpu                                   (run the host baseline)
  *     --stats                                 (dump raw statistics)
  *     --json                                  (stats + config as JSON)
@@ -118,6 +121,10 @@ main(int argc, char **argv)
             broadcast = true;
         else if (a == "--linkgbps")
             overrides.push_back("link.linkGBps=" + next());
+        else if (a == "--ber") {
+            overrides.push_back("faults.model=ber");
+            overrides.push_back("faults.ber=" + next());
+        }
         else if (a == "--cpu")
             run_cpu = true;
         else if (a == "--stats")
@@ -179,6 +186,24 @@ main(int argc, char **argv)
                 "idc %.3f  cores %.3f\n", r.energy.total() / 1e9,
                 r.energy.dramPj / 1e9, r.energy.idc() / 1e9,
                 r.energy.nmpCorePj / 1e9);
+
+    if (cfg.faults.model != "none") {
+        const auto &reg = sys.stats();
+        auto dl = [&](const char *s) {
+            return static_cast<unsigned long long>(
+                reg.sumScalar("fabric.dl", s));
+        };
+        std::printf("  fault injection      : model %s  seed %llu\n",
+                    cfg.faults.model.c_str(),
+                    static_cast<unsigned long long>(cfg.faults.seed));
+        std::printf("    DLL packets sent   : %10llu  (retries %llu, "
+                    "failed transfers %llu)\n", dl("dllSent"),
+                    dl("dllRetries"), dl("dllFailedTransfers"));
+        std::printf("    corrupted images   : %10llu  (duplicates "
+                    "filtered %llu, reordered %llu)\n",
+                    dl("dllCorrupt"), dl("dllDuplicates"),
+                    dl("dllOutOfOrder"));
+    }
 
     if (run_cpu) {
         HostRunner host(cfg);

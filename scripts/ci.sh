@@ -37,4 +37,26 @@ echo "==> end-to-end run from the checked-in config"
     -p host.numChannels=2 -p system.dramScheduler=FCFS \
     --workload stream --scale 4 --rounds 1
 
+echo "==> fault-injection soak under ASan+UBSan"
+# A nonzero BER at a fixed seed drives the whole DLL retry path
+# (corruption, NACK, timeout retransmission, dedup) under the
+# sanitizers; bfs keeps traffic on the bridge where faults land.
+soak_out="$(ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "$root/build-asan/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 \
+    -p faults.model=ber -p faults.ber=2e-5 -p faults.seed=7 \
+    --workload bfs --scale 6 --rounds 2 --json)"
+if ! grep -q '"dllCorrupt": [1-9]' <<<"$soak_out"; then
+    echo "soak injected no corruption"; exit 1
+fi
+if ! grep -q '"dllRetries": [1-9]' <<<"$soak_out"; then
+    echo "soak triggered no retries"; exit 1
+fi
+if grep -q '"dllFailedTransfers": [1-9]' <<<"$soak_out"; then
+    echo "soak lost transfers permanently"; exit 1
+fi
+echo "    soak OK: corruption injected, retries recovered, no losses"
+
 echo "==> CI green"

@@ -11,6 +11,8 @@
 #include "common/log.hh"
 #include "dram/sched_policy.hh"
 #include "dram/timing.hh"
+#include "fault/fault_model.hh"
+#include "proto/dll.hh"
 
 namespace dimmlink {
 
@@ -342,10 +344,22 @@ fields()
         CFG_FIELD("link.flitBits", link.flitBits),
         CFG_FIELD("link.retryTimeoutPs", link.retryTimeoutPs),
         CFG_FIELD("link.maxRetries", link.maxRetries),
+        CFG_FIELD("link.retryWindow", link.retryWindow),
         CFG_FIELD("link.topology", link.topology),
 
         CFG_FIELD("bus.busGBps", bus.busGBps),
         CFG_FIELD("bus.arbitrationPs", bus.arbitrationPs),
+
+        CFG_FIELD("faults.model", faults.model),
+        CFG_FIELD("faults.ber", faults.ber),
+        CFG_FIELD("faults.seed", faults.seed),
+        CFG_FIELD("faults.burstProb", faults.burstProb),
+        CFG_FIELD("faults.burstLen", faults.burstLen),
+        CFG_FIELD("faults.degradeFactor", faults.degradeFactor),
+        CFG_FIELD("faults.stuckAtPs", faults.stuckAtPs),
+        CFG_FIELD("faults.stuckForPs", faults.stuckForPs),
+        CFG_FIELD("faults.stuckPeriodPs", faults.stuckPeriodPs),
+        CFG_FIELD("faults.linkFilter", faults.linkFilter),
 
         CFG_FIELD("energy.linkPjPerBit", energy.linkPjPerBit),
         CFG_FIELD("energy.ddrRdWrPjPerBit", energy.ddrRdWrPjPerBit),
@@ -488,6 +502,35 @@ SystemConfig::validate() const
               dramPreset.c_str(), list.c_str());
     }
 
+    // DLL retry window: the selective-repeat dedup logic needs the
+    // old and new halves of the 16-bit sequence space to stay
+    // disjoint.
+    if (link.retryWindow == 0 ||
+        link.retryWindow > proto::RetrySender::maxWindow)
+        fatal("link.retryWindow (%u) must be within [1, %u]",
+              link.retryWindow, proto::RetrySender::maxWindow);
+
+    // Fault injection.
+    const auto &fm = fault::FaultModelFactory::instance();
+    if (!fm.contains(faults.model))
+        fatal("unknown fault model '%s' (registered: %s)",
+              faults.model.c_str(), fm.knownList().c_str());
+    if (faults.ber < 0.0 || faults.ber >= 1.0)
+        fatal("faults.ber (%g) must be within [0, 1)", faults.ber);
+    if (faults.burstProb < 0.0 || faults.burstProb > 1.0)
+        fatal("faults.burstProb (%g) must be within [0, 1]",
+              faults.burstProb);
+    if (faults.burstLen == 0)
+        fatal("faults.burstLen must be positive");
+    if (faults.degradeFactor <= 0.0 || faults.degradeFactor > 1.0)
+        fatal("faults.degradeFactor (%g) must be within (0, 1]",
+              faults.degradeFactor);
+    if (faults.model == "ber" || faults.model == "burst") {
+        if (faults.ber == 0.0)
+            warn("fault model '%s' with faults.ber = 0 injects "
+                 "nothing", faults.model.c_str());
+    }
+
     // Mapping knobs.
     if (profileFraction < 0.0 || profileFraction > 1.0)
         fatal("profileFraction (%g) must be within [0, 1]",
@@ -543,7 +586,7 @@ SystemConfig::set(const std::string &key, const std::string &value)
         fatal("unknown config key '%s' (keys in section '%s': %s)",
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
-          "link, bus, energy)", key.c_str());
+          "link, bus, faults, energy)", key.c_str());
 }
 
 void

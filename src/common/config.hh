@@ -153,6 +153,10 @@ struct LinkConfig
     Tick retryTimeoutPs = 2 * tickPerUs;
     /** Maximum retries before the DLL declares the link failed. */
     unsigned maxRetries = 8;
+    /** DLL selective-repeat window (outstanding sequence numbers per
+     * sender; further sends are queued). Must stay well below 2^15 so
+     * duplicate filtering survives sequence wraparound. */
+    unsigned retryWindow = 64;
     Topology topology = Topology::HalfRing;
 };
 
@@ -162,6 +166,39 @@ struct BusConfig
     /** The paper assumes the dedicated bus matches memory-bus beta. */
     double busGBps = 19.2;
     Tick arbitrationPs = 6 * tickPerNs;
+};
+
+/**
+ * Deterministic link-fault injection: the driver that turns the DLL
+ * retry machinery from dead code into a measured subsystem. Every
+ * link derives its own RNG stream from `seed` and its name, so runs
+ * are reproducible and seed-sweepable.
+ */
+struct FaultConfig
+{
+    /** Registered fault model: "none", "ber", "burst", "degrade",
+     * "stuck". */
+    std::string model = "none";
+    /** Independent per-bit flip probability (the in-burst rate for
+     * the burst model). */
+    double ber = 1e-5;
+    /** Base seed; per-link streams are derived from it. */
+    std::uint64_t seed = 1;
+    /** burst: probability that a message outside a burst starts one. */
+    double burstProb = 1e-3;
+    /** burst: burst length, in consecutive messages. */
+    unsigned burstLen = 8;
+    /** degrade: effective-bandwidth multiplier in (0, 1]. */
+    double degradeFactor = 0.5;
+    /** stuck: outage start tick. */
+    Tick stuckAtPs = 0;
+    /** stuck: outage duration (messages stall until it ends). */
+    Tick stuckForPs = 10 * tickPerUs;
+    /** stuck: outage repeat period (0 = a single outage). */
+    Tick stuckPeriodPs = 0;
+    /** Only links whose name contains this substring are faulted
+     * (empty = every link). */
+    std::string linkFilter;
 };
 
 /** Energy model constants (Section V-C). */
@@ -197,6 +234,7 @@ struct SystemConfig
     DimmConfig dimm;
     LinkConfig link;
     BusConfig bus;
+    FaultConfig faults;
     EnergyConfig energy;
 
     /** DRAM timing preset name ("DDR4_2400" or "DDR4_3200"). */

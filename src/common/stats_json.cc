@@ -92,7 +92,13 @@ dumpJson(const Registry &reg, std::ostream &os, bool include_empty,
                     return true;
             return false;
         }();
-        if (!include_empty && !has_scalars && !has_dists)
+        const bool has_hists = [&] {
+            for (const auto &[n, h] : g.histograms())
+                if (h.total() > 0)
+                    return true;
+            return false;
+        }();
+        if (!include_empty && !has_scalars && !has_dists && !has_hists)
             return;
 
         if (!first_group)
@@ -130,7 +136,35 @@ dumpJson(const Registry &reg, std::ostream &os, bool include_empty,
             num(os, d.max());
             os << "}";
         }
-        os << "}}";
+        os << "}";
+
+        if (include_empty || has_hists) {
+            os << ", \"histograms\": {";
+            first = true;
+            for (const auto &[n, h] : g.histograms()) {
+                if (!include_empty && h.total() == 0)
+                    continue;
+                if (!first)
+                    os << ", ";
+                first = false;
+                os << "\"" << jsonEscape(n)
+                   << "\": {\"bucketWidth\": ";
+                num(os, h.bucketWidth());
+                os << ", \"total\": " << h.total()
+                   << ", \"overflow\": " << h.overflow()
+                   << ", \"counts\": [";
+                bool first_b = true;
+                for (const std::uint64_t c : h.data()) {
+                    if (!first_b)
+                        os << ", ";
+                    first_b = false;
+                    os << c;
+                }
+                os << "]}";
+            }
+            os << "}";
+        }
+        os << "}";
     });
     os << "\n}\n";
 }

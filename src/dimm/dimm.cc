@@ -15,7 +15,7 @@ Dimm::Dimm(EventQueue &eq, DimmId id, const SystemConfig &cfg,
                                    gmap, reg);
     dlc = std::make_unique<DlController>(
         eq, base + ".dlc", id, cfg.link.retryTimeoutPs,
-        cfg.link.maxRetries, reg);
+        cfg.link.maxRetries, reg, cfg.link.retryWindow);
 
     l2 = std::make_unique<Cache>(base + ".l2", cfg.dimm.l2Bytes,
                                  cfg.dimm.l2Assoc, cfg.dimm.lineBytes,

@@ -6,12 +6,13 @@ namespace dimmlink {
 
 DlController::DlController(EventQueue &eq, const std::string &name,
                            DimmId self_, Tick retry_timeout_ps,
-                           unsigned max_retries, stats::Registry &reg)
+                           unsigned max_retries, stats::Registry &reg,
+                           unsigned window)
     : eventq(eq),
       name_(name),
       self(self_),
-      retry(eq, retry_timeout_ps, max_retries, reg.group(name)),
-      receiver(reg.group(name)),
+      retry(eq, retry_timeout_ps, max_retries, reg.group(name), window),
+      receiver(reg.group(name), window),
       statPacketized(reg.group(name).scalar("packetized")),
       statDecoded(reg.group(name).scalar("decoded"))
 {
@@ -28,15 +29,16 @@ DlController::allocTag()
 void
 DlController::sendReliable(
     proto::Packet pkt,
-    std::function<void(std::vector<std::uint8_t>)> transmit,
-    std::function<void()> on_acked)
+    std::function<void(const proto::Packet &,
+                       std::vector<std::uint8_t>)> transmit,
+    std::function<void()> on_acked, std::function<void()> on_failed)
 {
     ++statPacketized;
     retry.send(std::move(pkt),
                [tx = std::move(transmit)](const proto::Packet &p) {
-                   tx(proto::encode(p));
+                   tx(p, proto::encode(p));
                },
-               std::move(on_acked));
+               std::move(on_acked), std::move(on_failed));
 }
 
 void
@@ -45,12 +47,12 @@ DlController::onWireArrive(
     std::function<void(const proto::Packet &)> send_control,
     std::function<void(proto::Packet)> deliver)
 {
-    proto::Packet pkt;
-    proto::Packet ctrl;
-    const bool fresh = receiver.onArrive(wire, corrupted, pkt, ctrl);
-    if (send_control)
-        send_control(ctrl);
-    if (fresh) {
+    std::vector<proto::Packet> ready;
+    std::optional<proto::Packet> ctrl;
+    receiver.onArrive(wire, corrupted, ready, ctrl);
+    if (ctrl && send_control)
+        send_control(*ctrl);
+    for (auto &pkt : ready) {
         ++statDecoded;
         if (deliver)
             deliver(std::move(pkt));

@@ -30,7 +30,8 @@ class DlController
   public:
     DlController(EventQueue &eq, const std::string &name, DimmId self,
                  Tick retry_timeout_ps, unsigned max_retries,
-                 stats::Registry &reg);
+                 stats::Registry &reg,
+                 unsigned window = proto::RetrySender::defaultWindow);
 
     DimmId id() const { return self; }
 
@@ -39,18 +40,24 @@ class DlController
 
     /**
      * Packetize a remote request/response and hand the wire image to
-     * @p transmit under DLL retry protection. @p on_acked fires when
-     * the destination's ACK returns.
+     * @p transmit under DLL retry protection. @p transmit receives the
+     * sequence-stamped packet plus its freshly encoded wire image —
+     * fresh on every retry, so a retransmission never re-sends a
+     * corrupted buffer. @p on_acked fires when the destination's ACK
+     * returns; @p on_failed (optional) fires when the retry budget is
+     * exhausted, instead of panicking.
      */
     void sendReliable(proto::Packet pkt,
-                      std::function<void(std::vector<std::uint8_t>)>
+                      std::function<void(const proto::Packet &,
+                                         std::vector<std::uint8_t>)>
                           transmit,
-                      std::function<void()> on_acked);
+                      std::function<void()> on_acked,
+                      std::function<void()> on_failed = nullptr);
 
     /**
      * A wire image arrived from the bridge. Validates CRC, emits the
-     * ACK/NACK through @p send_control, and delivers first-seen valid
-     * packets to @p deliver.
+     * ACK/NACK through @p send_control, and hands packets that became
+     * deliverable (in per-source sequence order) to @p deliver.
      * @param corrupted inject a bit flip before validation (tests).
      */
     void onWireArrive(const std::vector<std::uint8_t> &wire,
@@ -80,6 +87,13 @@ class DlController
     std::size_t packetBufferDepth() const { return packetBuf.size(); }
 
     std::size_t retryInFlight() const { return retry.inFlight(); }
+    /** Sends waiting for the retry window to open. */
+    std::size_t retryQueued() const { return retry.queued(); }
+    /** Out-of-order packets held in the receive reorder buffer. */
+    std::size_t receiverBuffered() const
+    {
+        return receiver.bufferedPackets();
+    }
 
   private:
     EventQueue &eventq;

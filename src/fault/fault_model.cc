@@ -1,0 +1,66 @@
+#include "fault/fault_model.hh"
+
+#include <cmath>
+
+namespace dimmlink {
+namespace fault {
+
+std::uint64_t
+streamSeed(std::uint64_t base, const std::string &link_name)
+{
+    // FNV-1a over the name, then mixed with the base seed.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : link_name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h ^ ((base + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+unsigned
+FaultModel::applyBitErrors(double ber, unsigned bits,
+                           noc::Message &msg)
+{
+    if (ber <= 0.0 || bits == 0)
+        return 0;
+
+    // Geometric skip sampling: draw the gap to the next error bit
+    // instead of a Bernoulli trial per bit.
+    const double log1mp = std::log1p(-ber);
+    unsigned flips = 0;
+    std::uint64_t idx = 0;
+    while (true) {
+        const double u = rng.real();
+        const double skip = std::floor(std::log1p(-u) / log1mp);
+        if (skip >= static_cast<double>(bits))
+            break;
+        idx += static_cast<std::uint64_t>(skip);
+        if (idx >= bits)
+            break;
+        if (msg.wire && !msg.wire->empty() &&
+            idx < msg.wire->size() * 8ull) {
+            (*msg.wire)[idx / 8] ^=
+                static_cast<std::uint8_t>(1u << (idx % 8));
+        }
+        ++flips;
+        ++idx;
+    }
+    if (flips > 0)
+        msg.corrupted = true;
+    return flips;
+}
+
+std::unique_ptr<FaultModel>
+makeFaultModel(const FaultConfig &cfg, const std::string &link_name)
+{
+    if (cfg.model == "none")
+        return nullptr;
+    if (!cfg.linkFilter.empty() &&
+        link_name.find(cfg.linkFilter) == std::string::npos)
+        return nullptr;
+    return FaultModelFactory::instance().create(
+        cfg.model, cfg, streamSeed(cfg.seed, link_name));
+}
+
+} // namespace fault
+} // namespace dimmlink

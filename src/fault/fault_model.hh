@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic link-fault injection (the ROADMAP's robustness
+ * direction, in the spirit of gem5's fault-injection harnesses): a
+ * FaultModel attached to a noc::Link perturbs each transmission —
+ * flipping real bits of the wire image, derating the serialization
+ * rate, or stalling the link — from a per-link RNG stream derived
+ * from the config seed and the link's name, so every run is
+ * reproducible and seed-sweepable. Implementations self-register in
+ * the FaultModelFactory ("none", "ber", "burst", "degrade", "stuck").
+ */
+
+#ifndef DIMMLINK_FAULT_FAULT_MODEL_HH
+#define DIMMLINK_FAULT_FAULT_MODEL_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/factory.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "noc/message.hh"
+
+namespace dimmlink {
+namespace fault {
+
+class FaultModel
+{
+  public:
+    /** What one fault does to one transmission. */
+    struct Effect
+    {
+        /** Bits were flipped en route (CRC catches them downstream). */
+        bool corrupted = false;
+        /** Serialization-time multiplier (degraded link: > 1). */
+        double serScale = 1.0;
+        /** Stall before serialization may begin (link outage). */
+        Tick stallPs = 0;
+    };
+
+    explicit FaultModel(std::uint64_t stream_seed) : rng(stream_seed) {}
+    virtual ~FaultModel() = default;
+
+    /**
+     * Apply the model to @p msg, about to start serializing at tick
+     * @p start over @p bits wire bits. May flip bits of msg.wire in
+     * place (and always sets msg.corrupted when it tampered).
+     */
+    virtual Effect onTransmit(Tick start, unsigned bits,
+                              noc::Message &msg) = 0;
+
+  protected:
+    /**
+     * Flip each of @p bits independently with probability @p ber
+     * (geometric skip sampling, so tiny BERs cost ~0 draws). Flips
+     * land in *msg.wire when an image travels with the message.
+     * @return the number of bits flipped.
+     */
+    unsigned applyBitErrors(double ber, unsigned bits,
+                            noc::Message &msg);
+
+    Rng rng;
+};
+
+using FaultModelFactory =
+    Factory<FaultModel, const FaultConfig &, std::uint64_t>;
+
+/**
+ * The deterministic per-link RNG stream seed: a hash of the link name
+ * mixed with the base seed. Distinct links get decorrelated streams;
+ * the mapping is stable across runs and machines.
+ */
+std::uint64_t streamSeed(std::uint64_t base,
+                         const std::string &link_name);
+
+/**
+ * Build the configured fault model for @p link_name, or nullptr when
+ * the link is unfaulted (model "none", or the name does not match
+ * faults.linkFilter).
+ */
+std::unique_ptr<FaultModel> makeFaultModel(const FaultConfig &cfg,
+                                           const std::string &link_name);
+
+} // namespace fault
+
+template <>
+struct FactoryTraits<fault::FaultModel>
+{
+    static constexpr const char *noun = "fault model";
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_FAULT_FAULT_MODEL_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The built-in fault models. Each is an anonymous-namespace class
+ * plus a FaultModelFactory registrar; configs select them by name.
+ */
+
+#include "fault/fault_model.hh"
+
+namespace dimmlink {
+namespace fault {
+namespace {
+
+/** The explicit no-op, so "none" is a registered, listable choice. */
+class NoneModel : public FaultModel
+{
+  public:
+    NoneModel(const FaultConfig &, std::uint64_t seed)
+        : FaultModel(seed)
+    {}
+
+    Effect onTransmit(Tick, unsigned, noc::Message &) override
+    {
+        return {};
+    }
+};
+
+/** Independent random bit errors at a fixed BER. */
+class BerModel : public FaultModel
+{
+  public:
+    BerModel(const FaultConfig &cfg, std::uint64_t seed)
+        : FaultModel(seed), ber(cfg.ber)
+    {}
+
+    Effect onTransmit(Tick, unsigned bits, noc::Message &msg) override
+    {
+        Effect e;
+        e.corrupted = applyBitErrors(ber, bits, msg) > 0;
+        return e;
+    }
+
+  private:
+    const double ber;
+};
+
+/**
+ * Bursty errors: the link is normally clean; with probability
+ * burstProb a message starts a burst, and the next burstLen messages
+ * see bit errors at the configured BER (correlated noise — e.g. a
+ * marginal lane or a transient EMI event).
+ */
+class BurstModel : public FaultModel
+{
+  public:
+    BurstModel(const FaultConfig &cfg, std::uint64_t seed)
+        : FaultModel(seed),
+          ber(cfg.ber),
+          burstProb(cfg.burstProb),
+          burstLen(cfg.burstLen)
+    {}
+
+    Effect onTransmit(Tick, unsigned bits, noc::Message &msg) override
+    {
+        if (inBurstLeft == 0 && rng.chance(burstProb))
+            inBurstLeft = burstLen;
+        Effect e;
+        if (inBurstLeft > 0) {
+            --inBurstLeft;
+            e.corrupted = applyBitErrors(ber, bits, msg) > 0;
+        }
+        return e;
+    }
+
+  private:
+    const double ber;
+    const double burstProb;
+    const unsigned burstLen;
+    unsigned inBurstLeft = 0;
+};
+
+/**
+ * A derated link: every transmission serializes at degradeFactor of
+ * the nominal rate (link retraining dropped lanes, or thermal
+ * throttling). No corruption — purely a bandwidth fault.
+ */
+class DegradeModel : public FaultModel
+{
+  public:
+    DegradeModel(const FaultConfig &cfg, std::uint64_t seed)
+        : FaultModel(seed), scale(1.0 / cfg.degradeFactor)
+    {}
+
+    Effect onTransmit(Tick, unsigned, noc::Message &) override
+    {
+        Effect e;
+        e.serScale = scale;
+        return e;
+    }
+
+  private:
+    const double scale;
+};
+
+/**
+ * A stuck link: from stuckAtPs the link is down for stuckForPs,
+ * repeating every stuckPeriodPs (0 = one outage). Transmissions that
+ * start inside an outage stall until it ends.
+ */
+class StuckModel : public FaultModel
+{
+  public:
+    StuckModel(const FaultConfig &cfg, std::uint64_t seed)
+        : FaultModel(seed),
+          at(cfg.stuckAtPs),
+          dur(cfg.stuckForPs),
+          period(cfg.stuckPeriodPs)
+    {}
+
+    Effect onTransmit(Tick start, unsigned, noc::Message &) override
+    {
+        Effect e;
+        if (start < at || dur == 0)
+            return e;
+        const Tick since = start - at;
+        const Tick phase = period > 0 ? since % period : since;
+        if (phase < dur)
+            e.stallPs = dur - phase;
+        return e;
+    }
+
+  private:
+    const Tick at;
+    const Tick dur;
+    const Tick period;
+};
+
+template <typename M>
+std::unique_ptr<FaultModel>
+make(const FaultConfig &cfg, std::uint64_t seed)
+{
+    return std::make_unique<M>(cfg, seed);
+}
+
+FaultModelFactory::Registrar regNone("none", make<NoneModel>);
+FaultModelFactory::Registrar regBer("ber", make<BerModel>);
+FaultModelFactory::Registrar regBurst("burst", make<BurstModel>);
+FaultModelFactory::Registrar regDegrade("degrade", make<DegradeModel>);
+FaultModelFactory::Registrar regStuck("stuck", make<StuckModel>);
+
+} // namespace
+} // namespace fault
+} // namespace dimmlink

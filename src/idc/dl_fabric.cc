@@ -46,7 +46,11 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
       path(eq, cfg_, channels_, pollTargets(cfg_), reg),
       statPacketsLink(reg.group("fabric.dl").scalar("packetsViaLink")),
       statPacketsHost(reg.group("fabric.dl").scalar("packetsViaHost")),
-      statProxyNotifies(reg.group("fabric.dl").scalar("proxyNotifies"))
+      statProxyNotifies(reg.group("fabric.dl").scalar("proxyNotifies")),
+      statDllFailedTransfers(
+          reg.group("fabric.dl").scalar("dllFailedTransfers")),
+      statDllCtrlDropped(
+          reg.group("fabric.dl").scalar("dllCtrlDropped"))
 {
     const unsigned gs = cfg.groupSize();
     const unsigned groups = cfg.numGroups();
@@ -54,13 +58,24 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
     for (unsigned g = 0; g < groups; ++g) {
         nets.push_back(std::make_unique<noc::Network>(
             eq, "fabric.dl.group" + std::to_string(g), cfg.link, gs,
-            reg));
+            reg, &cfg.faults));
         injectQ[g].assign(gs, {});
         for (unsigned node = 0; node < gs; ++node) {
             nets[g]->setRetryHandler(
                 static_cast<int>(node), [this, g, node] {
                     drainInjectQueue(g, static_cast<int>(node));
                 });
+        }
+    }
+    // A configured fault model switches intra-group data onto the
+    // reliable DLL transport, with one retry engine per DIMM.
+    dllPath = cfg.faults.model != "none";
+    if (dllPath) {
+        for (unsigned d = 0; d < cfg.numDimms; ++d) {
+            dllCtl.push_back(std::make_unique<DlController>(
+                eq, "fabric.dl.dllc" + std::to_string(d),
+                static_cast<DimmId>(d), cfg.link.retryTimeoutPs,
+                cfg.link.maxRetries, reg, cfg.link.retryWindow));
         }
     }
 }
@@ -166,6 +181,29 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
     auto done =
         std::make_shared<std::function<void()>>(std::move(delivered));
 
+    if (dllPath) {
+        // Reliable transport: each chunk becomes a real DL packet
+        // whose wire image crosses the (possibly faulty) bridge under
+        // CRC + retry protection.
+        for (const std::uint64_t c : chunks) {
+            proto::Packet pkt;
+            pkt.src = static_cast<std::uint8_t>(s);
+            pkt.dst = static_cast<std::uint8_t>(d);
+            pkt.cmd = c > 0 ? proto::DlCommand::WriteReq
+                            : proto::DlCommand::ReadReq;
+            pkt.tag = dllCtl[s]->allocTag();
+            pkt.payload.assign(static_cast<std::size_t>(c), 0);
+            ++statPacketsLink;
+            statBytesViaLink +=
+                static_cast<double>(flitsFor(c)) * proto::flitBytes;
+            sendDllPacket(s, d, std::move(pkt), [remaining, done] {
+                if (--*remaining == 0 && *done)
+                    (*done)();
+            });
+        }
+        return;
+    }
+
     for (const std::uint64_t c : chunks) {
         const unsigned flits = flitsFor(c);
         noc::Message msg;
@@ -192,6 +230,134 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
                           },
                           EventPriority::Control);
     }
+}
+
+void
+DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
+                        std::function<void()> delivered)
+{
+    const unsigned group = groupIdx(s);
+    auto cb = std::make_shared<std::function<void()>>(
+        std::move(delivered));
+    // The sequence number is stamped at admission (possibly after
+    // window backpressure), so the waiting-table key is registered on
+    // the first transmission rather than here.
+    auto key = std::make_shared<std::optional<DllKey>>();
+
+    dllCtl[s]->sendReliable(
+        std::move(pkt),
+        [this, group, s, d, cb, key](const proto::Packet &p,
+                                     std::vector<std::uint8_t> wire) {
+            if (!key->has_value()) {
+                *key = DllKey{
+                    p.src, p.dst,
+                    static_cast<std::uint16_t>(p.dll & 0xffff)};
+                dllWaiting[**key] = cb;
+            }
+            const unsigned flits = p.numFlits();
+            noc::Message msg;
+            msg.src = nodeIdx(s);
+            msg.dst = nodeIdx(d);
+            msg.flits = flits;
+            msg.id = nextMsgId++;
+            // The encoded image travels with the message; fault
+            // models flip its real bits in flight. Each retry gets a
+            // freshly encoded (clean) image.
+            msg.wire = std::make_shared<std::vector<std::uint8_t>>(
+                std::move(wire));
+            msg.deliver = [this, d, flits, w = msg.wire](int) {
+                eventq.scheduleIn(decodeDelay(flits),
+                                  [this, d, w] { dllReceive(d, *w); },
+                                  EventPriority::Control);
+            };
+            eventq.scheduleIn(
+                packetizeDelay(flits),
+                [this, group, msg = std::move(msg)]() mutable {
+                    inject(group, std::move(msg));
+                },
+                EventPriority::Control);
+        },
+        /*on_acked=*/nullptr,
+        /*on_failed=*/[this, key] {
+            // Retry budget exhausted (e.g. a stuck link outliving the
+            // budget). Count it and complete the transfer anyway so
+            // the workload can terminate; the stat records the loss.
+            ++statDllFailedTransfers;
+            if (!key->has_value())
+                return;
+            auto it = dllWaiting.find(**key);
+            if (it == dllWaiting.end())
+                return; // Delivered earlier; only the ACKs kept dying.
+            auto cb2 = it->second;
+            dllWaiting.erase(it);
+            if (cb2 && *cb2)
+                (*cb2)();
+        });
+}
+
+void
+DlFabric::dllReceive(DimmId d, const std::vector<std::uint8_t> &wire)
+{
+    dllCtl[d]->onWireArrive(
+        wire, /*corrupted=*/false,
+        [this, d](const proto::Packet &ctrl) {
+            sendDllControl(d, ctrl);
+        },
+        [this](proto::Packet p) {
+            const DllKey k{
+                p.src, p.dst,
+                static_cast<std::uint16_t>(p.dll & 0xffff)};
+            auto it = dllWaiting.find(k);
+            if (it == dllWaiting.end())
+                return;
+            auto cb = it->second;
+            dllWaiting.erase(it);
+            if (cb && *cb)
+                (*cb)();
+        });
+}
+
+void
+DlFabric::sendDllControl(DimmId from, const proto::Packet &ctrl)
+{
+    if (ctrl.dst >= cfg.numDimms ||
+        groupIdx(static_cast<DimmId>(ctrl.dst)) != groupIdx(from)) {
+        // Can only happen when a NACK was synthesized from an image
+        // whose header bits (SRC) were themselves damaged: there is
+        // no one to send it to. The sender's timeout recovers.
+        ++statDllCtrlDropped;
+        return;
+    }
+    const unsigned group = groupIdx(from);
+    const auto dst = static_cast<DimmId>(ctrl.dst);
+    noc::Message msg;
+    msg.src = nodeIdx(from);
+    msg.dst = nodeIdx(dst);
+    msg.flits = 1;
+    msg.id = nextMsgId++;
+    // Control packets cross the same faulty links as data; a
+    // corrupted ACK/NACK is dropped at the far end and the data
+    // sender's retry timeout takes over.
+    msg.wire = std::make_shared<std::vector<std::uint8_t>>(
+        proto::encode(ctrl));
+    msg.deliver = [this, dst, w = msg.wire](int) {
+        eventq.scheduleIn(
+            decodeDelay(1),
+            [this, dst, w] {
+                proto::Packet c;
+                if (!proto::decode(*w, c)) {
+                    ++statDllCtrlDropped;
+                    return;
+                }
+                dllCtl[dst]->onControlArrive(c);
+            },
+            EventPriority::Control);
+    };
+    eventq.scheduleIn(packetizeDelay(1),
+                      [this, group, msg = std::move(msg)]() mutable {
+                          inject(group, std::move(msg));
+                      },
+                      EventPriority::Control);
 }
 
 void

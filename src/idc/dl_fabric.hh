@@ -10,9 +10,12 @@
 #define DIMMLINK_IDC_DL_FABRIC_HH
 
 #include <deque>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
+#include "dimm/dl_controller.hh"
 #include "idc/fabric.hh"
 #include "noc/network.hh"
 #include "proto/codec.hh"
@@ -65,10 +68,28 @@ class DlFabric : public Fabric
     /**
      * Send @p payload_bytes from @p s to @p d inside one group,
      * segmented into packets; @p delivered fires at d after the last
-     * packet is decoded.
+     * packet is decoded. With fault injection enabled the packets ride
+     * the reliable DLL transport (real wire images, CRC validation at
+     * the far end, NACK/timeout retransmission); otherwise the fast
+     * flit-count-only path is used and timing is bit-identical to the
+     * pre-fault model.
      */
     void sendIntraGroup(DimmId s, DimmId d, std::uint64_t payload_bytes,
                         std::function<void()> delivered);
+
+    /**
+     * Transmit one DL packet from @p s to @p d (same group) under DLL
+     * retry protection. @p delivered fires at d when the packet is
+     * first decoded and released in order; a transfer whose retry
+     * budget is exhausted counts toward dllFailedTransfers and still
+     * completes so the simulation can terminate.
+     */
+    void sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
+                       std::function<void()> delivered);
+    /** A DLL wire image finished decode at DIMM @p d. */
+    void dllReceive(DimmId d, const std::vector<std::uint8_t> &wire);
+    /** Send an ACK/NACK produced at @p from back over the bridge. */
+    void sendDllControl(DimmId from, const proto::Packet &ctrl);
 
     /** Inject one message, queueing on backpressure. */
     void inject(unsigned group, noc::Message msg);
@@ -97,9 +118,23 @@ class DlFabric : public Fabric
     CpuForwardPath path;
     std::uint64_t nextMsgId = 1;
 
+    /** True when intra-group data rides the reliable DLL transport
+     * (enabled whenever a fault model is configured). */
+    bool dllPath = false;
+    /** The fabric's per-DIMM DL-Controllers, indexed by global id. */
+    std::vector<std::unique_ptr<DlController>> dllCtl;
+    /** In-flight transfer completions, keyed by (SRC, DST, sequence)
+     * — sequence numbers are only unique per directed stream. An
+     * entry is claimed exactly once: at first in-order delivery, or
+     * on permanent failure, whichever comes first. */
+    using DllKey = std::tuple<std::uint8_t, std::uint8_t, std::uint16_t>;
+    std::map<DllKey, std::shared_ptr<std::function<void()>>> dllWaiting;
+
     stats::Scalar &statPacketsLink;
     stats::Scalar &statPacketsHost;
     stats::Scalar &statProxyNotifies;
+    stats::Scalar &statDllFailedTransfers;
+    stats::Scalar &statDllCtrlDropped;
 };
 
 } // namespace idc

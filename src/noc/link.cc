@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "fault/fault_model.hh"
 
 namespace dimmlink {
 namespace noc {
@@ -15,12 +16,26 @@ Link::Link(EventQueue &eq, std::string name, double gbps, Tick wire_ps,
       gbps_(gbps),
       wireLatency(wire_ps),
       flitBytes(flit_bits / 8),
+      statGroup(sg),
       statFlits(sg.scalar("flits")),
       statMessages(sg.scalar("messages")),
       statBusyPs(sg.scalar("busyPs"))
 {
     if (gbps <= 0)
         fatal("link %s: non-positive bandwidth", name_.c_str());
+}
+
+Link::~Link() = default;
+
+void
+Link::setFaultModel(std::unique_ptr<fault::FaultModel> m)
+{
+    faultModel = std::move(m);
+    if (faultModel && !statFaultCorrupted) {
+        statFaultCorrupted = &statGroup.scalar("faultCorrupted");
+        statFaultStalledPs = &statGroup.scalar("faultStalledPs");
+        statFaultDeratedPs = &statGroup.scalar("faultDeratedPs");
+    }
 }
 
 Tick
@@ -33,8 +48,29 @@ Link::serializationTime(unsigned flits) const
 Tick
 Link::transmit(Message msg, std::function<void(Message)> arrive)
 {
-    const Tick start = std::max(eventq.now(), busyUntil);
-    const Tick ser = serializationTime(msg.flits);
+    Tick start = std::max(eventq.now(), busyUntil);
+    Tick ser = serializationTime(msg.flits);
+    if (faultModel) {
+        const auto bits = static_cast<unsigned>(
+            msg.wire && !msg.wire->empty()
+                ? msg.wire->size() * 8
+                : static_cast<std::size_t>(msg.flits) * flitBytes * 8);
+        const auto effect = faultModel->onTransmit(start, bits, msg);
+        if (effect.stallPs > 0) {
+            start += effect.stallPs;
+            *statFaultStalledPs += static_cast<double>(effect.stallPs);
+        }
+        if (effect.serScale != 1.0) {
+            const auto derated = static_cast<Tick>(
+                static_cast<double>(ser) * effect.serScale + 0.5);
+            *statFaultDeratedPs += static_cast<double>(derated - ser);
+            ser = derated;
+        }
+        if (effect.corrupted) {
+            msg.corrupted = true;
+            ++*statFaultCorrupted;
+        }
+    }
     busyUntil = start + ser;
     statFlits += msg.flits;
     ++statMessages;

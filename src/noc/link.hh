@@ -9,12 +9,18 @@
 #define DIMMLINK_NOC_LINK_HH
 
 #include <functional>
+#include <memory>
 
 #include "common/stats.hh"
 #include "noc/message.hh"
 #include "sim/event_queue.hh"
 
 namespace dimmlink {
+
+namespace fault {
+class FaultModel;
+} // namespace fault
+
 namespace noc {
 
 class Link
@@ -27,6 +33,15 @@ class Link
      */
     Link(EventQueue &eq, std::string name, double gbps, Tick wire_ps,
          unsigned flit_bits, stats::Group &sg);
+    ~Link();
+
+    /**
+     * Attach a fault model; every subsequent transmit() passes
+     * through it. nullptr detaches. The fault stats scalars are
+     * created lazily here so unfaulted runs keep the baseline stats
+     * JSON shape.
+     */
+    void setFaultModel(std::unique_ptr<fault::FaultModel> m);
 
     /** Earliest tick a new transmission may begin. */
     Tick freeAt() const { return busyUntil; }
@@ -52,9 +67,15 @@ class Link
     unsigned flitBytes;
     Tick busyUntil = 0;
 
+    stats::Group &statGroup;
     stats::Scalar &statFlits;
     stats::Scalar &statMessages;
     stats::Scalar &statBusyPs;
+
+    std::unique_ptr<fault::FaultModel> faultModel;
+    stats::Scalar *statFaultCorrupted = nullptr;
+    stats::Scalar *statFaultStalledPs = nullptr;
+    stats::Scalar *statFaultDeratedPs = nullptr;
 };
 
 } // namespace noc

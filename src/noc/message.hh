@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -36,6 +38,20 @@ struct Message
     Tick injectedAt = 0;
     /** Number of link traversals so far (hop count statistic). */
     unsigned hops = 0;
+    /**
+     * The encoded DL wire image, when the sender models it (reliable
+     * DLL transport). Shared so copies made for broadcast fan-out or
+     * deferred delivery alias one buffer; fault models flip bits in
+     * it, and the far end decodes it through the CRC.
+     */
+    std::shared_ptr<std::vector<std::uint8_t>> wire;
+    /**
+     * A fault model damaged this message in flight. For messages with
+     * a @ref wire image the damage is also physically present in the
+     * bytes; for flit-count-only messages this flag is the only
+     * record of it.
+     */
+    bool corrupted = false;
     /**
      * Called once per destination when the message is ejected there.
      * The int argument is the ejecting node index.

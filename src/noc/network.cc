@@ -1,12 +1,14 @@
 #include "noc/network.hh"
 
 #include "common/log.hh"
+#include "fault/fault_model.hh"
 
 namespace dimmlink {
 namespace noc {
 
 Network::Network(EventQueue &eq, std::string name, const LinkConfig &cfg_,
-                 unsigned nodes, stats::Registry &reg)
+                 unsigned nodes, stats::Registry &reg,
+                 const FaultConfig *faults)
     : name_(std::move(name)),
       cfg(cfg_),
       topo(cfg_.topology, nodes),
@@ -33,6 +35,9 @@ Network::Network(EventQueue &eq, std::string name, const LinkConfig &cfg_,
             links.push_back(std::make_unique<Link>(
                 eq, lname, cfg.linkGBps, cfg.wireLatencyPs,
                 cfg.flitBits, sg));
+            if (faults)
+                links.back()->setFaultModel(
+                    fault::makeFaultModel(*faults, lname));
             routers[i]->connectOutput(
                 nb, links.back().get(),
                 routers[static_cast<std::size_t>(nb)].get());

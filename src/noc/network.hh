@@ -26,8 +26,14 @@ namespace noc {
 class Network
 {
   public:
+    /**
+     * @param faults  when non-null, each link gets the configured
+     *                fault model (seeded from its own name) attached
+     *                at construction.
+     */
     Network(EventQueue &eq, std::string name, const LinkConfig &cfg,
-            unsigned nodes, stats::Registry &registry);
+            unsigned nodes, stats::Registry &registry,
+            const FaultConfig *faults = nullptr);
 
     /**
      * Try to inject @p msg at node msg.src. @return false when the

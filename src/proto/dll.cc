@@ -1,5 +1,8 @@
 #include "proto/dll.hh"
 
+#include <cstring>
+
+#include "common/bitfield.hh"
 #include "common/log.hh"
 
 namespace dimmlink {
@@ -7,25 +10,37 @@ namespace proto {
 
 namespace {
 
-/** Build a best-effort NACK from a possibly damaged wire image. */
-Packet
+/**
+ * Build a best-effort NACK from a possibly damaged wire image. The
+ * DLL tail sits behind the payload, so its offset depends on the
+ * header's LEN field; when LEN disagrees with the image size the
+ * header itself is suspect and no NACK is produced — the sender's
+ * retry timeout recovers instead of a NACK carrying a garbage
+ * sequence number.
+ */
+std::optional<Packet>
 makeNack(const std::vector<std::uint8_t> &image)
 {
-    Packet hdr;
+    if (image.size() < flitBytes || image.size() % flitBytes != 0)
+        return std::nullopt;
+
     std::uint64_t h = 0;
-    for (unsigned i = 0; i < 8 && i < image.size(); ++i)
-        h |= static_cast<std::uint64_t>(image[i]) << (8 * i);
+    std::memcpy(&h, image.data(), 8);
+    Packet hdr;
     decodeHeader(h, hdr);
+    const auto len = static_cast<unsigned>(
+        bits(h, 64 - HeaderLayout::lenBits, HeaderLayout::lenBits));
+    if (image.size() != static_cast<std::size_t>(1 + len) * flitBytes)
+        return std::nullopt;
 
     Packet nack;
     nack.src = hdr.dst;
     nack.dst = hdr.src;
     nack.cmd = DlCommand::DllNack;
     nack.tag = hdr.tag;
-    // The sequence number rides in the tail's DLL word.
+    // The sequence number rides in the tail's DLL word, after the CRC.
     std::uint32_t dll = 0;
-    for (unsigned i = 0; i < 4 && 12 + i < image.size(); ++i)
-        dll |= static_cast<std::uint32_t>(image[12 + i]) << (8 * i);
+    std::memcpy(&dll, image.data() + tailOffset(len) + 4, 4);
     nack.dll = dll & 0xffff;
     return nack;
 }
@@ -33,15 +48,42 @@ makeNack(const std::vector<std::uint8_t> &image)
 } // namespace
 
 RetrySender::RetrySender(EventQueue &eq, Tick timeout_ps,
-                         unsigned max_retries, stats::Group &sg)
+                         unsigned max_retries, stats::Group &sg,
+                         unsigned window)
     : eventq(eq),
       timeout(timeout_ps),
       maxRetries(max_retries),
+      window_(window),
       statSent(sg.scalar("dllSent")),
       statAcked(sg.scalar("dllAcked")),
       statRetries(sg.scalar("dllRetries")),
-      statFailures(sg.scalar("dllFailures"))
+      statFailures(sg.scalar("dllFailures")),
+      statBackpressured(sg.scalar("dllBackpressured")),
+      statRecoveryPs(sg.histogram("dllRecoveryPs",
+                                  static_cast<double>(timeout_ps) / 4,
+                                  64))
 {
+    if (window_ == 0 || window_ > maxWindow)
+        panic("DLL retry window %u outside [1, %u]", window_,
+              maxWindow);
+}
+
+std::size_t
+RetrySender::inFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &[dst, st] : streams)
+        n += st.pending.size();
+    return n;
+}
+
+std::size_t
+RetrySender::queued() const
+{
+    std::size_t n = 0;
+    for (const auto &[dst, st] : streams)
+        n += st.sendQ.size();
+    return n;
 }
 
 void
@@ -49,55 +91,100 @@ RetrySender::send(Packet pkt, TransmitFn transmit,
                   std::function<void()> on_acked,
                   std::function<void()> on_failed)
 {
-    const std::uint16_t seq = nextSeq++;
-    pkt.dll = (pkt.dll & 0xffff0000u) | seq;
-
+    Stream &st = streams[pkt.dst];
     Entry e;
-    e.pkt = pkt;
+    e.pkt = std::move(pkt);
     e.transmit = std::move(transmit);
     e.onAcked = std::move(on_acked);
     e.onFailed = std::move(on_failed);
-    auto [it, inserted] = pending.emplace(seq, std::move(e));
-    if (!inserted)
-        panic("DLL sequence number %u wrapped while still in flight",
-              seq);
-
-    ++statSent;
-    it->second.transmit(it->second.pkt);
-    armTimer(seq);
+    if (windowFull(st)) {
+        // Backpressure instead of wrapping onto a live sequence
+        // number: the send is queued until completions slide the
+        // window forward.
+        ++statBackpressured;
+        st.sendQ.push_back(std::move(e));
+        return;
+    }
+    admit(st, std::move(e));
 }
 
 void
-RetrySender::armTimer(std::uint16_t seq)
+RetrySender::admit(Stream &st, Entry e)
 {
-    auto it = pending.find(seq);
-    if (it == pending.end())
+    const std::uint16_t seq = st.nextSeq++;
+    const std::uint8_t dst = e.pkt.dst;
+    e.pkt.dll = (e.pkt.dll & 0xffff0000u) | seq;
+    e.firstSentAt = eventq.now();
+
+    auto [it, inserted] = st.pending.emplace(seq, std::move(e));
+    if (!inserted)
+        panic("DLL sequence number %u wrapped while still in flight",
+              seq); // unreachable: the window bound keeps seqs unique
+
+    ++statSent;
+    // The transport may complete the send inline (tests wire the
+    // ACK path synchronously), erasing the entry mid-call: invoke
+    // through stack copies so the executing callable and its packet
+    // outlive a re-entrant finish().
+    auto tx = it->second.transmit;
+    const Packet snapshot = it->second.pkt;
+    tx(snapshot);
+    armTimer(dst, seq);
+}
+
+void
+RetrySender::finish(Stream &st,
+                    std::map<std::uint16_t, Entry>::iterator it)
+{
+    st.pending.erase(it);
+    // Slide the window past every completed sequence number, then let
+    // queued sends through the space that opened up.
+    while (st.baseSeq != st.nextSeq && st.pending.count(st.baseSeq) == 0)
+        ++st.baseSeq;
+    while (!st.sendQ.empty() && !windowFull(st)) {
+        Entry e = std::move(st.sendQ.front());
+        st.sendQ.pop_front();
+        admit(st, std::move(e));
+    }
+}
+
+void
+RetrySender::armTimer(std::uint8_t dst, std::uint16_t seq)
+{
+    auto stream = streams.find(dst);
+    if (stream == streams.end() ||
+        stream->second.pending.count(seq) == 0)
         return;
-    it->second.timerId = eventq.scheduleIn(
-        timeout, [this, seq] { onTimeout(seq); },
+    stream->second.pending[seq].timerId = eventq.scheduleIn(
+        timeout, [this, dst, seq] { onTimeout(dst, seq); },
         EventPriority::Control);
 }
 
 void
-RetrySender::onTimeout(std::uint16_t seq)
+RetrySender::onTimeout(std::uint8_t dst, std::uint16_t seq)
 {
-    auto it = pending.find(seq);
-    if (it == pending.end())
+    auto stream = streams.find(dst);
+    if (stream == streams.end() ||
+        stream->second.pending.count(seq) == 0)
         return; // ACKed in the meantime.
-    retransmit(seq);
+    retransmit(dst, seq);
 }
 
 void
-RetrySender::retransmit(std::uint16_t seq)
+RetrySender::retransmit(std::uint8_t dst, std::uint16_t seq)
 {
-    auto it = pending.find(seq);
-    if (it == pending.end())
+    auto stream = streams.find(dst);
+    if (stream == streams.end())
+        return;
+    Stream &st = stream->second;
+    auto it = st.pending.find(seq);
+    if (it == st.pending.end())
         return;
     Entry &e = it->second;
     if (e.tries >= maxRetries) {
         ++statFailures;
         auto failed = std::move(e.onFailed);
-        pending.erase(it);
+        finish(st, it);
         if (failed)
             failed();
         else
@@ -107,73 +194,127 @@ RetrySender::retransmit(std::uint16_t seq)
     }
     ++e.tries;
     ++statRetries;
-    e.transmit(e.pkt);
-    armTimer(seq);
+    // Stack copies for the same re-entrancy reason as in admit().
+    auto tx = e.transmit;
+    const Packet snapshot = e.pkt;
+    tx(snapshot);
+    armTimer(dst, seq);
 }
 
 void
 RetrySender::onControl(const Packet &ctrl)
 {
+    // The control packet's SRC is the data packet's destination: it
+    // names the sequence stream the ACK/NACK belongs to.
+    auto stream = streams.find(ctrl.src);
+    if (stream == streams.end())
+        return; // NACK synthesized from a damaged header.
+    Stream &st = stream->second;
     const auto seq = static_cast<std::uint16_t>(ctrl.dll & 0xffff);
-    auto it = pending.find(seq);
-    if (it == pending.end())
+    auto it = st.pending.find(seq);
+    if (it == st.pending.end())
         return; // Stale control packet (late duplicate ACK).
 
     if (ctrl.cmd == DlCommand::DllAck) {
         eventq.deschedule(it->second.timerId);
         ++statAcked;
+        if (it->second.tries > 0)
+            statRecoveryPs.sample(static_cast<double>(
+                eventq.now() - it->second.firstSentAt));
         auto acked = std::move(it->second.onAcked);
-        pending.erase(it);
+        finish(st, it);
         if (acked)
             acked();
     } else if (ctrl.cmd == DlCommand::DllNack) {
         eventq.deschedule(it->second.timerId);
-        retransmit(seq);
+        retransmit(ctrl.src, seq);
     } else {
         panic("non-control packet %s fed to RetrySender",
               toString(ctrl.cmd));
     }
 }
 
-RetryReceiver::RetryReceiver(stats::Group &sg)
-    : statValid(sg.scalar("dllValid")),
+RetryReceiver::RetryReceiver(stats::Group &sg, unsigned window)
+    : window_(window),
+      statValid(sg.scalar("dllValid")),
       statCorrupt(sg.scalar("dllCorrupt")),
-      statDuplicates(sg.scalar("dllDuplicates"))
+      statDuplicates(sg.scalar("dllDuplicates")),
+      statOutOfOrder(sg.scalar("dllOutOfOrder"))
 {
+    if (window_ == 0 || window_ > RetrySender::maxWindow)
+        panic("DLL receive window %u outside [1, %u]", window_,
+              RetrySender::maxWindow);
 }
 
-bool
+void
 RetryReceiver::onArrive(const std::vector<std::uint8_t> &wire,
-                        bool corrupted, Packet &out, Packet &ack)
+                        bool corrupted, std::vector<Packet> &deliver,
+                        std::optional<Packet> &ack)
 {
     std::vector<std::uint8_t> image = wire;
     if (corrupted && !image.empty())
         image[image.size() / 2] ^= 0x10;
 
-    if (!decode(image, out)) {
+    Packet pkt;
+    if (!decode(image, pkt)) {
         ++statCorrupt;
-        // Best effort NACK: the header may itself be damaged, but the
-        // sender also has the timeout as a backstop.
         ack = makeNack(image);
-        return false;
+        return;
     }
-
     ++statValid;
-    ack.src = out.dst;
-    ack.dst = out.src;
-    ack.cmd = DlCommand::DllAck;
-    ack.tag = out.tag;
-    ack.dll = out.dll & 0xffff;
 
-    const auto key = std::make_pair(out.src,
-                                    static_cast<std::uint16_t>(
-                                        out.dll & 0xffff));
-    if (seen.count(key)) {
+    Packet ctrl;
+    ctrl.src = pkt.dst;
+    ctrl.dst = pkt.src;
+    ctrl.cmd = DlCommand::DllAck;
+    ctrl.tag = pkt.tag;
+    ctrl.dll = pkt.dll & 0xffff;
+
+    const auto seq = static_cast<std::uint16_t>(pkt.dll & 0xffff);
+    SourceState &st = sources[pkt.src];
+    const auto ahead = static_cast<std::uint16_t>(seq - st.expected);
+    const auto behind = static_cast<std::uint16_t>(st.expected - seq);
+
+    if (ahead == 0) {
+        // The in-sequence packet: deliver it plus everything it
+        // unblocks from the reorder buffer.
+        deliver.push_back(std::move(pkt));
+        ++st.expected;
+        for (auto held = st.held.find(st.expected);
+             held != st.held.end();
+             held = st.held.find(st.expected)) {
+            deliver.push_back(std::move(held->second));
+            st.held.erase(held);
+            ++st.expected;
+        }
+    } else if (ahead < window_) {
+        // A gap: hold the packet for in-order delivery. A second copy
+        // of a held sequence is a retransmission whose ACK was lost.
+        if (st.held.emplace(seq, std::move(pkt)).second)
+            ++statOutOfOrder;
+        else
+            ++statDuplicates;
+    } else if (behind <= window_) {
+        // Behind the window base: delivered before; re-ACK so the
+        // sender stops retransmitting, but do not re-deliver.
         ++statDuplicates;
-        return false; // Re-ACK but do not re-deliver.
+    } else {
+        // Outside both windows: the peer's send window is larger than
+        // our receive window. NACK instead of ACK — acknowledging a
+        // packet we refuse to buffer would lose it; this way the
+        // sender retries until the stream catches up.
+        ctrl.cmd = DlCommand::DllNack;
     }
-    seen[key] = true;
-    return true;
+    ack = ctrl;
+}
+
+std::size_t
+RetryReceiver::bufferedPackets() const
+{
+    std::size_t n = 0;
+    for (const auto &[src, st] : sources)
+        n += st.held.size();
+    return n;
 }
 
 } // namespace proto

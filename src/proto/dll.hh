@@ -4,13 +4,29 @@
  * packet is CRC-checked at the destination; an ACK flows back on
  * success, a NACK (or silence) triggers retransmission from the
  * source after a timeout, bounded by a retry budget.
+ *
+ * Both ends run a selective-repeat window over the 16-bit sequence
+ * space in the DLL tail word. The sender keeps an independent
+ * sequence stream per destination (the receiver reconstructs order
+ * per source, so every (source, destination) pair must see a gapless
+ * sequence space); within each stream it admits at most `window`
+ * sequence numbers between the oldest unacknowledged packet and the
+ * next one to stamp, queueing further sends instead of wrapping. The
+ * receiver tracks a per-source `expected` pointer plus a bounded
+ * reorder buffer, delivering upward exactly once and in order no
+ * matter how arrivals are corrupted, reordered, or duplicated. With
+ * the window capped well below 2^15, "new" and "already delivered"
+ * sequence numbers occupy disjoint halves of the circular space, so
+ * duplicate filtering keeps working past any number of wraps.
  */
 
 #ifndef DIMMLINK_PROTO_DLL_HH
 #define DIMMLINK_PROTO_DLL_HH
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 
 #include "common/stats.hh"
 #include "proto/packet.hh"
@@ -29,23 +45,39 @@ class RetrySender
     /** Invoked to (re)transmit a packet on the wire. */
     using TransmitFn = std::function<void(const Packet &)>;
 
+    /** Window used when the config does not say otherwise. */
+    static constexpr unsigned defaultWindow = 64;
+    /** Window ceiling: old and new halves of the 16-bit sequence
+     * space must stay disjoint (see RetryReceiver). */
+    static constexpr unsigned maxWindow = 8192;
+
     RetrySender(EventQueue &eq, Tick timeout_ps, unsigned max_retries,
-                stats::Group &sg);
+                stats::Group &sg, unsigned window = defaultWindow);
 
     /**
-     * Send @p pkt reliably. @p transmit is called immediately and
-     * again on every retry; @p on_acked fires when the ACK arrives;
-     * @p on_failed fires after the retry budget is exhausted.
+     * Send @p pkt reliably. @p transmit is called immediately (or as
+     * soon as the send window opens) and again on every retry;
+     * @p on_acked fires when the ACK arrives; @p on_failed fires after
+     * the retry budget is exhausted.
      */
     void send(Packet pkt, TransmitFn transmit,
               std::function<void()> on_acked,
               std::function<void()> on_failed = nullptr);
 
-    /** Feed an arriving DllAck / DllNack to the sender. */
+    /**
+     * Feed an arriving DllAck / DllNack to the sender. The control
+     * packet's SRC field (the data packet's original destination)
+     * selects the sequence stream.
+     */
     void onControl(const Packet &ctrl);
 
-    /** Outstanding unacknowledged packets. */
-    std::size_t inFlight() const { return pending.size(); }
+    /** Outstanding unacknowledged packets, across all destinations. */
+    std::size_t inFlight() const;
+
+    /** Sends waiting for the window to open, across destinations. */
+    std::size_t queued() const;
+
+    unsigned window() const { return window_; }
 
   private:
     struct Entry
@@ -56,53 +88,102 @@ class RetrySender
         std::function<void()> onFailed;
         unsigned tries = 0;
         std::uint64_t timerId = 0;
+        Tick firstSentAt = 0;
     };
 
-    void armTimer(std::uint16_t seq);
-    void onTimeout(std::uint16_t seq);
-    void retransmit(std::uint16_t seq);
+    /** One destination's sequence stream: the receiver reorders per
+     * source, so the space must be gapless per (source, dest) pair. */
+    struct Stream
+    {
+        std::map<std::uint16_t, Entry> pending;
+        /** Sends admitted while the window was full, in order. */
+        std::deque<Entry> sendQ;
+        std::uint16_t nextSeq = 0;
+        /** Oldest potentially-unacknowledged sequence number. */
+        std::uint16_t baseSeq = 0;
+    };
+
+    /** True when [baseSeq, nextSeq) already spans the full window. */
+    bool windowFull(const Stream &st) const
+    {
+        return static_cast<std::uint16_t>(st.nextSeq - st.baseSeq) >=
+               window_;
+    }
+
+    /** Stamp the stream's next sequence onto @p e and transmit it. */
+    void admit(Stream &st, Entry e);
+    /** Remove a completed entry, slide the window, drain the queue. */
+    void finish(Stream &st, std::map<std::uint16_t, Entry>::iterator it);
+    void armTimer(std::uint8_t dst, std::uint16_t seq);
+    void onTimeout(std::uint8_t dst, std::uint16_t seq);
+    void retransmit(std::uint8_t dst, std::uint16_t seq);
 
     EventQueue &eventq;
     Tick timeout;
     unsigned maxRetries;
-    std::map<std::uint16_t, Entry> pending;
-    std::uint16_t nextSeq = 0;
+    unsigned window_;
+    /** Per-destination streams, keyed by the packet's DST field. */
+    std::map<std::uint8_t, Stream> streams;
 
     stats::Scalar &statSent;
     stats::Scalar &statAcked;
     stats::Scalar &statRetries;
     stats::Scalar &statFailures;
+    stats::Scalar &statBackpressured;
+    /** Extra latency ACK arrival minus first transmission, sampled
+     * only for packets that needed at least one retry. */
+    stats::Histogram &statRecoveryPs;
 };
 
 /**
  * Receiver-side helper: validates the wire image (optionally through
- * an injected corruption), builds the matching ACK/NACK, and filters
+ * an injected corruption), builds the matching ACK/NACK, filters
  * duplicate deliveries caused by retransmitted packets whose original
- * ACK was lost.
+ * ACK was lost, and reorders out-of-sequence arrivals so the upward
+ * delivery is exactly-once and in-order per source.
  */
 class RetryReceiver
 {
   public:
-    explicit RetryReceiver(stats::Group &sg);
+    explicit RetryReceiver(stats::Group &sg,
+                           unsigned window = RetrySender::defaultWindow);
 
     /**
      * Process an arriving transaction packet's wire image.
-     * @param corrupted true when the transport flipped bits en route.
-     * @param out decoded packet (valid only when the result is true).
-     * @param ack filled with the control packet to send back.
-     * @return true when @p out should be delivered upward (first
-     *         valid arrival of this sequence number).
+     * @param corrupted inject a bit flip before validation (tests).
+     * @param deliver appended with every packet that became
+     *        deliverable, in sequence order (a gap fill can release
+     *        several held packets at once).
+     * @param ack set to the control packet to send back, or left
+     *        empty when the image is too damaged to even NACK (the
+     *        sender's timeout is the backstop then).
      */
-    bool onArrive(const std::vector<std::uint8_t> &wire, bool corrupted,
-                  Packet &out, Packet &ack);
+    void onArrive(const std::vector<std::uint8_t> &wire, bool corrupted,
+                  std::vector<Packet> &deliver,
+                  std::optional<Packet> &ack);
+
+    /** Out-of-order packets currently held across all sources. */
+    std::size_t bufferedPackets() const;
+
+    /** Sources with receive state (bounded by the 6-bit SRC space). */
+    std::size_t trackedSources() const { return sources.size(); }
 
   private:
-    /** Sequence numbers already delivered (per source DIMM). */
-    std::map<std::pair<std::uint8_t, std::uint16_t>, bool> seen;
+    struct SourceState
+    {
+        /** Next in-sequence number to deliver upward. */
+        std::uint16_t expected = 0;
+        /** Valid arrivals ahead of expected, keyed by sequence. */
+        std::map<std::uint16_t, Packet> held;
+    };
+
+    std::map<std::uint8_t, SourceState> sources;
+    unsigned window_;
 
     stats::Scalar &statValid;
     stats::Scalar &statCorrupt;
     stats::Scalar &statDuplicates;
+    stats::Scalar &statOutOfOrder;
 };
 
 } // namespace proto

@@ -78,17 +78,18 @@ encode(const Packet &p)
         static_cast<std::size_t>(1 + pay_flits) * flitBytes, 0);
 
     const std::uint64_t header = encodeHeader(p);
+    const std::size_t tail = tailOffset(pay_flits);
     std::memcpy(wire.data(), &header, 8);
     if (!p.payload.empty())
-        std::memcpy(wire.data() + flitBytes, p.payload.data(),
+        std::memcpy(wire.data() + 8, p.payload.data(),
                     p.payload.size());
+    std::memcpy(wire.data() + tail + 4, &p.dll, 4);
 
-    // CRC covers the header word and the (padded) payload.
-    std::uint32_t crc = crc32Update(0, wire.data(), 8);
-    crc = crc32Update(crc, wire.data() + flitBytes,
-                      static_cast<std::size_t>(pay_flits) * flitBytes);
-    std::memcpy(wire.data() + 8, &crc, 4);
-    std::memcpy(wire.data() + 12, &p.dll, 4);
+    // CRC covers the header word, the (padded) payload, and the DLL
+    // word; a flip in the sequence number must not pass validation.
+    std::uint32_t crc = crc32Update(0, wire.data(), tail);
+    crc = crc32Update(crc, wire.data() + tail + 4, 4);
+    std::memcpy(wire.data() + tail, &crc, 4);
     return wire;
 }
 
@@ -108,17 +109,18 @@ decode(const std::vector<std::uint8_t> &wire, Packet &out)
     if (wire.size() != static_cast<std::size_t>(1 + len) * flitBytes)
         return false;
 
+    const std::size_t tail = tailOffset(len);
     std::uint32_t crc_field;
-    std::memcpy(&crc_field, wire.data() + 8, 4);
-    std::memcpy(&out.dll, wire.data() + 12, 4);
+    std::memcpy(&crc_field, wire.data() + tail, 4);
+    std::memcpy(&out.dll, wire.data() + tail + 4, 4);
 
-    std::uint32_t crc = crc32Update(0, wire.data(), 8);
-    crc = crc32Update(crc, wire.data() + flitBytes,
-                      static_cast<std::size_t>(len) * flitBytes);
+    std::uint32_t crc = crc32Update(0, wire.data(), tail);
+    crc = crc32Update(crc, wire.data() + tail + 4, 4);
     if (crc != crc_field)
         return false;
 
-    out.payload.assign(wire.begin() + flitBytes, wire.end());
+    out.payload.assign(wire.begin() + 8,
+                       wire.begin() + static_cast<std::ptrdiff_t>(tail));
     return true;
 }
 

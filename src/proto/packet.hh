@@ -3,15 +3,19 @@
  * The DIMM-Link packet of Fig. 3: a 64-bit header (SRC, DST, CMD,
  * ADDR, TAG, LEN), an optional payload, and a tail carrying a 32-bit
  * CRC plus the 32-bit DLL field (ack/retry sequence + credits). The
- * packet is sliced into 128-bit flits; header and tail together occupy
- * exactly one flit, so a zero-payload packet is a single flit and a
- * maximal packet is 1 + 256/16 = 17 flits (within the paper's 32-flit
- * bound; LEN is the 5-bit payload flit count).
+ * wire order is header, payload (flit-padded), then the tail — the
+ * CRC is computed over everything else, including the DLL word, so a
+ * flip confined to the sequence number cannot masquerade as a valid
+ * packet. The packet is sliced into 128-bit flits; header and tail
+ * together occupy exactly one flit, so a zero-payload packet is a
+ * single flit and a maximal packet is 1 + 256/16 = 17 flits (within
+ * the paper's 32-flit bound; LEN is the 5-bit payload flit count).
  */
 
 #ifndef DIMMLINK_PROTO_PACKET_HH
 #define DIMMLINK_PROTO_PACKET_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +56,17 @@ struct HeaderLayout
 constexpr unsigned flitBytes = 16;     ///< 128-bit flits.
 constexpr unsigned maxPayloadBytes = 256;
 constexpr unsigned maxPayloadFlits = maxPayloadBytes / flitBytes;
+
+/**
+ * Byte offset of the tail (CRC word, then DLL word) in the wire image
+ * of a packet with @p payload_flits payload flits. The tail sits
+ * after the payload, so the offset depends on LEN.
+ */
+constexpr std::size_t
+tailOffset(unsigned payload_flits)
+{
+    return 8 + static_cast<std::size_t>(payload_flits) * flitBytes;
+}
 
 /** A decoded (in-memory) DL packet. */
 struct Packet
@@ -97,7 +112,8 @@ void decodeHeader(std::uint64_t header, Packet &p);
 
 /**
  * Serialize to the wire format: header word, payload padded to whole
- * flits, tail word (CRC32 over header+payload, then the DLL field).
+ * flits, then the tail (CRC32 over header + payload + DLL word,
+ * followed by the DLL field).
  */
 std::vector<std::uint8_t> encode(const Packet &p);
 

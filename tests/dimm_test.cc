@@ -231,7 +231,7 @@ TEST(DlControllerTest, ReliablePathEndToEnd)
     bool got = false, acked = false;
     tx.sendReliable(
         proto::Codec::makeWriteReq(0, 1, 0x123, tx.allocTag(), 32),
-        [&](std::vector<std::uint8_t> wire) {
+        [&](const proto::Packet &, std::vector<std::uint8_t> wire) {
             rx.onWireArrive(
                 wire, /*corrupted=*/false,
                 [&](const proto::Packet &ctrl) {

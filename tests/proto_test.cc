@@ -111,10 +111,9 @@ TEST_P(WireBitFlip, CrcCatchesEveryDataBitFlip)
 
     const int bit = GetParam();
     const auto byte = static_cast<std::size_t>(bit / 8);
-    // Skip the tail's DLL word (bytes 12..15): it is not covered by
-    // the CRC (it carries the retry sequence itself).
-    if (byte >= 12 && byte < 16)
-        return;
+    // Every byte — header, payload, CRC, and the DLL word — is
+    // protected: the CRC covers the DLL field too, so a flip confined
+    // to the retry sequence number cannot pass validation.
     wire[byte] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     Packet q;
     EXPECT_FALSE(decode(wire, q)) << "bit " << bit;
@@ -177,10 +176,12 @@ class DllFixture : public ::testing::Test
         const auto wire = encode(p);
         const bool corrupted = arrivals < corrupt_count;
         ++arrivals;
-        Packet out, ctrl;
-        if (receiver.onArrive(wire, corrupted, out, ctrl))
-            ++delivered;
-        sender.onControl(ctrl);
+        std::vector<Packet> out;
+        std::optional<Packet> ctrl;
+        receiver.onArrive(wire, corrupted, out, ctrl);
+        delivered += static_cast<unsigned>(out.size());
+        if (ctrl)
+            sender.onControl(*ctrl);
     }
 
     EventQueue eq;
@@ -252,14 +253,16 @@ TEST_F(DllFixture, DuplicateDeliveryIsFiltered)
     sender.send(p,
                 [&](const Packet &wp) {
                     const auto wire = encode(wp);
-                    Packet out, ctrl;
-                    if (receiver.onArrive(wire, false, out, ctrl))
-                        ++delivered;
+                    std::vector<Packet> out;
+                    std::optional<Packet> ctrl;
+                    receiver.onArrive(wire, false, out, ctrl);
+                    delivered += static_cast<unsigned>(out.size());
                     if (!first_ack_dropped) {
                         first_ack_dropped = true; // lose the ACK
                         return;
                     }
-                    sender.onControl(ctrl);
+                    if (ctrl)
+                        sender.onControl(*ctrl);
                 },
                 nullptr);
     eq.run();
