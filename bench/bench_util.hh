@@ -7,6 +7,7 @@
 #ifndef DIMMLINK_BENCH_BENCH_UTIL_HH
 #define DIMMLINK_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,32 @@
 namespace benchutil {
 
 using namespace dimmlink;
+
+/**
+ * Wall-clock stopwatch for the benches. Always steady_clock: bench
+ * timing must be monotonic, never the adjustable system_clock.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    void reset() { start = std::chrono::steady_clock::now(); }
+
+    double
+    elapsedNs() const
+    {
+        return std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    double elapsedMs() const { return elapsedNs() / 1e6; }
+    double elapsedSec() const { return elapsedNs() / 1e9; }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
 
 /** Problem-size knob: DIMMLINK_SCALE=small|default|large. */
 inline int

@@ -9,9 +9,9 @@
  * buffer chip).
  */
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "proto/codec.hh"
 #include "proto/packet.hh"
 
@@ -50,7 +50,7 @@ main()
     // Functional round-trip cost in host nanoseconds (the software
     // model itself), for reference.
     const Packet big = Codec::makeWriteReq(2, 5, 0xbeef, 3, 256);
-    const auto t0 = std::chrono::steady_clock::now();
+    const benchutil::WallTimer timer;
     constexpr int iters = 100000;
     std::size_t sink = 0;
     for (int i = 0; i < iters; ++i) {
@@ -60,10 +60,7 @@ main()
             return 1;
         sink += out.payload.size();
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ns =
-        std::chrono::duration<double, std::nano>(t1 - t0).count() /
-        iters;
+    const double ns = timer.elapsedNs() / iters;
     std::printf("\nsoftware encode+decode of a max packet: %.0f ns "
                 "(checksum %zu)\n", ns, sink);
     std::printf("\nPaper observation: ~1.2 us/packet on the 100 MHz "

@@ -33,14 +33,29 @@
  *     --cpu                                   (run the host baseline)
  *     --stats                                 (dump raw statistics)
  *     --json                                  (stats + config as JSON)
+ *     --trace                                 (enable event tracing)
+ *     --trace-out FILE       Chrome-trace JSON path (implies --trace;
+ *                            default trace.json; open in Perfetto)
+ *     --trace-categories S   comma list: dram,noc,dll,core,host,
+ *                            counter (default all)
+ *     --sample-interval-ps N periodic counter sampling every N ps
+ *     --sample-out FILE      time-series CSV path (default
+ *                            samples.csv)
+ *
+ * Observability summaries go to stderr so stdout (config + metrics +
+ * stats JSON) is byte-identical whether or not a run was traced.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/stats_json.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
 #include "system/host_runner.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
@@ -125,6 +140,18 @@ main(int argc, char **argv)
             overrides.push_back("faults.model=ber");
             overrides.push_back("faults.ber=" + next());
         }
+        else if (a == "--trace")
+            overrides.push_back("obs.trace=true");
+        else if (a == "--trace-out") {
+            overrides.push_back("obs.trace=true");
+            overrides.push_back("obs.traceOut=" + next());
+        }
+        else if (a == "--trace-categories")
+            overrides.push_back("obs.categories=" + next());
+        else if (a == "--sample-interval-ps")
+            overrides.push_back("obs.sampleIntervalPs=" + next());
+        else if (a == "--sample-out")
+            overrides.push_back("obs.sampleOut=" + next());
         else if (a == "--cpu")
             run_cpu = true;
         else if (a == "--stats")
@@ -220,6 +247,35 @@ main(int argc, char **argv)
                     static_cast<double>(c.kernelTicks) /
                         static_cast<double>(r.kernelTicks),
                     c.verified ? "yes" : "NO");
+    }
+
+    if (obs::Tracer *tr = sys.tracer()) {
+        std::ofstream out(cfg.obs.traceOut);
+        if (!out)
+            usage(("cannot open trace output file '" +
+                   cfg.obs.traceOut + "'").c_str());
+        obs::writeChromeTrace(*tr, out);
+        std::fprintf(stderr,
+                     "trace: %llu events across %zu tracks -> %s "
+                     "(%llu dropped)\n",
+                     static_cast<unsigned long long>(tr->recorded()),
+                     tr->tracks().size(), cfg.obs.traceOut.c_str(),
+                     static_cast<unsigned long long>(tr->dropped()));
+    }
+    if (obs::Sampler *sm = sys.sampler()) {
+        const std::string csv_path = cfg.obs.sampleOut.empty()
+                                         ? "samples.csv"
+                                         : cfg.obs.sampleOut;
+        std::ofstream out(csv_path);
+        if (!out)
+            usage(("cannot open sample output file '" + csv_path +
+                   "'").c_str());
+        sm->writeCsv(out);
+        std::fprintf(stderr, "samples: %zu rows x %zu probes every "
+                     "%llu ps -> %s\n", sm->rows().size(),
+                     sm->probeNames().size(),
+                     static_cast<unsigned long long>(sm->interval()),
+                     csv_path.c_str());
     }
 
     if (dump_stats) {

@@ -37,6 +37,60 @@ echo "==> end-to-end run from the checked-in config"
     -p host.numChannels=2 -p system.dramScheduler=FCFS \
     --workload stream --scale 4 --rounds 1
 
+echo "==> trace smoke: emitted Chrome-trace JSON is valid and complete"
+# A traced run must produce Perfetto-openable JSON with spans from
+# every acceptance layer (DRAM, NoC, DLL, NMP cores) plus a non-empty
+# counter time series from the periodic sampler.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 \
+    --workload bfs --scale 4 --rounds 1 \
+    --trace-out "$trace_dir/trace.json" \
+    --sample-interval-ps 1000000 \
+    --sample-out "$trace_dir/samples.csv" > "$trace_dir/traced.out"
+python3 - "$trace_dir/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "empty trace"
+cats = {e.get("cat") for e in events}
+for want in ("dram", "noc", "dll", "core"):
+    assert want in cats, f"no '{want}' events (got {sorted(cats)})"
+pids = {e["pid"] for e in events if "pid" in e}
+assert pids, "no pids"
+names = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert any(n.startswith("dimm") for n in names), names
+EOF
+sample_rows="$(tail -n +2 "$trace_dir/samples.csv" | wc -l)"
+if [ "$sample_rows" -lt 1 ]; then
+    echo "sampler emitted no rows"; exit 1
+fi
+echo "    trace OK: all layers present, $sample_rows sample rows"
+
+echo "==> zero-perturbation guard: tracing off matches untraced output"
+# The instrumented binary with obs.trace=off must print byte-identical
+# stdout (config header, metrics, stats JSON) to a plain run.
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 \
+    --workload bfs --scale 4 --rounds 1 --json \
+    -p obs.trace=false > "$trace_dir/off.out"
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 \
+    --workload bfs --scale 4 --rounds 1 --json > "$trace_dir/plain.out"
+if ! cmp -s "$trace_dir/off.out" "$trace_dir/plain.out"; then
+    echo "tracing-off run diverged from plain run"
+    diff "$trace_dir/off.out" "$trace_dir/plain.out" | head
+    exit 1
+fi
+echo "    guard OK: byte-identical stats output"
+
 echo "==> fault-injection soak under ASan+UBSan"
 # A nonzero BER at a fixed seed drives the whole DLL retry path
 # (corruption, NACK, timeout retransmission, dedup) under the

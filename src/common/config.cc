@@ -278,6 +278,11 @@ struct Field
     const char *key;
     std::string (*get)(const SystemConfig &);
     void (*set)(SystemConfig &, const std::string &);
+    /** Part of describe()/describeEntries()? The obs.* keys are not:
+     * tracing never changes simulation results, and keeping them out
+     * of the config header means stats JSON is byte-identical whether
+     * a run was traced or not. */
+    bool describable = true;
 };
 
 #define CFG_FIELD(key, expr)                                            \
@@ -285,7 +290,16 @@ struct Field
           [](const SystemConfig &c) { return formatValue(c.expr); },    \
           [](SystemConfig &c, const std::string &v) {                   \
               c.expr = parseValue(v, key, c.expr);                      \
-          }}
+          },                                                            \
+          true}
+
+#define CFG_FIELD_HIDDEN(key, expr)                                     \
+    Field{key,                                                          \
+          [](const SystemConfig &c) { return formatValue(c.expr); },    \
+          [](SystemConfig &c, const std::string &v) {                   \
+              c.expr = parseValue(v, key, c.expr);                      \
+          },                                                            \
+          false}
 
 const std::vector<Field> &
 fields()
@@ -371,11 +385,19 @@ fields()
         CFG_FIELD("energy.hostPollNj", energy.hostPollNj),
         CFG_FIELD("energy.dedicatedBusPjPerBit",
                   energy.dedicatedBusPjPerBit),
+
+        CFG_FIELD_HIDDEN("obs.trace", obs.trace),
+        CFG_FIELD_HIDDEN("obs.traceOut", obs.traceOut),
+        CFG_FIELD_HIDDEN("obs.categories", obs.categories),
+        CFG_FIELD_HIDDEN("obs.sampleIntervalPs", obs.sampleIntervalPs),
+        CFG_FIELD_HIDDEN("obs.sampleOut", obs.sampleOut),
+        CFG_FIELD_HIDDEN("obs.ringCapacity", obs.ringCapacity),
     };
     return table;
 }
 
 #undef CFG_FIELD
+#undef CFG_FIELD_HIDDEN
 
 /** Shared cache-geometry constraints (mirrors the Cache ctor checks,
  * surfaced here so a bad config fails before any component builds). */
@@ -535,6 +557,14 @@ SystemConfig::validate() const
     if (profileFraction < 0.0 || profileFraction > 1.0)
         fatal("profileFraction (%g) must be within [0, 1]",
               profileFraction);
+
+    // Observability. Category names are validated where the tracer is
+    // built (obs::categoryMaskFromString) to keep common/ free of an
+    // obs/ dependency.
+    if (obs.ringCapacity == 0)
+        fatal("obs.ringCapacity must be positive");
+    if (obs.trace && obs.traceOut.empty())
+        fatal("obs.trace is on but obs.traceOut is empty");
 }
 
 SystemConfig
@@ -586,7 +616,7 @@ SystemConfig::set(const std::string &key, const std::string &value)
         fatal("unknown config key '%s' (keys in section '%s': %s)",
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
-          "link, bus, faults, energy)", key.c_str());
+          "link, bus, faults, energy, obs)", key.c_str());
 }
 
 void
@@ -634,7 +664,8 @@ SystemConfig::describeEntries() const
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(fields().size());
     for (const Field &f : fields())
-        out.emplace_back(f.key, f.get(*this));
+        if (f.describable)
+            out.emplace_back(f.key, f.get(*this));
     return out;
 }
 

@@ -201,6 +201,29 @@ struct FaultConfig
     std::string linkFilter;
 };
 
+/**
+ * Observability: event tracing and periodic counter sampling
+ * (src/obs/, docs/observability.md). Tracing is read-only -- turning
+ * it on or off never changes what the simulation computes -- and the
+ * obs.* keys are deliberately excluded from describe()/describeEntries()
+ * so stats JSON stays byte-identical across tracing configurations.
+ */
+struct ObsConfig
+{
+    /** Master switch for the event tracer. */
+    bool trace = false;
+    /** Chrome trace-event JSON output path. */
+    std::string traceOut = "trace.json";
+    /** Comma-separated category list ("all", "dram,noc,dll,..."). */
+    std::string categories = "all";
+    /** Counter sampling period in ticks; 0 disables the sampler. */
+    Tick sampleIntervalPs = 0;
+    /** Time-series CSV output path (empty = don't write a file). */
+    std::string sampleOut;
+    /** Trace records kept per track before old ones are dropped. */
+    unsigned ringCapacity = 16384;
+};
+
 /** Energy model constants (Section V-C). */
 struct EnergyConfig
 {
@@ -236,6 +259,7 @@ struct SystemConfig
     BusConfig bus;
     FaultConfig faults;
     EnergyConfig energy;
+    ObsConfig obs;
 
     /** DRAM timing preset name ("DDR4_2400" or "DDR4_3200"). */
     std::string dramPreset = "DDR4_2400";

@@ -31,6 +31,31 @@ Histogram::sample(double v)
         ++buckets[idx];
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (totalCount == 0)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    const double rank = p * static_cast<double>(totalCount);
+    double cum = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const auto cnt = static_cast<double>(buckets[b]);
+        if (cum + cnt >= rank && cnt > 0) {
+            // Interpolate within the bucket that crosses the rank.
+            const double frac = (rank - cum) / cnt;
+            return bucketSize * (static_cast<double>(b) + frac);
+        }
+        cum += cnt;
+    }
+    // The rank lands among overflow samples, whose exact values were
+    // not retained: report the histogram's upper edge.
+    return bucketSize * static_cast<double>(buckets.size());
+}
+
 void
 Histogram::reset()
 {
@@ -123,7 +148,10 @@ Registry::dump(std::ostream &os) const
             if (h.total() == 0)
                 continue;
             os << gname << '.' << hname << " : total=" << h.total()
-               << " overflow=" << h.overflow() << '\n';
+               << " overflow=" << h.overflow()
+               << " p50=" << h.percentile(0.50)
+               << " p95=" << h.percentile(0.95)
+               << " p99=" << h.percentile(0.99) << '\n';
         }
     }
 }

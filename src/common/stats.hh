@@ -82,6 +82,14 @@ class Histogram
     void sample(double v);
     void reset();
 
+    /**
+     * The value below which fraction @p p (in [0, 1]) of the samples
+     * fall, linearly interpolated within the owning bucket. Samples in
+     * the overflow region resolve to the histogram's upper edge (the
+     * exact values are not retained). Returns 0 on an empty histogram.
+     */
+    double percentile(double p) const;
+
     double bucketWidth() const { return bucketSize; }
     const std::vector<std::uint64_t> &data() const { return buckets; }
     std::uint64_t overflow() const { return overflowCount; }

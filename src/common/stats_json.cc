@@ -152,7 +152,13 @@ dumpJson(const Registry &reg, std::ostream &os, bool include_empty,
                 num(os, h.bucketWidth());
                 os << ", \"total\": " << h.total()
                    << ", \"overflow\": " << h.overflow()
-                   << ", \"counts\": [";
+                   << ", \"p50\": ";
+                num(os, h.percentile(0.50));
+                os << ", \"p95\": ";
+                num(os, h.percentile(0.95));
+                os << ", \"p99\": ";
+                num(os, h.percentile(0.99));
+                os << ", \"counts\": [";
                 bool first_b = true;
                 for (const std::uint64_t c : h.data()) {
                     if (!first_b)

@@ -4,6 +4,7 @@
 
 #include "common/bitfield.hh"
 #include "common/log.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 
@@ -26,6 +27,15 @@ NmpCore::NmpCore(EventQueue &eq, const std::string &name, DimmId dimm_,
       statBarrierPs(reg.group(name).scalar("barrierPs")),
       statBroadcasts(reg.group(name).scalar("broadcasts"))
 {
+    if (auto *t = eq.tracer(); t && t->enabled(obs::CatCore)) {
+        tr = t;
+        trk = t->track(name, obs::CatCore);
+        nmCompute = t->intern("compute");
+        nmStallLocal = t->intern("stallLocal");
+        nmStallRemote = t->intern("stallRemote");
+        nmBarrier = t->intern("barrier");
+        nmBroadcast = t->intern("broadcast");
+    }
 }
 
 void
@@ -90,6 +100,9 @@ NmpCore::exitStall()
         statStallRemote += static_cast<double>(dt);
     else
         statStallLocal += static_cast<double>(dt);
+    if (tr && dt > 0)
+        tr->complete(trk, stallRemote ? nmStallRemote : nmStallLocal,
+                     stallStart, dt);
     state = State::Ready;
 }
 
@@ -203,6 +216,9 @@ NmpCore::advance()
             state = State::Computing;
             statComputePs +=
                 static_cast<double>(clock().cyclesToTicks(cyc));
+            if (tr)
+                tr->complete(trk, nmCompute, now(),
+                             clock().cyclesToTicks(cyc));
             const auto gen = runGeneration;
             scheduleCycles(cyc,
                            [this, gen] {
@@ -231,6 +247,9 @@ NmpCore::advance()
             state = State::Computing;
             statComputePs +=
                 static_cast<double>(clock().cyclesToTicks(cyc));
+            if (tr)
+                tr->complete(trk, nmCompute, now(),
+                             clock().cyclesToTicks(cyc));
             const auto gen = runGeneration;
             scheduleCycles(cyc,
                            [this, gen] {
@@ -285,6 +304,9 @@ NmpCore::advance()
                     return;
                 statBarrierPs +=
                     static_cast<double>(now() - stallStart);
+                if (tr && now() > stallStart)
+                    tr->complete(trk, nmBarrier, stallStart,
+                                 now() - stallStart);
                 state = State::Ready;
                 finishOp();
                 advance();
@@ -310,6 +332,9 @@ NmpCore::advance()
                 // Broadcast wait is remote-attributed stall time.
                 statStallRemote +=
                     static_cast<double>(now() - stallStart);
+                if (tr && now() > stallStart)
+                    tr->complete(trk, nmBroadcast, stallStart,
+                                 now() - stallStart);
                 state = State::Ready;
                 finishOp();
                 advance();

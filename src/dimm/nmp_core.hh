@@ -24,6 +24,10 @@
 
 namespace dimmlink {
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 class NmpCore : public Clocked
 {
   public:
@@ -117,6 +121,11 @@ class NmpCore : public Clocked
     stats::Scalar &statStallRemote;
     stats::Scalar &statBarrierPs;
     stats::Scalar &statBroadcasts;
+
+    obs::Tracer *tr = nullptr; ///< Null unless core tracing is on.
+    std::uint32_t trk = 0;
+    std::uint16_t nmCompute = 0, nmStallLocal = 0, nmStallRemote = 0,
+                  nmBarrier = 0, nmBroadcast = 0;
 };
 
 } // namespace dimmlink

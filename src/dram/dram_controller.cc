@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 namespace dram {
@@ -39,6 +40,16 @@ DramController::DramController(EventQueue &eq, std::string name,
     nextWrCas.assign(ranks, 0);
     nextActRank.assign(ranks, 0);
     nextActGroup.assign(ranks * spec.bankGroups, 0);
+    if (auto *t = eq.tracer(); t && t->enabled(obs::CatDram)) {
+        tr = t;
+        trk = t->track(stats_group.name(), obs::CatDram);
+        nmRd = t->intern("rd");
+        nmWr = t->intern("wr");
+        nmAct = t->intern("act");
+        nmPre = t->intern("pre");
+        nmRef = t->intern("refresh");
+        nmFaw = t->intern("fawStall");
+    }
     for (unsigned r = 0; r < ranks; ++r)
         scheduleRefresh(r);
 }
@@ -207,6 +218,9 @@ DramController::advance(QueuedReq &qr, Tick now_t)
         dataBusFreeAt = data_end;
 
         statLatency.sample(static_cast<double>(data_end - qr.arrival));
+        if (tr)
+            tr->complete(trk, is_wr ? nmWr : nmRd, now_t,
+                         data_end - now_t);
         if (qr.req.done) {
             queue().schedule(data_end, std::move(qr.req.done),
                              EventPriority::Delivery);
@@ -217,6 +231,15 @@ DramController::advance(QueuedReq &qr, Tick now_t)
     if (!bank.isOpen()) {
         bank.activate(now_t, qr.coord.row, spec);
         ++statActs;
+        if (tr) {
+            tr->instant(trk, nmAct, now_t, qr.coord.row);
+            // The ACT was tFAW-bound exactly when the fourth-previous
+            // ACT plus tFAW lands on this issue tick (issue legality
+            // guarantees <=; equality means the window was binding).
+            if (actWindow[r].size() >= 4 &&
+                actWindow[r].front() + spec.cyc(spec.tFAW) == now_t)
+                tr->instant(trk, nmFaw, now_t, r);
+        }
         nextActRank[r] = now_t + spec.cyc(spec.tRRDs);
         nextActGroup[rg] = now_t + spec.cyc(spec.tRRDl);
         actWindow[r].push_back(now_t);
@@ -228,6 +251,8 @@ DramController::advance(QueuedReq &qr, Tick now_t)
     // Row conflict: precharge.
     bank.precharge(now_t, spec);
     ++statPres;
+    if (tr)
+        tr->instant(trk, nmPre, now_t, qr.coord.row);
     return false;
 }
 
@@ -291,6 +316,8 @@ DramController::doRefresh(unsigned rank)
         banks[rank * spec.banksPerRank() + b].refresh(until);
     rankBlockedUntil[rank] = until;
     ++statRefreshes;
+    if (tr)
+        tr->complete(trk, nmRef, now(), until - now());
     if (pending() > 0)
         scheduleIssue(until);
     scheduleRefresh(rank);

@@ -23,6 +23,11 @@
 #include "sim/clocked.hh"
 
 namespace dimmlink {
+
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace dram {
 
 /** One line-sized DRAM access. */
@@ -170,6 +175,11 @@ class DramController : public Clocked
     stats::Scalar &statRowHits;
     stats::Scalar &statRefreshes;
     stats::Distribution &statLatency;
+
+    obs::Tracer *tr = nullptr; ///< Null unless dram tracing is on.
+    std::uint32_t trk = 0;
+    std::uint16_t nmRd = 0, nmWr = 0, nmAct = 0, nmPre = 0,
+                  nmRef = 0, nmFaw = 0;
 };
 
 } // namespace dram

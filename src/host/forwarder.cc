@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 namespace host {
@@ -19,13 +20,23 @@ Forwarder::Forwarder(EventQueue &eq, const SystemConfig &cfg_,
       statLatencyPs(
           reg.group("host.forwarder").distribution("latencyPs"))
 {
+    if (auto *t = eq.tracer(); t && t->enabled(obs::CatHost)) {
+        tr = t;
+        trk = t->track("host.forwarder", obs::CatHost);
+        nmForward = t->intern("forward");
+    }
 }
 
 void
 Forwarder::forward(DimmId src, DimmId dst, unsigned bytes,
                    std::function<void()> delivered)
 {
-    jobs.push_back(Job{src, dst, bytes, std::move(delivered)});
+    Job job{src, dst, bytes, std::move(delivered), 0};
+    if (tr) {
+        job.traceId = tr->nextAsyncId();
+        tr->asyncBegin(trk, nmForward, eventq.now(), job.traceId);
+    }
+    jobs.push_back(std::move(job));
     pump();
 }
 
@@ -77,6 +88,8 @@ Forwarder::pump()
         ++statForwards;
         statBytes += job.bytes;
         statLatencyPs.sample(static_cast<double>(stored - begin));
+        if (tr)
+            tr->asyncEnd(trk, nmForward, stored, job.traceId);
 
         if (job.delivered)
             eventq.schedule(stored, std::move(job.delivered),

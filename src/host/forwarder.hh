@@ -20,6 +20,11 @@
 #include "sim/event_queue.hh"
 
 namespace dimmlink {
+
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace host {
 
 class Forwarder
@@ -58,6 +63,7 @@ class Forwarder
         DimmId dst;
         unsigned bytes;
         std::function<void()> delivered;
+        std::uint64_t traceId = 0;
     };
 
     void pump();
@@ -73,6 +79,10 @@ class Forwarder
     stats::Scalar &statForwards;
     stats::Scalar &statBytes;
     stats::Distribution &statLatencyPs;
+
+    obs::Tracer *tr = nullptr; ///< Null unless host tracing is on.
+    std::uint32_t trk = 0;
+    std::uint16_t nmForward = 0;
 };
 
 } // namespace host

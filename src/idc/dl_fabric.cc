@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 namespace idc {
@@ -52,6 +53,22 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
       statDllCtrlDropped(
           reg.group("fabric.dl").scalar("dllCtrlDropped"))
 {
+    if (auto *t = eq.tracer(); t && t->enabled(obs::CatDll)) {
+        tr = t;
+        trk = t->track("fabric.dl", obs::CatDll);
+        nmXact[static_cast<int>(Transaction::Type::RemoteRead)] =
+            t->intern("remoteRead");
+        nmXact[static_cast<int>(Transaction::Type::RemoteWrite)] =
+            t->intern("remoteWrite");
+        nmXact[static_cast<int>(Transaction::Type::Broadcast)] =
+            t->intern("broadcast");
+        nmXact[static_cast<int>(Transaction::Type::SyncMessage)] =
+            t->intern("syncMsg");
+        nmPacket = t->intern("packet");
+        nmDllXfer = t->intern("dllXfer");
+        nmDllRetry = t->intern("dllRetry");
+        nmDllFailed = t->intern("dllFailed");
+    }
     const unsigned gs = cfg.groupSize();
     const unsigned groups = cfg.numGroups();
     injectQ.assign(groups, {});
@@ -196,10 +213,19 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
             ++statPacketsLink;
             statBytesViaLink +=
                 static_cast<double>(flitsFor(c)) * proto::flitBytes;
-            sendDllPacket(s, d, std::move(pkt), [remaining, done] {
-                if (--*remaining == 0 && *done)
-                    (*done)();
-            });
+            std::uint64_t aid = 0;
+            if (tr) {
+                aid = tr->nextAsyncId();
+                tr->asyncBegin(trk, nmDllXfer, eventq.now(), aid);
+            }
+            sendDllPacket(s, d, std::move(pkt),
+                          [this, remaining, done, aid] {
+                              if (tr)
+                                  tr->asyncEnd(trk, nmDllXfer,
+                                               eventq.now(), aid);
+                              if (--*remaining == 0 && *done)
+                                  (*done)();
+                          });
         }
         return;
     }
@@ -214,10 +240,19 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
         ++statPacketsLink;
         statBytesViaLink += static_cast<double>(flits) *
                             proto::flitBytes;
-        msg.deliver = [this, flits, remaining, done](int) {
+        // Packet lifetime span: packetize begin -> decoded at d.
+        std::uint64_t aid = 0;
+        if (tr) {
+            aid = tr->nextAsyncId();
+            tr->asyncBegin(trk, nmPacket, eventq.now(), aid);
+        }
+        msg.deliver = [this, flits, remaining, done, aid](int) {
             // NW-interface CRC check + decode at the destination.
             eventq.scheduleIn(decodeDelay(flits),
-                              [remaining, done] {
+                              [this, remaining, done, aid] {
+                                  if (tr)
+                                      tr->asyncEnd(trk, nmPacket,
+                                                   eventq.now(), aid);
                                   if (--*remaining == 0 && *done)
                                       (*done)();
                               },
@@ -253,6 +288,11 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                     p.src, p.dst,
                     static_cast<std::uint16_t>(p.dll & 0xffff)};
                 dllWaiting[**key] = cb;
+            } else if (tr) {
+                // The retry engine re-invoked transmit: a timeout or
+                // NACK retransmission of this sequence number.
+                tr->instant(trk, nmDllRetry, eventq.now(),
+                            p.dll & 0xffff);
             }
             const unsigned flits = p.numFlits();
             noc::Message msg;
@@ -283,6 +323,11 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
             // budget). Count it and complete the transfer anyway so
             // the workload can terminate; the stat records the loss.
             ++statDllFailedTransfers;
+            if (tr)
+                tr->instant(trk, nmDllFailed, eventq.now(),
+                            key->has_value()
+                                ? std::get<2>(**key)
+                                : std::uint64_t{0});
             if (!key->has_value())
                 return;
             auto it = dllWaiting.find(**key);
@@ -586,9 +631,18 @@ DlFabric::submit(Transaction t)
 {
     ++statTransactions;
     const Tick started = eventq.now();
-    auto finish = [this, cb = std::move(t.onComplete), started]() {
+    const std::uint16_t nm = nmXact[static_cast<int>(t.type)];
+    std::uint64_t aid = 0;
+    if (tr) {
+        aid = tr->nextAsyncId();
+        tr->asyncBegin(trk, nm, started, aid);
+    }
+    auto finish = [this, cb = std::move(t.onComplete), started, nm,
+                   aid]() {
         statLatencyPs.sample(
             static_cast<double>(eventq.now() - started));
+        if (tr)
+            tr->asyncEnd(trk, nm, eventq.now(), aid);
         if (cb)
             cb();
     };

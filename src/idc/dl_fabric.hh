@@ -37,6 +37,20 @@ class DlFabric : public Fabric
     /** Hop/forwarding-aware distance for the task mapper (§IV-B). */
     double distance(DimmId j, DimmId k) const override;
 
+    std::size_t forwardBacklog() override
+    {
+        return path.forwarder().backlog();
+    }
+
+    std::size_t
+    dllInFlight() override
+    {
+        std::size_t n = 0;
+        for (const auto &c : dllCtl)
+            n += c->retryInFlight();
+        return n;
+    }
+
     /** The polling proxy (and sync master) DIMM of @p group: the
      * middle of the group to minimize average hops. */
     DimmId proxyOf(unsigned group) const;
@@ -135,6 +149,12 @@ class DlFabric : public Fabric
     stats::Scalar &statProxyNotifies;
     stats::Scalar &statDllFailedTransfers;
     stats::Scalar &statDllCtrlDropped;
+
+    obs::Tracer *tr = nullptr; ///< Null unless dll tracing is on.
+    std::uint32_t trk = 0;
+    std::uint16_t nmXact[4] = {0, 0, 0, 0}; ///< Indexed by Type.
+    std::uint16_t nmPacket = 0, nmDllXfer = 0, nmDllRetry = 0,
+                  nmDllFailed = 0;
 };
 
 } // namespace idc

@@ -82,6 +82,12 @@ class Fabric
      */
     virtual double distance(DimmId j, DimmId k) const;
 
+    /** Live gauges read by the observability sampler. */
+    /** Jobs queued at the host forwarder (0 without a forward path). */
+    virtual std::size_t forwardBacklog() { return 0; }
+    /** DLL packets awaiting ACK across all retry engines. */
+    virtual std::size_t dllInFlight() { return 0; }
+
     const std::string &name() const { return name_; }
 
   protected:

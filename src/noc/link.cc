@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "common/types.hh"
 #include "fault/fault_model.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 namespace noc {
@@ -23,6 +24,13 @@ Link::Link(EventQueue &eq, std::string name, double gbps, Tick wire_ps,
 {
     if (gbps <= 0)
         fatal("link %s: non-positive bandwidth", name_.c_str());
+    if (auto *t = eq.tracer(); t && t->enabled(obs::CatNoc)) {
+        tr = t;
+        trk = t->track(name_, obs::CatNoc);
+        nmTx = t->intern("tx");
+        nmOutage = t->intern("outage");
+        nmCorrupt = t->intern("corrupt");
+    }
 }
 
 Link::~Link() = default;
@@ -50,6 +58,8 @@ Link::transmit(Message msg, std::function<void(Message)> arrive)
 {
     Tick start = std::max(eventq.now(), busyUntil);
     Tick ser = serializationTime(msg.flits);
+    Tick stall_begin = 0, stall_ps = 0;
+    bool corrupt_hit = false;
     if (faultModel) {
         const auto bits = static_cast<unsigned>(
             msg.wire && !msg.wire->empty()
@@ -57,6 +67,8 @@ Link::transmit(Message msg, std::function<void(Message)> arrive)
                 : static_cast<std::size_t>(msg.flits) * flitBytes * 8);
         const auto effect = faultModel->onTransmit(start, bits, msg);
         if (effect.stallPs > 0) {
+            stall_begin = start;
+            stall_ps = effect.stallPs;
             start += effect.stallPs;
             *statFaultStalledPs += static_cast<double>(effect.stallPs);
         }
@@ -68,8 +80,16 @@ Link::transmit(Message msg, std::function<void(Message)> arrive)
         }
         if (effect.corrupted) {
             msg.corrupted = true;
+            corrupt_hit = true;
             ++*statFaultCorrupted;
         }
+    }
+    if (tr) {
+        tr->complete(trk, nmTx, start, ser);
+        if (stall_ps > 0)
+            tr->complete(trk, nmOutage, stall_begin, stall_ps);
+        if (corrupt_hit)
+            tr->instant(trk, nmCorrupt, start, msg.flits);
     }
     busyUntil = start + ser;
     statFlits += msg.flits;

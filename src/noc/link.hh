@@ -21,6 +21,10 @@ namespace fault {
 class FaultModel;
 } // namespace fault
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace noc {
 
 class Link
@@ -76,6 +80,10 @@ class Link
     stats::Scalar *statFaultCorrupted = nullptr;
     stats::Scalar *statFaultStalledPs = nullptr;
     stats::Scalar *statFaultDeratedPs = nullptr;
+
+    obs::Tracer *tr = nullptr; ///< Null unless noc tracing is on.
+    std::uint32_t trk = 0;
+    std::uint16_t nmTx = 0, nmOutage = 0, nmCorrupt = 0;
 };
 
 } // namespace noc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 namespace noc {
@@ -20,6 +21,11 @@ Router::Router(EventQueue &eq, std::string name, int node,
       statEjected(sg.scalar("ejected")),
       statBlockedCredits(sg.scalar("blockedOnCredits"))
 {
+    if (auto *t = eq.tracer(); t && t->enabled(obs::CatNoc)) {
+        tr = t;
+        trk = t->track(name_, obs::CatNoc);
+        nmCreditBlock = t->intern("creditBlock");
+    }
     // One input port per incoming neighbor link plus the local
     // injection port.
     ports.push_back(Port{injectPort, {}, 0, {}, false});
@@ -105,6 +111,8 @@ Router::sendCopy(const Message &msg, int next_hop,
     if (!out.downstream->canAccept(msg.flits + reserve, node_)) {
         // Out of credits: the downstream router kicks us on release.
         ++statBlockedCredits;
+        if (tr)
+            tr->instant(trk, nmCreditBlock, eventq.now(), msg.flits);
         return false;
     }
     // Reserve the downstream buffer space now (credit leaves with the

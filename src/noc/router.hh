@@ -117,6 +117,10 @@ class Router
     stats::Scalar &statForwarded;
     stats::Scalar &statEjected;
     stats::Scalar &statBlockedCredits;
+
+    obs::Tracer *tr = nullptr; ///< Null unless noc tracing is on.
+    std::uint32_t trk = 0;
+    std::uint16_t nmCreditBlock = 0;
 };
 
 } // namespace noc

@@ -1,0 +1,148 @@
+#include "obs/chrome_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/tracer.hh"
+
+namespace dimmlink {
+namespace obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Trace-event timestamps are microseconds; ticks are picoseconds. */
+std::string
+micros(Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f",
+                  static_cast<double>(t) / 1e6);
+    return buf;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const Tracer &tracer, std::ostream &os)
+{
+    // Processes in registration order; pid 0 is reserved by some
+    // viewers, so start at 1.
+    std::map<std::string, int> pids;
+    for (const Tracer::TrackInfo &ti : tracer.tracks())
+        if (!pids.count(ti.process))
+            pids.emplace(ti.process,
+                         static_cast<int>(pids.size()) + 1);
+    // tids within a process, also in registration order.
+    std::map<std::string, int> tids;
+    std::vector<int> track_pid, track_tid;
+    for (const Tracer::TrackInfo &ti : tracer.tracks()) {
+        const std::string key = ti.process + "\x1f" + ti.thread;
+        if (!tids.count(key))
+            tids.emplace(key, static_cast<int>(tids.size()) + 1);
+        track_pid.push_back(pids.at(ti.process));
+        track_tid.push_back(tids.at(key));
+    }
+
+    os << "[\n";
+    bool first = true;
+    auto emit = [&](const std::string &body) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {" << body << "}";
+    };
+
+    for (const auto &pv : pids)
+        emit("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+             std::to_string(pv.second) +
+             ",\"args\":{\"name\":\"" + jsonEscape(pv.first) + "\"}");
+    for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
+        const Tracer::TrackInfo &ti = tracer.tracks()[i];
+        emit("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+             std::to_string(track_pid[i]) + ",\"tid\":" +
+             std::to_string(track_tid[i]) +
+             ",\"args\":{\"name\":\"" + jsonEscape(ti.thread) + "\"}");
+    }
+
+    const std::vector<std::string> &names = tracer.names();
+    for (std::uint32_t trk = 0;
+         trk < static_cast<std::uint32_t>(tracer.tracks().size());
+         ++trk) {
+        const std::string pid = std::to_string(track_pid[trk]);
+        const std::string tid = std::to_string(track_tid[trk]);
+        const char *cat =
+            categoryName(tracer.tracks()[trk].category);
+        tracer.forEachRecord(trk, [&](const Record &r) {
+            const std::string nm = jsonEscape(names[r.name]);
+            const std::string common =
+                "\"name\":\"" + nm + "\",\"cat\":\"" + cat +
+                "\",\"ts\":" + micros(r.tick) + ",\"pid\":" + pid +
+                ",\"tid\":" + tid;
+            switch (r.kind) {
+              case RecordKind::Complete:
+                emit(common + ",\"ph\":\"X\",\"dur\":" +
+                     micros(r.arg));
+                break;
+              case RecordKind::Instant:
+                emit(common + ",\"ph\":\"i\",\"s\":\"t\"" +
+                     ",\"args\":{\"arg\":" + std::to_string(r.arg) +
+                     "}");
+                break;
+              case RecordKind::AsyncBegin:
+                emit(common + ",\"ph\":\"b\",\"id\":" +
+                     std::to_string(r.arg));
+                break;
+              case RecordKind::AsyncEnd:
+                emit(common + ",\"ph\":\"e\",\"id\":" +
+                     std::to_string(r.arg));
+                break;
+              case RecordKind::Counter: {
+                double v;
+                std::memcpy(&v, &r.arg, sizeof(v));
+                emit(common + ",\"ph\":\"C\",\"args\":{\"" + nm +
+                     "\":" + formatDouble(v) + "}");
+                break;
+              }
+            }
+        });
+    }
+    os << "\n]\n";
+}
+
+} // namespace obs
+} // namespace dimmlink

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Chrome trace-event JSON export for the obs::Tracer. The output is
+ * the "JSON Array Format" understood by chrome://tracing and by
+ * Perfetto's trace viewer (https://ui.perfetto.dev): open the file
+ * directly, no conversion needed.
+ */
+
+#ifndef DIMMLINK_OBS_CHROME_TRACE_HH
+#define DIMMLINK_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+
+namespace dimmlink {
+namespace obs {
+
+class Tracer;
+
+/**
+ * Write every surviving record as Chrome trace events. Processes are
+ * numbered in track-registration order (pid 1 upward) and announced
+ * with process_name/thread_name metadata, so Perfetto shows e.g.
+ * "dimm0.mc" as a process with one row per rank.
+ */
+void writeChromeTrace(const Tracer &tracer, std::ostream &os);
+
+} // namespace obs
+} // namespace dimmlink
+
+#endif // DIMMLINK_OBS_CHROME_TRACE_HH

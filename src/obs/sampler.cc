@@ -1,0 +1,85 @@
+#include "obs/sampler.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/log.hh"
+#include "obs/tracer.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+namespace obs {
+
+Sampler::Sampler(EventQueue &eq, Tick interval, Tracer *tracer)
+    : eq(eq), period(interval),
+      tr(tracer && tracer->enabled(CatCounter) ? tracer : nullptr)
+{
+    if (period == 0)
+        fatal("obs.sampleIntervalPs must be > 0 to sample");
+    if (tr)
+        trk = tr->track("sampler", "counters", CatCounter);
+}
+
+void
+Sampler::addProbe(const std::string &name, std::function<double()> fn,
+                  bool cumulative)
+{
+    names.push_back(name);
+    Probe p;
+    p.fn = std::move(fn);
+    p.cumulative = cumulative;
+    probes.push_back(std::move(p));
+    nameIds.push_back(tr ? tr->intern(name) : 0);
+}
+
+void
+Sampler::start()
+{
+    eq.scheduleIn(period, [this] { sample(); }, EventPriority::Stat);
+}
+
+void
+Sampler::sample()
+{
+    Row row;
+    row.tick = eq.now();
+    row.values.reserve(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        Probe &p = probes[i];
+        const double raw = p.fn();
+        double v = raw;
+        if (p.cumulative) {
+            v = raw - p.last;
+            p.last = raw;
+        }
+        row.values.push_back(v);
+        if (tr)
+            tr->counter(trk, nameIds[i], row.tick, v);
+    }
+    series.push_back(std::move(row));
+    // The queue never drains on its own (DRAM refresh reschedules
+    // forever); the Runner stops at a condition, so a perpetual
+    // resample is safe and keeps the cadence exact.
+    eq.scheduleIn(period, [this] { sample(); }, EventPriority::Stat);
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "tickPs";
+    for (const std::string &n : names)
+        os << ',' << n;
+    os << '\n';
+    char buf[40];
+    for (const Row &row : series) {
+        os << row.tick;
+        for (double v : row.values) {
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+            os << ',' << buf;
+        }
+        os << '\n';
+    }
+}
+
+} // namespace obs
+} // namespace dimmlink

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The periodic counter sampler: a clocked object on the simulation
+ * queue that snapshots registered probes every obs.sampleIntervalPs
+ * and keeps the resulting time series for CSV export (and, when a
+ * tracer with the "counter" category is attached, as Chrome counter
+ * tracks).
+ *
+ * The sampler fires at EventPriority::Stat, after all same-tick
+ * delivery/control/core events, and only ever reads probe values --
+ * it never mutates simulation state, so enabling it cannot change
+ * what the simulation computes (it does add events to the queue, so
+ * kernel-level counters like executed() will differ).
+ */
+
+#ifndef DIMMLINK_OBS_SAMPLER_HH
+#define DIMMLINK_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dimmlink {
+
+class EventQueue;
+
+namespace obs {
+
+class Tracer;
+
+/** Collects probe snapshots on a fixed simulated-time cadence. */
+class Sampler
+{
+  public:
+    /**
+     * @param eq        the simulation queue to clock on.
+     * @param interval  sampling period in ticks (> 0).
+     * @param tracer    optional tracer for Chrome counter tracks.
+     */
+    Sampler(EventQueue &eq, Tick interval, Tracer *tracer);
+
+    /**
+     * Register a value source. @p cumulative probes (monotonic stat
+     * counters) are reported as per-interval deltas; gauges (queue
+     * depths, in-flight counts) are reported as-is.
+     */
+    void addProbe(const std::string &name,
+                  std::function<double()> fn, bool cumulative);
+
+    /** Schedule the first sample; call once after probes are added. */
+    void start();
+
+    /** One sampled interval. */
+    struct Row
+    {
+        Tick tick = 0;
+        std::vector<double> values;
+    };
+
+    Tick interval() const { return period; }
+    const std::vector<std::string> &probeNames() const { return names; }
+    const std::vector<Row> &rows() const { return series; }
+
+    /** Write the series as CSV: tickPs,probe1,probe2,... */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void sample();
+
+    struct Probe
+    {
+        std::function<double()> fn;
+        double last = 0; ///< Previous raw value for delta probes.
+        bool cumulative = false;
+    };
+
+    EventQueue &eq;
+    Tick period;
+    Tracer *tr;
+    std::uint32_t trk = 0;
+    std::vector<std::string> names;
+    std::vector<Probe> probes;
+    std::vector<std::uint16_t> nameIds;
+    std::vector<Row> series;
+};
+
+} // namespace obs
+} // namespace dimmlink
+
+#endif // DIMMLINK_OBS_SAMPLER_HH

@@ -1,0 +1,141 @@
+#include "obs/tracer.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace obs {
+
+namespace {
+
+struct CatName
+{
+    const char *name;
+    unsigned bit;
+};
+
+constexpr CatName cat_names[] = {
+    {"dram", CatDram},   {"noc", CatNoc},   {"dll", CatDll},
+    {"core", CatCore},   {"host", CatHost}, {"counter", CatCounter},
+};
+
+} // namespace
+
+unsigned
+categoryMaskFromString(const std::string &list)
+{
+    if (list.empty() || list == "all")
+        return CatAll;
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string tok = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask = CatAll;
+            continue;
+        }
+        bool found = false;
+        for (const CatName &cn : cat_names) {
+            if (tok == cn.name) {
+                mask |= cn.bit;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("obs.categories: unknown category '%s' (valid: "
+                  "all, dram, noc, dll, core, host, counter)",
+                  tok.c_str());
+    }
+    return mask;
+}
+
+const char *
+categoryName(unsigned one_bit)
+{
+    for (const CatName &cn : cat_names)
+        if (cn.bit == one_bit)
+            return cn.name;
+    return "?";
+}
+
+Tracer::Tracer(unsigned categories, std::size_t ring_capacity)
+    : cats(categories), cap(ring_capacity)
+{
+    if (cap == 0)
+        fatal("obs.ringCapacity must be > 0");
+    // Name id 0 is reserved so a zero-initialised record is visibly
+    // unnamed rather than aliasing a real event.
+    nameTable.push_back("<none>");
+}
+
+std::uint32_t
+Tracer::track(const std::string &process, const std::string &thread,
+              unsigned cat)
+{
+    infos.push_back(TrackInfo{process, thread, cat});
+    rings.emplace_back();
+    return static_cast<std::uint32_t>(infos.size() - 1);
+}
+
+std::uint32_t
+Tracer::track(const std::string &component_name, unsigned cat)
+{
+    const std::size_t dot = component_name.rfind('.');
+    if (dot == std::string::npos)
+        return track(component_name, component_name, cat);
+    return track(component_name.substr(0, dot),
+                 component_name.substr(dot + 1), cat);
+}
+
+std::uint16_t
+Tracer::intern(const std::string &name)
+{
+    for (std::size_t i = 0; i < nameTable.size(); ++i)
+        if (nameTable[i] == name)
+            return static_cast<std::uint16_t>(i);
+    if (nameTable.size() >= 0xffff)
+        fatal("tracer string table overflow (%zu names)",
+              nameTable.size());
+    nameTable.push_back(name);
+    return static_cast<std::uint16_t>(nameTable.size() - 1);
+}
+
+void
+Tracer::counter(std::uint32_t trk, std::uint16_t nm, Tick t, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    push(Record{t, bits, trk, nm, RecordKind::Counter});
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::uint64_t total = 0;
+    for (const Ring &r : rings)
+        total += r.overwritten;
+    return total;
+}
+
+void
+Tracer::forEachRecord(
+    std::uint32_t trk,
+    const std::function<void(const Record &)> &fn) const
+{
+    const Ring &ring = rings[trk];
+    const std::size_t n = ring.buf.size();
+    for (std::size_t i = 0; i < n; ++i)
+        fn(ring.buf[(ring.head + i) % n]);
+}
+
+} // namespace obs
+} // namespace dimmlink

@@ -25,6 +25,8 @@
 
 namespace dimmlink {
 
+namespace obs { class Tracer; }
+
 /**
  * Event priorities; lower values fire first within the same tick.
  * The defaults follow the dependency order of one simulated cycle:
@@ -101,6 +103,14 @@ class EventQueue
 
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executedCount; }
+
+    /**
+     * The System's event tracer, or null when tracing is off.
+     * Components reach the tracer through the queue they already hold
+     * so observability needs no extra constructor plumbing.
+     */
+    obs::Tracer *tracer() const { return tracerPtr; }
+    void setTracer(obs::Tracer *t) { tracerPtr = t; }
 
   private:
     /** Level-0 wheel: 1-tick buckets covering wheelSpan ticks. */
@@ -190,6 +200,7 @@ class EventQueue
     std::uint64_t nextSeq = 0;
     std::uint64_t executedCount = 0;
     std::size_t liveCount = 0;
+    obs::Tracer *tracerPtr = nullptr;
 };
 
 } // namespace dimmlink

@@ -2,12 +2,21 @@
 
 #include "common/log.hh"
 #include "dram/timing.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
 
 namespace dimmlink {
 
 System::System(SystemConfig cfg_) : cfg(std::move(cfg_))
 {
     cfg.validate();
+
+    if (cfg.obs.trace) {
+        tracer_ = std::make_unique<obs::Tracer>(
+            obs::categoryMaskFromString(cfg.obs.categories),
+            cfg.obs.ringCapacity);
+        eventq.setTracer(tracer_.get());
+    }
 
     gmap = std::make_unique<dram::GlobalAddressMap>(
         cfg.numDimms, cfg.dimm.capacityBytes);
@@ -44,9 +53,56 @@ System::System(SystemConfig cfg_) : cfg(std::move(cfg_))
 
     for (auto &dimm : dimms)
         dimm->connect(fabric_.get(), sync_.get(), gmap.get());
+
+    if (cfg.obs.sampleIntervalPs > 0)
+        buildSampler();
 }
 
 System::~System() = default;
+
+void
+System::buildSampler()
+{
+    sampler_ = std::make_unique<obs::Sampler>(
+        eventq, cfg.obs.sampleIntervalPs, tracer_.get());
+
+    // Cumulative stats become per-interval deltas; sumScalar() is
+    // find-based, so probes over stats a given fabric doesn't register
+    // simply read as a flat zero.
+    auto delta = [this](const char *label, std::string prefix,
+                        std::string stat) {
+        sampler_->addProbe(
+            label,
+            [this, prefix = std::move(prefix),
+             stat = std::move(stat)] {
+                return registry.sumScalar(prefix, stat);
+            },
+            /*cumulative=*/true);
+    };
+    delta("linkFlits", "fabric.", "flits");
+    delta("dramReads", "dimm", "reads");
+    delta("dramWrites", "dimm", "writes");
+    delta("dramActivates", "dimm", "activates");
+    delta("coreStallRemotePs", "dimm", "stallRemotePs");
+    delta("hostForwards", "host.forwarder", "forwards");
+    delta("dllRetries", "fabric.dl", "dllRetries");
+
+    // Live occupancy gauges.
+    sampler_->addProbe(
+        "forwardBacklog",
+        [this] {
+            return static_cast<double>(fabric_->forwardBacklog());
+        },
+        /*cumulative=*/false);
+    sampler_->addProbe(
+        "dllInFlight",
+        [this] {
+            return static_cast<double>(fabric_->dllInFlight());
+        },
+        /*cumulative=*/false);
+
+    sampler_->start();
+}
 
 void
 System::enterNmpMode()

@@ -21,6 +21,11 @@
 
 namespace dimmlink {
 
+namespace obs {
+class Tracer;
+class Sampler;
+} // namespace obs
+
 class System
 {
   public:
@@ -67,17 +72,28 @@ class System
     /** Total busy picoseconds across all channels. */
     double channelBusyPs() const;
 
+    /** The event tracer, or null when obs.trace is off. */
+    obs::Tracer *tracer() { return tracer_.get(); }
+    /** The counter sampler, or null when obs.sampleIntervalPs is 0. */
+    obs::Sampler *sampler() { return sampler_.get(); }
+
   private:
+    void buildSampler();
+
     Tick hostAccess(Addr global, std::uint64_t bytes, bool is_write);
 
     SystemConfig cfg;
     EventQueue eventq;
     stats::Registry registry;
+    // Built before any component so construction-time track/name
+    // registration sees the tracer through eventq.tracer().
+    std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<dram::GlobalAddressMap> gmap;
     std::vector<std::unique_ptr<host::Channel>> channels;
     std::unique_ptr<idc::Fabric> fabric_;
     std::vector<std::unique_ptr<Dimm>> dimms;
     std::unique_ptr<SyncManager> sync_;
+    std::unique_ptr<obs::Sampler> sampler_;
     bool nmpMode = false;
 };
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <set>
 #include <sstream>
 
@@ -190,6 +191,39 @@ TEST(Stats, HistogramBuckets)
     EXPECT_EQ(h.total(), 4u);
 }
 
+TEST(Stats, HistogramPercentiles)
+{
+    stats::Histogram h(10.0, 10);
+    // 100 samples, one per unit of [0, 100): sample k lands in
+    // bucket k/10, so percentiles interpolate to p * 100.
+    for (int k = 0; k < 100; ++k)
+        h.sample(k);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Stats, HistogramPercentileEdgeCases)
+{
+    stats::Histogram empty(10.0, 4);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+    // A single sample: every percentile falls inside its bucket.
+    stats::Histogram one(10.0, 4);
+    one.sample(25);
+    EXPECT_GE(one.percentile(0.5), 20.0);
+    EXPECT_LE(one.percentile(0.5), 30.0);
+
+    // All samples overflow: percentiles clamp to the upper edge.
+    stats::Histogram over(10.0, 4);
+    over.sample(1000);
+    over.sample(2000);
+    EXPECT_DOUBLE_EQ(over.percentile(0.5), 40.0);
+    EXPECT_DOUBLE_EQ(over.percentile(0.99), 40.0);
+}
+
 TEST(Config, PresetsMatchPaper)
 {
     for (const char *name : {"4D-2C", "8D-4C", "12D-6C", "16D-8C"}) {
@@ -253,6 +287,37 @@ TEST(StatsJson, EscapesAndSerializes)
     EXPECT_NE(j.find("\"mean\": 3"), std::string::npos);
     EXPECT_EQ(j.find("\"empty\""), std::string::npos);
     // Balanced braces (cheap well-formedness check).
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(StatsJson, HistogramRoundTrip)
+{
+    stats::Registry reg;
+    auto &h = reg.group("g").histogram("lat", 10.0, 4);
+    for (int k = 0; k < 40; ++k)
+        h.sample(k);
+    h.sample(1000); // overflow
+
+    std::ostringstream os;
+    stats::dumpJson(reg, os);
+    const std::string j = os.str();
+
+    // Raw shape fields survive...
+    EXPECT_NE(j.find("\"lat\""), std::string::npos);
+    EXPECT_NE(j.find("\"bucketWidth\": 10"), std::string::npos);
+    EXPECT_NE(j.find("\"total\": 41"), std::string::npos);
+    EXPECT_NE(j.find("\"overflow\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"counts\": [10, 10, 10, 10]"),
+              std::string::npos);
+    // ...and the percentile summaries sit next to them.
+    std::ostringstream p50, p95, p99;
+    p50 << "\"p50\": " << std::setprecision(15) << h.percentile(0.50);
+    p95 << "\"p95\": " << std::setprecision(15) << h.percentile(0.95);
+    p99 << "\"p99\": " << std::setprecision(15) << h.percentile(0.99);
+    EXPECT_NE(j.find(p50.str()), std::string::npos);
+    EXPECT_NE(j.find(p95.str()), std::string::npos);
+    EXPECT_NE(j.find(p99.str()), std::string::npos);
     EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
               std::count(j.begin(), j.end(), '}'));
 }

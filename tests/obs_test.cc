@@ -1,0 +1,198 @@
+/** @file Tests for the timeline observability subsystem: tracer ring
+ * semantics, category parsing, Chrome-trace export content, the
+ * periodic sampler, and the zero-perturbation guarantee (tracing and
+ * sampling must never change simulated results). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats_json.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace {
+
+TEST(ObsCategories, MaskParsing)
+{
+    EXPECT_EQ(obs::categoryMaskFromString("all"), obs::CatAll);
+    EXPECT_EQ(obs::categoryMaskFromString(""), obs::CatAll);
+    EXPECT_EQ(obs::categoryMaskFromString("dram"), obs::CatDram);
+    EXPECT_EQ(obs::categoryMaskFromString("dram,noc"),
+              obs::CatDram | obs::CatNoc);
+    EXPECT_EQ(obs::categoryMaskFromString("core,dll,host,counter"),
+              obs::CatCore | obs::CatDll | obs::CatHost |
+                  obs::CatCounter);
+    EXPECT_STREQ(obs::categoryName(obs::CatDram), "dram");
+    EXPECT_STREQ(obs::categoryName(obs::CatNoc), "noc");
+}
+
+TEST(ObsTracer, EnabledFollowsMask)
+{
+    obs::Tracer t(obs::CatDram | obs::CatCore, 16);
+    EXPECT_TRUE(t.enabled(obs::CatDram));
+    EXPECT_TRUE(t.enabled(obs::CatCore));
+    EXPECT_FALSE(t.enabled(obs::CatNoc));
+    EXPECT_FALSE(t.enabled(obs::CatDll));
+}
+
+TEST(ObsTracer, InternIsStable)
+{
+    obs::Tracer t(obs::CatAll, 16);
+    const auto a = t.intern("act");
+    const auto b = t.intern("pre");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.intern("act"), a);
+    EXPECT_EQ(t.names()[a], "act");
+    // Id 0 is the reserved unnamed sentinel.
+    EXPECT_NE(a, 0);
+}
+
+TEST(ObsTracer, RingOverwritesOldestAndCountsDrops)
+{
+    obs::Tracer t(obs::CatAll, 4);
+    const auto trk = t.track("p", "t", obs::CatDram);
+    const auto nm = t.intern("ev");
+    for (std::uint64_t i = 0; i < 10; ++i)
+        t.instant(trk, nm, /*t=*/i * 100, /*arg=*/i);
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    EXPECT_EQ(t.droppedOn(trk), 6u);
+
+    // The surviving records are the newest four, oldest first.
+    std::vector<std::uint64_t> args;
+    t.forEachRecord(trk, [&](const obs::Record &r) {
+        args.push_back(r.arg);
+    });
+    EXPECT_EQ(args, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(ObsTracer, DottedTrackNamesSplitAtLastDot)
+{
+    obs::Tracer t(obs::CatAll, 16);
+    const auto a = t.track("dimm0.mc.rank1", obs::CatDram);
+    EXPECT_EQ(t.tracks()[a].process, "dimm0.mc");
+    EXPECT_EQ(t.tracks()[a].thread, "rank1");
+    const auto b = t.track("sampler", obs::CatCounter);
+    EXPECT_EQ(t.tracks()[b].process, "sampler");
+    EXPECT_EQ(t.tracks()[b].thread, "sampler");
+}
+
+/** Run one small bfs kernel, optionally traced/sampled. */
+RunResult
+runSmall(SystemConfig &cfg, System &sys, std::string *stats_json)
+{
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = 4;
+    p.rounds = 1;
+    auto wl = workloads::makeWorkload("bfs", p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    EXPECT_TRUE(r.verified);
+    if (stats_json) {
+        std::ostringstream os;
+        stats::dumpJson(sys.stats(), os, /*include_empty=*/false,
+                        &cfg);
+        *stats_json = os.str();
+    }
+    return r;
+}
+
+TEST(ObsSystem, TracedRunExportsAllLayers)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.obs.trace = true;
+    System sys(cfg);
+    ASSERT_NE(sys.tracer(), nullptr);
+    runSmall(cfg, sys, nullptr);
+
+    EXPECT_GT(sys.tracer()->recorded(), 0u);
+
+    std::ostringstream os;
+    obs::writeChromeTrace(*sys.tracer(), os);
+    const std::string j = os.str();
+
+    // Valid array-format skeleton with viewer metadata.
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+    // The acceptance layers all produced spans on a default run.
+    EXPECT_NE(j.find("\"cat\":\"dram\""), std::string::npos);
+    EXPECT_NE(j.find("\"cat\":\"noc\""), std::string::npos);
+    EXPECT_NE(j.find("\"cat\":\"dll\""), std::string::npos);
+    EXPECT_NE(j.find("\"cat\":\"core\""), std::string::npos);
+    // Both span flavours made it out.
+    EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+}
+
+TEST(ObsSystem, TracingNeverPerturbsSimulation)
+{
+    // Same config and workload; only obs settings differ. The stats
+    // JSON (which embeds the config header) must be byte-identical:
+    // tracing and sampling read simulation state but never alter it,
+    // and obs.* keys are excluded from the config description.
+    auto plain_cfg = SystemConfig::preset("4D-2C");
+    System plain_sys(plain_cfg);
+    std::string plain;
+    runSmall(plain_cfg, plain_sys, &plain);
+
+    auto traced_cfg = SystemConfig::preset("4D-2C");
+    traced_cfg.obs.trace = true;
+    traced_cfg.obs.sampleIntervalPs = 500000; // 0.5 us cadence
+    System traced_sys(traced_cfg);
+    std::string traced;
+    runSmall(traced_cfg, traced_sys, &traced);
+
+    ASSERT_FALSE(plain.empty());
+    EXPECT_EQ(plain, traced);
+}
+
+TEST(ObsSystem, SamplerEmitsTimeSeries)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.obs.sampleIntervalPs = 500000;
+    System sys(cfg);
+    ASSERT_NE(sys.sampler(), nullptr);
+    // Sampling works with tracing off (no CatCounter track).
+    EXPECT_EQ(sys.tracer(), nullptr);
+    runSmall(cfg, sys, nullptr);
+
+    const obs::Sampler &sm = *sys.sampler();
+    EXPECT_FALSE(sm.probeNames().empty());
+    ASSERT_FALSE(sm.rows().empty());
+    for (const obs::Sampler::Row &row : sm.rows())
+        EXPECT_EQ(row.values.size(), sm.probeNames().size());
+    // Something happened during the kernel: at least one non-zero
+    // sample across the whole series.
+    bool any_nonzero = false;
+    for (const obs::Sampler::Row &row : sm.rows())
+        for (double v : row.values)
+            if (v != 0)
+                any_nonzero = true;
+    EXPECT_TRUE(any_nonzero);
+
+    std::ostringstream os;
+    sm.writeCsv(os);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("tickPs,", 0), 0u);
+    EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'),
+              static_cast<long>(sm.rows().size()));
+}
+
+} // namespace
+} // namespace dimmlink
