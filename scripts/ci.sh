@@ -113,4 +113,105 @@ if grep -q '"dllFailedTransfers": [1-9]' <<<"$soak_out"; then
 fi
 echo "    soak OK: corruption injected, retries recovered, no losses"
 
+echo "==> link-failure chaos matrix under ASan+UBSan"
+# Fault model x topology x recovery policy. The stuck cells hold one
+# direction of the 1<->2 bridge link down for the whole run — past the
+# retry budget; the ber cells inject corruption the budget must absorb
+# without a single exhaustion. Every cell must complete and verify
+# (example_simulate exits nonzero otherwise) and recover through the
+# configured path: failover re-sends through the host forwarder, drop
+# completes on the warn-and-discard path. The hang watchdog rides
+# along armed in every cell.
+for model in stuck ber; do
+    for topo in HalfRing Ring; do
+        for policy in failover drop; do
+            case "$model" in
+            stuck) fault_args=(-p faults.model=stuck \
+                -p faults.stuckAtPs=0 \
+                -p faults.stuckForPs=400000000000000 \
+                -p faults.stuckPeriodPs=0 \
+                -p faults.linkFilter=link1to2) ;;
+            ber) fault_args=(-p faults.model=ber \
+                -p faults.ber=2e-5) ;;
+            esac
+            chaos_out="$(ASAN_OPTIONS=detect_leaks=0 \
+                UBSAN_OPTIONS=print_stacktrace=1 \
+                "$root/build-asan/examples/example_simulate" \
+                --config "$root/configs/default.json" \
+                -p system.numDimms=4 -p system.numChannels=2 \
+                -p host.numChannels=2 -p link.topology="$topo" \
+                "${fault_args[@]}" -p faults.seed=7 \
+                -p faults.onExhausted="$policy" \
+                -p watchdog.stallPs=1000000000 \
+                --workload bfs --scale 6 --rounds 1 --json 2>&1)"
+            cell="$model/$topo/$policy"
+            if [ "$model" = ber ]; then
+                # The retry budget absorbs this BER: recovery, but no
+                # exhaustions and no health transitions.
+                if ! grep -q '"dllRetries": [1-9]' <<<"$chaos_out"; then
+                    echo "[$cell] no retries recorded"; exit 1
+                fi
+                if grep -q '"dllFailedTransfers": [1-9]' \
+                    <<<"$chaos_out"; then
+                    echo "[$cell] transfers exhausted at soak BER"
+                    exit 1
+                fi
+                echo "    [$cell] OK: completed, retries absorbed"
+                continue
+            fi
+            if ! grep -q '"linkDownEvents": [1-9]' <<<"$chaos_out"; then
+                echo "[$cell] dead link never detected"; exit 1
+            fi
+            case "$policy" in
+            failover)
+                if ! grep -q '"dllFailovers": [1-9]' \
+                    <<<"$chaos_out"; then
+                    echo "[$cell] no failovers recorded"; exit 1
+                fi
+                ;;
+            drop)
+                if ! grep -q '"dllFailedTransfers": [1-9]' \
+                    <<<"$chaos_out"; then
+                    echo "[$cell] no exhaustions recorded"; exit 1
+                fi
+                ;;
+            esac
+            echo "    [$cell] OK: completed, verified, recovered"
+        done
+    done
+done
+
+echo "==> finite-outage recovery under ASan+UBSan"
+# The link dies at tick 0 and comes back mid-run: the HalfRing cut
+# drops in-flight packets outright, the exhaustion policy retires
+# their sequences, and the post-recovery DLL stream must resume past
+# the gap instead of jamming the reorder buffer (the watchdog rides
+# along armed to catch exactly that).
+for policy in failover drop; do
+    outage_out="$(ASAN_OPTIONS=detect_leaks=0 \
+        UBSAN_OPTIONS=print_stacktrace=1 \
+        "$root/build-asan/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 -p link.topology=HalfRing \
+        -p faults.model=stuck -p faults.stuckAtPs=0 \
+        -p faults.stuckForPs=25000000 -p faults.stuckPeriodPs=0 \
+        -p faults.linkFilter=link1to2 -p faults.seed=17 \
+        -p faults.reprobeIntervalPs=5000000 \
+        -p faults.onExhausted="$policy" \
+        -p watchdog.stallPs=1000000000 \
+        --workload bfs --scale 6 --rounds 1 --json 2>&1)"
+    cell="finite-outage/$policy"
+    if ! grep -q '"linkDownEvents": [1-9]' <<<"$outage_out"; then
+        echo "[$cell] outage never masked the edge"; exit 1
+    fi
+    if ! grep -q '"linkRecoveredEvents": [1-9]' <<<"$outage_out"; then
+        echo "[$cell] link never recovered mid-run"; exit 1
+    fi
+    if ! grep -q '"dllStreamResyncs": [1-9]' <<<"$outage_out"; then
+        echo "[$cell] no stream resyncs recorded"; exit 1
+    fi
+    echo "    [$cell] OK: went down, recovered, stream resumed"
+done
+
 echo "==> CI green"

@@ -374,6 +374,10 @@ fields()
         CFG_FIELD("faults.stuckForPs", faults.stuckForPs),
         CFG_FIELD("faults.stuckPeriodPs", faults.stuckPeriodPs),
         CFG_FIELD("faults.linkFilter", faults.linkFilter),
+        CFG_FIELD_HIDDEN("faults.suspectAfter", faults.suspectAfter),
+        CFG_FIELD_HIDDEN("faults.reprobeIntervalPs",
+                         faults.reprobeIntervalPs),
+        CFG_FIELD_HIDDEN("faults.onExhausted", faults.onExhausted),
 
         CFG_FIELD("energy.linkPjPerBit", energy.linkPjPerBit),
         CFG_FIELD("energy.ddrRdWrPjPerBit", energy.ddrRdWrPjPerBit),
@@ -392,6 +396,8 @@ fields()
         CFG_FIELD_HIDDEN("obs.sampleIntervalPs", obs.sampleIntervalPs),
         CFG_FIELD_HIDDEN("obs.sampleOut", obs.sampleOut),
         CFG_FIELD_HIDDEN("obs.ringCapacity", obs.ringCapacity),
+
+        CFG_FIELD_HIDDEN("watchdog.stallPs", watchdog.stallPs),
     };
     return table;
 }
@@ -552,6 +558,14 @@ SystemConfig::validate() const
             warn("fault model '%s' with faults.ber = 0 injects "
                  "nothing", faults.model.c_str());
     }
+    if (faults.suspectAfter == 0)
+        fatal("faults.suspectAfter must be positive");
+    if (faults.reprobeIntervalPs == 0)
+        fatal("faults.reprobeIntervalPs must be positive");
+    if (faults.onExhausted != "failover" && faults.onExhausted != "drop"
+        && faults.onExhausted != "panic")
+        fatal("faults.onExhausted must be one of failover, drop, "
+              "panic (got '%s')", faults.onExhausted.c_str());
 
     // Mapping knobs.
     if (profileFraction < 0.0 || profileFraction > 1.0)
@@ -616,7 +630,7 @@ SystemConfig::set(const std::string &key, const std::string &value)
         fatal("unknown config key '%s' (keys in section '%s': %s)",
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
-          "link, bus, faults, energy, obs)", key.c_str());
+          "link, bus, faults, energy, obs, watchdog)", key.c_str());
 }
 
 void

@@ -199,6 +199,35 @@ struct FaultConfig
     /** Only links whose name contains this substring are faulted
      * (empty = every link). */
     std::string linkFilter;
+
+    // Failure recovery. These keys are hidden from describe() (like
+    // obs.*) so the config header in stats JSON keeps its shape: a
+    // faults.model=none run dumps byte-identical output whether or
+    // not a build knows about recovery.
+    /** Consecutive DLL retry exhaustions blaming a link before its
+     * health drops from up to suspect (probing then decides). */
+    unsigned suspectAfter = 2;
+    /** Cadence of re-probe packets on suspect/down links; a probe
+     * that answers within link.retryTimeoutPs recovers the link. */
+    Tick reprobeIntervalPs = 20 * tickPerUs;
+    /** What a transfer does when its retry budget exhausts:
+     * "failover" re-submits it over the host CPU-forwarding path,
+     * "drop" completes it losslessly in simulation but counts the
+     * loss, "panic" aborts the run. */
+    std::string onExhausted = "failover";
+};
+
+/**
+ * Hang watchdog (src/system/watchdog.hh): detects an event queue that
+ * went quiescent while the kernel still has outstanding work, and
+ * fatal()s with a diagnostic dump instead of spinning or silently
+ * mis-terminating. Off by default; the watchdog.* keys are hidden
+ * from describe() for the same stats-shape reason as obs.*.
+ */
+struct WatchdogConfig
+{
+    /** Progress-check period; 0 disables the watchdog. */
+    Tick stallPs = 0;
 };
 
 /**
@@ -260,6 +289,7 @@ struct SystemConfig
     FaultConfig faults;
     EnergyConfig energy;
     ObsConfig obs;
+    WatchdogConfig watchdog;
 
     /** DRAM timing preset name ("DDR4_2400" or "DDR4_3200"). */
     std::string dramPreset = "DDR4_2400";

@@ -31,7 +31,9 @@ class DlController
     DlController(EventQueue &eq, const std::string &name, DimmId self,
                  Tick retry_timeout_ps, unsigned max_retries,
                  stats::Registry &reg,
-                 unsigned window = proto::RetrySender::defaultWindow);
+                 unsigned window = proto::RetrySender::defaultWindow,
+                 proto::ExhaustFallback fallback =
+                     proto::ExhaustFallback::Panic);
 
     DimmId id() const { return self; }
 
@@ -64,7 +66,18 @@ class DlController
                       bool corrupted,
                       std::function<void(const proto::Packet &)>
                           send_control,
-                      std::function<void(proto::Packet)> deliver);
+                      std::function<void(proto::Packet)> deliver,
+                      std::function<void(proto::Packet)> stale = nullptr);
+
+    /**
+     * The peer retired sequence @p seq of @p src's stream after retry
+     * exhaustion (the payload completed out-of-band, or was dropped on
+     * purpose): advance the receive stream past the permanent gap so
+     * later sequences do not wait on it forever. Held packets the skip
+     * releases flow through @p deliver in order.
+     */
+    void skipReceive(std::uint8_t src, std::uint16_t seq,
+                     std::function<void(proto::Packet)> deliver);
 
     /** Feed an arriving DllAck/DllNack to the retry state. */
     void onControlArrive(const proto::Packet &ctrl);

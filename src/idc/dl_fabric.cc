@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
 #include "common/log.hh"
 #include "obs/tracer.hh"
@@ -68,6 +69,11 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
         nmDllXfer = t->intern("dllXfer");
         nmDllRetry = t->intern("dllRetry");
         nmDllFailed = t->intern("dllFailed");
+        nmLinkSuspect = t->intern("linkSuspect");
+        nmLinkDown = t->intern("linkDown");
+        nmLinkUp = t->intern("linkUp");
+        nmFailover = t->intern("dllFailover");
+        nmDllResync = t->intern("dllResync");
     }
     const unsigned gs = cfg.groupSize();
     const unsigned groups = cfg.numGroups();
@@ -88,13 +94,130 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
     // reliable DLL transport, with one retry engine per DIMM.
     dllPath = cfg.faults.model != "none";
     if (dllPath) {
+        if (cfg.faults.onExhausted == "drop")
+            exhaustPolicy = ExhaustPolicy::Drop;
+        else if (cfg.faults.onExhausted == "panic")
+            exhaustPolicy = ExhaustPolicy::Panic;
+        else
+            exhaustPolicy = ExhaustPolicy::Failover;
+        const auto sender_fb = exhaustPolicy == ExhaustPolicy::Panic
+                                   ? proto::ExhaustFallback::Panic
+                                   : proto::ExhaustFallback::Drop;
         for (unsigned d = 0; d < cfg.numDimms; ++d) {
             dllCtl.push_back(std::make_unique<DlController>(
                 eq, "fabric.dl.dllc" + std::to_string(d),
                 static_cast<DimmId>(d), cfg.link.retryTimeoutPs,
-                cfg.link.maxRetries, reg, cfg.link.retryWindow));
+                cfg.link.maxRetries, reg, cfg.link.retryWindow,
+                sender_fb));
+        }
+        // Recovery-path counters exist only alongside the fault model
+        // so fault-free runs keep the baseline stats JSON shape.
+        auto &sg = reg.group("fabric.dl");
+        statFailovers = &sg.scalar("dllFailovers");
+        statFailoverBytes = &sg.scalar("failoverBytes");
+        statStreamResyncs = &sg.scalar("dllStreamResyncs");
+        statHostReroutes = &sg.scalar("hostReroutes");
+        statProxyNotifyFallbacks = &sg.scalar("proxyNotifyFallbacks");
+        statHealthSuspect = &sg.scalar("linkSuspectEvents");
+        statHealthDown = &sg.scalar("linkDownEvents");
+        statHealthRecovered = &sg.scalar("linkRecoveredEvents");
+        statProbesSent = &sg.scalar("healthProbesSent");
+        statProbesFailed = &sg.scalar("healthProbesFailed");
+        // One health tracker per group, probing over the physical
+        // links and feeding route recomputation on down/up edges.
+        for (unsigned g = 0; g < groups; ++g) {
+            auto h = std::make_unique<fault::LinkHealth>(
+                eq, cfg.faults.suspectAfter, cfg.faults.reprobeIntervalPs,
+                cfg.link.retryTimeoutPs);
+            for (unsigned n = 0; n < gs; ++n)
+                for (int nb :
+                     nets[g]->graph().neighbors(static_cast<int>(n)))
+                    h->addEdge(static_cast<int>(n), nb);
+            fault::LinkHealth::Callbacks cbs;
+            cbs.sendProbe = [this, g](int a, int b, std::uint64_t id) {
+                sendHealthProbe(g, a, b, id);
+            };
+            cbs.onTransition = [this, g](int a, int b,
+                                         fault::LinkState from,
+                                         fault::LinkState to) {
+                onHealthTransition(g, a, b, from, to);
+            };
+            cbs.onProbeFailed = [this](int, int) {
+                ++*statProbesFailed;
+            };
+            h->setCallbacks(std::move(cbs));
+            health.push_back(std::move(h));
         }
     }
+}
+
+void
+DlFabric::sendHealthProbe(unsigned group, int a, int b,
+                          std::uint64_t probe_id)
+{
+    noc::Link *l = nets[group]->linkBetween(a, b);
+    if (!l)
+        return; // Not adjacent; the probe timeout stands in.
+    ++*statProbesSent;
+    // Probes bypass routing and credits on purpose: they test the
+    // physical link itself, so a route-around must not make a dead
+    // link look alive.
+    noc::Message pm;
+    pm.src = a;
+    pm.dst = b;
+    pm.flits = 1;
+    pm.id = nextMsgId++;
+    l->transmit(std::move(pm),
+                [this, group, a, b, probe_id](noc::Message m) {
+                    health[group]->probeResult(a, b, probe_id,
+                                               !m.corrupted);
+                });
+}
+
+void
+DlFabric::onHealthTransition(unsigned group, int a, int b,
+                             fault::LinkState from, fault::LinkState to)
+{
+    const std::uint64_t arg = (static_cast<std::uint64_t>(group) << 16) |
+                              (static_cast<std::uint64_t>(a) << 8) |
+                              static_cast<std::uint64_t>(b);
+    switch (to) {
+      case fault::LinkState::Suspect:
+        ++*statHealthSuspect;
+        if (tr)
+            tr->instant(trk, nmLinkSuspect, eventq.now(), arg);
+        break;
+      case fault::LinkState::Down:
+        ++*statHealthDown;
+        nets[group]->setLinkDown(a, b, true);
+        if (tr)
+            tr->instant(trk, nmLinkDown, eventq.now(), arg);
+        break;
+      case fault::LinkState::Up:
+        ++*statHealthRecovered;
+        if (from == fault::LinkState::Down)
+            nets[group]->setLinkDown(a, b, false);
+        if (tr)
+            tr->instant(trk, nmLinkUp, eventq.now(), arg);
+        break;
+    }
+}
+
+std::vector<std::pair<int, int>>
+DlFabric::routePath(unsigned group, int from, int to) const
+{
+    std::vector<std::pair<int, int>> edges;
+    const auto &graph = nets[group]->graph();
+    int cur = from;
+    // Bounded by the node count: the tables are cycle-free.
+    for (unsigned hop = 0; cur != to && hop < graph.numNodes(); ++hop) {
+        const int next = graph.nextHop(cur, to);
+        if (next == -1)
+            break; // No live route (already routed around).
+        edges.emplace_back(cur, next);
+        cur = next;
+    }
+    return edges;
 }
 
 DimmId
@@ -140,9 +263,12 @@ DlFabric::distance(DimmId j, DimmId k) const
     if (j == k)
         return 0.0;
     if (groupIdx(j) == groupIdx(k)) {
-        return static_cast<double>(
-            nets[groupIdx(j)]->graph().distance(nodeIdx(j),
-                                                nodeIdx(k)));
+        const unsigned d = nets[groupIdx(j)]->graph().distance(
+            nodeIdx(j), nodeIdx(k));
+        if (d != noc::TopologyGraph::unreachable)
+            return static_cast<double>(d);
+        // Link failures severed the pair: it pays the host-forwarding
+        // cost below, like an inter-group access.
     }
     // Inter-group accesses pay polling discovery plus the host copy;
     // express that as equivalent link hops so the mapper can trade
@@ -181,6 +307,15 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
     const unsigned group = groupIdx(s);
     if (group != groupIdx(d))
         panic("sendIntraGroup across groups (%u -> %u)", s, d);
+
+    // Route-around: when link failures disconnected the pair on the
+    // bridge, the transfer degrades to the host CPU-forwarding path
+    // instead of feeding packets into a black hole.
+    if (dllPath &&
+        !nets[group]->graph().reachable(nodeIdx(s), nodeIdx(d))) {
+        hostFallback(s, d, payload_bytes, std::move(delivered));
+        return;
+    }
 
     // Segment into <=256-byte packets; the last delivery completes
     // the transfer (paths are deterministic and FIFO, but count for
@@ -268,26 +403,50 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
 }
 
 void
+DlFabric::hostFallback(DimmId s, DimmId d, std::uint64_t payload_bytes,
+                       std::function<void()> delivered)
+{
+    ++*statHostReroutes;
+    const auto wire = static_cast<unsigned>(wireBytesFor(payload_bytes));
+    ++statPacketsHost;
+    statBytesViaHost += wire;
+    auto cb = std::make_shared<std::function<void()>>(
+        std::move(delivered));
+    requestForward(s, [this, s, d, wire, cb] {
+        path.forwarder().forward(s, d, wire, [cb] {
+            if (*cb)
+                (*cb)();
+        });
+    });
+}
+
+void
 DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                         std::function<void()> delivered)
 {
     const unsigned group = groupIdx(s);
+    const std::uint64_t payload = pkt.payload.size();
     auto cb = std::make_shared<std::function<void()>>(
         std::move(delivered));
     // The sequence number is stamped at admission (possibly after
     // window backpressure), so the waiting-table key is registered on
-    // the first transmission rather than here.
+    // the first transmission rather than here. The route is captured
+    // at the same moment: exhaustion must blame the path the transfer
+    // actually took, not whatever the tables say after a recompute.
     auto key = std::make_shared<std::optional<DllKey>>();
+    auto route =
+        std::make_shared<std::vector<std::pair<int, int>>>();
 
     dllCtl[s]->sendReliable(
         std::move(pkt),
-        [this, group, s, d, cb, key](const proto::Packet &p,
-                                     std::vector<std::uint8_t> wire) {
+        [this, group, s, d, cb, key, route](const proto::Packet &p,
+                                            std::vector<std::uint8_t> wire) {
             if (!key->has_value()) {
                 *key = DllKey{
                     p.src, p.dst,
                     static_cast<std::uint16_t>(p.dll & 0xffff)};
                 dllWaiting[**key] = cb;
+                *route = routePath(group, nodeIdx(s), nodeIdx(d));
             } else if (tr) {
                 // The retry engine re-invoked transmit: a timeout or
                 // NACK retransmission of this sequence number.
@@ -317,17 +476,32 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                 },
                 EventPriority::Control);
         },
-        /*on_acked=*/nullptr,
-        /*on_failed=*/[this, key] {
+        /*on_acked=*/[this, s, route] {
+            // An end-to-end ACK proves the route moved traffic:
+            // clear the consecutive-failure blame on its links so
+            // unrelated exhaustions cannot accumulate into a
+            // spurious Suspect over the whole run.
+            const unsigned g = groupIdx(s);
+            if (g < health.size() && health[g] && !route->empty())
+                health[g]->noteSuccess(*route);
+        },
+        /*on_failed=*/[this, s, d, payload, key, route] {
             // Retry budget exhausted (e.g. a stuck link outliving the
-            // budget). Count it and complete the transfer anyway so
-            // the workload can terminate; the stat records the loss.
+            // budget). Blame the route the transfer was admitted on so
+            // the health machinery can take the dead link out of the
+            // tables, then apply the configured exhaustion policy.
             ++statDllFailedTransfers;
             if (tr)
                 tr->instant(trk, nmDllFailed, eventq.now(),
                             key->has_value()
                                 ? std::get<2>(**key)
                                 : std::uint64_t{0});
+            const unsigned g = groupIdx(s);
+            if (g < health.size() && health[g])
+                health[g]->noteExhausted(
+                    route->empty()
+                        ? routePath(g, nodeIdx(s), nodeIdx(d))
+                        : *route);
             if (!key->has_value())
                 return;
             auto it = dllWaiting.find(**key);
@@ -335,9 +509,81 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                 return; // Delivered earlier; only the ACKs kept dying.
             auto cb2 = it->second;
             dllWaiting.erase(it);
-            if (cb2 && *cb2)
-                (*cb2)();
+            switch (exhaustPolicy) {
+              case ExhaustPolicy::Panic:
+                panic("DLL transfer %u -> %u (seq %u) exhausted its "
+                      "retry budget (faults.onExhausted=panic)",
+                      s, d, std::get<2>(**key));
+                break;
+              case ExhaustPolicy::Drop: {
+                // Complete the transfer unsent so the workload can
+                // terminate; the stat records the loss. The payload
+                // is gone, but the receiver must still move past the
+                // retired sequence or every later packet on the
+                // stream jams behind the gap once the link recovers —
+                // send a header-only resync note over the host path.
+                warnRateLimited(
+                    "dl-fabric-drop", 64,
+                    "DLL transfer %u -> %u dropped after retry "
+                    "exhaustion (faults.onExhausted=drop)",
+                    static_cast<unsigned>(s), static_cast<unsigned>(d));
+                if (cb2 && *cb2)
+                    (*cb2)();
+                const auto note =
+                    static_cast<unsigned>(wireBytesFor(0));
+                ++statPacketsHost;
+                statBytesViaHost += note;
+                const auto seq = std::get<2>(**key);
+                requestForward(s, [this, s, d, note, seq] {
+                    path.forwarder().forward(
+                        s, d, note, [this, s, d, seq] {
+                            dllStreamResync(s, d, seq);
+                        });
+                });
+                break;
+              }
+              case ExhaustPolicy::Failover: {
+                // Re-submit the payload over the host CPU-forwarding
+                // path: slower, but the bytes really arrive and the
+                // completion chain stays intact. The forwarded image
+                // carries the DLL header, so its arrival also resyncs
+                // the receiver's stream past the retired sequence.
+                ++*statFailovers;
+                const auto wire =
+                    static_cast<unsigned>(wireBytesFor(payload));
+                *statFailoverBytes += wire;
+                ++statPacketsHost;
+                statBytesViaHost += wire;
+                if (tr)
+                    tr->instant(trk, nmFailover, eventq.now(),
+                                std::get<2>(**key));
+                const auto seq = std::get<2>(**key);
+                requestForward(s, [this, s, d, wire, cb2, seq] {
+                    path.forwarder().forward(
+                        s, d, wire, [this, s, d, seq, cb2] {
+                            dllStreamResync(s, d, seq);
+                            if (cb2 && *cb2)
+                                (*cb2)();
+                        });
+                });
+                break;
+              }
+            }
         });
+}
+
+void
+DlFabric::completeDllDelivery(const proto::Packet &p)
+{
+    const DllKey k{p.src, p.dst,
+                   static_cast<std::uint16_t>(p.dll & 0xffff)};
+    auto it = dllWaiting.find(k);
+    if (it == dllWaiting.end())
+        return; // Completed earlier (delivery, failover, or drop).
+    auto cb = it->second;
+    dllWaiting.erase(it);
+    if (cb && *cb)
+        (*cb)();
 }
 
 void
@@ -348,18 +594,28 @@ DlFabric::dllReceive(DimmId d, const std::vector<std::uint8_t> &wire)
         [this, d](const proto::Packet &ctrl) {
             sendDllControl(d, ctrl);
         },
-        [this](proto::Packet p) {
-            const DllKey k{
-                p.src, p.dst,
-                static_cast<std::uint16_t>(p.dll & 0xffff)};
-            auto it = dllWaiting.find(k);
-            if (it == dllWaiting.end())
-                return;
-            auto cb = it->second;
-            dllWaiting.erase(it);
-            if (cb && *cb)
-                (*cb)();
-        });
+        [this](proto::Packet p) { completeDllDelivery(p); },
+        // A behind-window arrival is normally a filtered duplicate,
+        // but after a stream resync it can be the only copy of a
+        // sequence the skip jumped over while it was still in
+        // flight: claim its completion if it is still waiting.
+        [this](proto::Packet p) { completeDllDelivery(p); });
+}
+
+void
+DlFabric::dllStreamResync(DimmId s, DimmId d, std::uint16_t seq)
+{
+    if (statStreamResyncs)
+        ++*statStreamResyncs;
+    if (tr)
+        tr->instant(trk, nmDllResync, eventq.now(), seq);
+    // The destination's controller learns the retired sequence from
+    // the host-delivered DLL header and advances its reorder stream
+    // past the permanent gap; held packets the skip releases complete
+    // like normal in-order deliveries.
+    dllCtl[d]->skipReceive(
+        static_cast<std::uint8_t>(s), seq,
+        [this](proto::Packet p) { completeDllDelivery(p); });
 }
 
 void
@@ -423,6 +679,28 @@ DlFabric::requestForward(DimmId src, std::function<void()> job)
     // Register the request with the group's proxy over the link
     // network (a single-flit FwdReq packet), so the host only has to
     // poll one DIMM per group (Fig. 7).
+    const unsigned g = groupIdx(src);
+    auto job_sh =
+        std::make_shared<std::function<void()>>(std::move(job));
+    // When the proxy cannot be reached over the bridge (now, or by
+    // the time the note would arrive), the host discovers the request
+    // on its own polling cadence instead — modeled as one extra poll
+    // interval of discovery latency.
+    auto fallback = [this, proxy, job_sh] {
+        if (statProxyNotifyFallbacks)
+            ++*statProxyNotifyFallbacks;
+        eventq.scheduleIn(
+            cfg.host.pollIntervalPs,
+            [this, proxy, job_sh] {
+                path.request(proxy, [job_sh] { (*job_sh)(); });
+            },
+            EventPriority::Control);
+    };
+    if (dllPath &&
+        !nets[g]->graph().reachable(nodeIdx(src), nodeIdx(proxy))) {
+        fallback();
+        return;
+    }
     ++statProxyNotifies;
     noc::Message note;
     note.src = nodeIdx(src);
@@ -430,14 +708,12 @@ DlFabric::requestForward(DimmId src, std::function<void()> job)
     note.flits = 1;
     note.id = nextMsgId++;
     statBytesViaLink += proto::flitBytes;
-    auto job_sh =
-        std::make_shared<std::function<void()>>(std::move(job));
     note.deliver = [this, proxy, job_sh](int) {
         path.request(proxy, [job_sh] { (*job_sh)(); });
     };
+    note.onDropped = fallback;
     eventq.scheduleIn(packetizeDelay(1),
-                      [this, g = groupIdx(src),
-                       note = std::move(note)]() mutable {
+                      [this, g, note = std::move(note)]() mutable {
                           inject(g, std::move(note));
                       },
                       EventPriority::Control);
@@ -451,6 +727,27 @@ DlFabric::groupBroadcast(DimmId s, std::uint64_t bytes,
     const unsigned gs = cfg.groupSize();
     if (gs == 1) {
         completeLater(all_delivered, eventq.now());
+        return;
+    }
+
+    if (dllPath) {
+        // Under fault injection the spanning-tree broadcast gives way
+        // to per-destination reliable unicasts: every copy is CRC +
+        // retry protected, and copies for nodes the tables can no
+        // longer reach degrade to host forwarding individually
+        // (sendIntraGroup handles both).
+        auto remaining = std::make_shared<std::size_t>(gs - 1);
+        auto done = std::make_shared<std::function<void()>>(
+            std::move(all_delivered));
+        for (unsigned node = 0; node < gs; ++node) {
+            const DimmId dv = dimmAt(group, static_cast<int>(node));
+            if (dv == s)
+                continue;
+            sendIntraGroup(s, dv, bytes, [remaining, done] {
+                if (--*remaining == 0 && *done)
+                    (*done)();
+            });
+        }
         return;
     }
 
@@ -624,6 +921,40 @@ DlFabric::doSyncMessage(Transaction t, std::function<void()> finish)
     requestForward(t.src, [this, t, wire, finish]() mutable {
         path.forwarder().forward(t.src, t.dst, wire, finish);
     });
+}
+
+std::string
+DlFabric::debugDump()
+{
+    std::ostringstream os;
+    os << "fabric.dl: dllWaiting=" << dllWaiting.size()
+       << " forwardBacklog=" << path.forwarder().backlog() << "\n";
+    unsigned shown = 0;
+    for (const auto &kv : dllWaiting) {
+        if (shown++ == 16) {
+            os << "  ... (" << (dllWaiting.size() - 16)
+               << " more waiting keys)\n";
+            break;
+        }
+        os << "  waiting: " << static_cast<unsigned>(std::get<0>(kv.first))
+           << " -> " << static_cast<unsigned>(std::get<1>(kv.first))
+           << " seq=" << std::get<2>(kv.first) << "\n";
+    }
+    for (std::size_t d = 0; d < dllCtl.size(); ++d) {
+        const auto &c = *dllCtl[d];
+        if (c.retryInFlight() == 0 && c.retryQueued() == 0 &&
+            c.receiverBuffered() == 0)
+            continue;
+        os << "  dllc" << d << ": retryInFlight=" << c.retryInFlight()
+           << " retryQueued=" << c.retryQueued()
+           << " receiverBuffered=" << c.receiverBuffered() << "\n";
+    }
+    for (std::size_t g = 0; g < health.size(); ++g) {
+        if (health[g]->numSuspectOrDown() == 0)
+            continue;
+        os << "  group" << g << " link health:\n" << health[g]->dump();
+    }
+    return os.str();
 }
 
 void

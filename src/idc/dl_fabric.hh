@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dimm/dl_controller.hh"
+#include "fault/link_health.hh"
 #include "idc/fabric.hh"
 #include "noc/network.hh"
 #include "proto/codec.hh"
@@ -63,6 +64,18 @@ class DlFabric : public Fabric
     /** Wire bytes (flit-padded, incl. header/tail) for a payload. */
     static std::uint64_t wireBytesFor(std::uint64_t payload_bytes);
 
+    /** In-flight DLL keys, retry windows, health and backlog state. */
+    std::string debugDump() override;
+
+    /** Link health tracker of @p group (null with faults off). */
+    const fault::LinkHealth *linkHealth(unsigned group) const
+    {
+        return group < health.size() ? health[group].get() : nullptr;
+    }
+
+    /** What to do with a transfer whose DLL retry budget ran out. */
+    enum class ExhaustPolicy { Failover, Drop, Panic };
+
   private:
     unsigned groupIdx(DimmId d) const { return cfg.groupOf(d); }
     int nodeIdx(DimmId d) const
@@ -102,6 +115,17 @@ class DlFabric : public Fabric
                        std::function<void()> delivered);
     /** A DLL wire image finished decode at DIMM @p d. */
     void dllReceive(DimmId d, const std::vector<std::uint8_t> &wire);
+    /** Claim and fire @p p's completion if it is still waiting. */
+    void completeDllDelivery(const proto::Packet &p);
+    /**
+     * Sequence @p seq of the s -> d stream was retired by the
+     * exhaustion policy without an in-order delivery; advance d's
+     * receive stream past the gap so post-recovery sequences are not
+     * held forever behind it. The notification rides the same
+     * host-forwarded image (failover) or a dedicated host note
+     * (drop), so it arrives even while the bridge route is dead.
+     */
+    void dllStreamResync(DimmId s, DimmId d, std::uint16_t seq);
     /** Send an ACK/NACK produced at @p from back over the bridge. */
     void sendDllControl(DimmId from, const proto::Packet &ctrl);
 
@@ -112,9 +136,31 @@ class DlFabric : public Fabric
     /**
      * Register a CPU-forwarding job for @p src. Under the proxy
      * schemes the notification first travels to the group's proxy
-     * DIMM over the link network.
+     * DIMM over the link network; when the proxy is unreachable over
+     * the bridge (or the note is dropped mid-flight by a route
+     * recompute), the job falls back to the host's own polling cadence
+     * with a discovery-latency penalty.
      */
     void requestForward(DimmId src, std::function<void()> job);
+
+    /**
+     * Deliver @p payload_bytes from @p s to @p d (same group) over the
+     * host CPU-forwarding path instead of the bridge — the degraded
+     * route for pairs the routing tables can no longer connect.
+     */
+    void hostFallback(DimmId s, DimmId d, std::uint64_t payload_bytes,
+                      std::function<void()> delivered);
+
+    /** The directed edges the current tables route (from -> to) over. */
+    std::vector<std::pair<int, int>> routePath(unsigned group, int from,
+                                               int to) const;
+
+    /** Put one health probe on the physical link a -> b of @p group. */
+    void sendHealthProbe(unsigned group, int a, int b,
+                         std::uint64_t probe_id);
+    /** A link health state change: stats, tracing, route recompute. */
+    void onHealthTransition(unsigned group, int a, int b,
+                            fault::LinkState from, fault::LinkState to);
 
     /** Broadcast @p bytes within @p group starting at node of @p s. */
     void groupBroadcast(DimmId s, std::uint64_t bytes,
@@ -135,8 +181,12 @@ class DlFabric : public Fabric
     /** True when intra-group data rides the reliable DLL transport
      * (enabled whenever a fault model is configured). */
     bool dllPath = false;
+    /** Parsed from cfg.faults.onExhausted. */
+    ExhaustPolicy exhaustPolicy = ExhaustPolicy::Failover;
     /** The fabric's per-DIMM DL-Controllers, indexed by global id. */
     std::vector<std::unique_ptr<DlController>> dllCtl;
+    /** Per-group link health trackers (empty with faults off). */
+    std::vector<std::unique_ptr<fault::LinkHealth>> health;
     /** In-flight transfer completions, keyed by (SRC, DST, sequence)
      * — sequence numbers are only unique per directed stream. An
      * entry is claimed exactly once: at first in-order delivery, or
@@ -149,12 +199,26 @@ class DlFabric : public Fabric
     stats::Scalar &statProxyNotifies;
     stats::Scalar &statDllFailedTransfers;
     stats::Scalar &statDllCtrlDropped;
+    /** Recovery-path counters, created only when a fault model is
+     * configured so fault-free runs keep the baseline stats shape. */
+    stats::Scalar *statFailovers = nullptr;
+    stats::Scalar *statFailoverBytes = nullptr;
+    stats::Scalar *statStreamResyncs = nullptr;
+    stats::Scalar *statHostReroutes = nullptr;
+    stats::Scalar *statProxyNotifyFallbacks = nullptr;
+    stats::Scalar *statHealthSuspect = nullptr;
+    stats::Scalar *statHealthDown = nullptr;
+    stats::Scalar *statHealthRecovered = nullptr;
+    stats::Scalar *statProbesSent = nullptr;
+    stats::Scalar *statProbesFailed = nullptr;
 
     obs::Tracer *tr = nullptr; ///< Null unless dll tracing is on.
     std::uint32_t trk = 0;
     std::uint16_t nmXact[4] = {0, 0, 0, 0}; ///< Indexed by Type.
     std::uint16_t nmPacket = 0, nmDllXfer = 0, nmDllRetry = 0,
                   nmDllFailed = 0;
+    std::uint16_t nmLinkSuspect = 0, nmLinkDown = 0, nmLinkUp = 0,
+                  nmFailover = 0, nmDllResync = 0;
 };
 
 } // namespace idc

@@ -88,6 +88,10 @@ class Fabric
     /** DLL packets awaiting ACK across all retry engines. */
     virtual std::size_t dllInFlight() { return 0; }
 
+    /** Multi-line diagnostic snapshot of in-flight state, printed by
+     * the hang watchdog and the drained-queue panic path. */
+    virtual std::string debugDump() { return ""; }
+
     const std::string &name() const { return name_; }
 
   protected:

@@ -57,6 +57,15 @@ struct Message
      * The int argument is the ejecting node index.
      */
     std::function<void(int)> deliver;
+    /**
+     * Called when a router drops the message because its destination
+     * became unreachable (a link went down mid-flight and the
+     * recomputed tables have no route). Senders with their own
+     * recovery (the DLL retry timeout) leave this unset; senders that
+     * would otherwise lose a completion (the proxy forward-request
+     * note) install a fallback here.
+     */
+    std::function<void()> onDropped;
 };
 
 } // namespace noc

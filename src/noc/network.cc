@@ -38,6 +38,7 @@ Network::Network(EventQueue &eq, std::string name, const LinkConfig &cfg_,
             if (faults)
                 links.back()->setFaultModel(
                     fault::makeFaultModel(*faults, lname));
+            linkOf[{static_cast<int>(i), nb}] = links.back().get();
             routers[i]->connectOutput(
                 nb, links.back().get(),
                 routers[static_cast<std::size_t>(nb)].get());

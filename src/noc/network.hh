@@ -8,8 +8,10 @@
 #ifndef DIMMLINK_NOC_NETWORK_HH
 #define DIMMLINK_NOC_NETWORK_HH
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -52,6 +54,24 @@ class Network
     const TopologyGraph &graph() const { return topo; }
     unsigned numNodes() const { return topo.numNodes(); }
 
+    /**
+     * Mask the directed link @p a -> @p b down (or up) and recompute
+     * the group's routing tables and broadcast trees in place; every
+     * router sees the new tables on its next forwarding decision.
+     */
+    void setLinkDown(int a, int b, bool down)
+    {
+        topo.setEdgeDown(a, b, down);
+    }
+
+    /** The physical link driving @p a -> @p b (null when the pair is
+     * not adjacent). Health probes transmit on it directly. */
+    Link *linkBetween(int a, int b) const
+    {
+        const auto it = linkOf.find({a, b});
+        return it == linkOf.end() ? nullptr : it->second;
+    }
+
     /** Aggregate statistics for reporting. */
     double totalLinkBusyPs() const;
     std::uint64_t messagesDelivered() const;
@@ -62,6 +82,7 @@ class Network
     TopologyGraph topo;
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<std::unique_ptr<Link>> links;
+    std::map<std::pair<int, int>, Link *> linkOf;
     stats::Registry &registry;
     stats::Scalar &statInjected;
     stats::Scalar &statInjectBlocked;

@@ -17,6 +17,7 @@ Router::Router(EventQueue &eq, std::string name, int node,
       graph(graph_),
       bufferFlits(buffer_flits),
       routerLatency(router_latency_ps),
+      statGroup(sg),
       statForwarded(sg.scalar("forwarded")),
       statEjected(sg.scalar("ejected")),
       statBlockedCredits(sg.scalar("blockedOnCredits"))
@@ -202,6 +203,22 @@ Router::tryPort(Port &port)
     }
 
     const int next = graph.nextHop(node_, m.dst);
+    if (next == -1) {
+        // The destination became unreachable while the message was in
+        // flight (a link failed and the tables recomputed without a
+        // route). Drop it: DLL-protected traffic recovers through the
+        // sender's retry timeout and the exhaustion policy; senders
+        // without retries install onDropped as their fallback.
+        if (statDroppedUnroutable == nullptr)
+            statDroppedUnroutable =
+                &statGroup.scalar("droppedUnroutable");
+        ++*statDroppedUnroutable;
+        Message msg = std::move(m);
+        popHead(port);
+        if (msg.onDropped)
+            msg.onDropped();
+        return true;
+    }
     if (!sendCopy(m, next, port.fromNode == injectPort))
         return false;
     popHead(port);

@@ -36,14 +36,24 @@ TopologyGraph::addEdge(int a, int b)
 }
 
 void
+TopologyGraph::setEdgeDown(int a, int b, bool down)
+{
+    if (down)
+        downEdges_.insert({a, b});
+    else
+        downEdges_.erase({a, b});
+    computeRouting();
+}
+
+void
 TopologyGraph::computeRouting()
 {
-    const unsigned big = 0xffffffff;
+    const unsigned big = unreachable;
     dist.assign(n, std::vector<unsigned>(n, big));
     nextHop_.assign(n, std::vector<int>(n, -1));
     bcastTree.assign(n, std::vector<std::vector<int>>(n));
 
-    if (routeFn) {
+    if (routeFn && downEdges_.empty()) {
         // Deterministic builder-provided routing (the grids' XY walk).
         for (unsigned s = 0; s < n; ++s) {
             dist[s][s] = 0;
@@ -68,7 +78,8 @@ TopologyGraph::computeRouting()
             }
         }
     } else {
-        // BFS shortest paths with lowest-index tie-breaking.
+        // BFS shortest paths with lowest-index tie-breaking over the
+        // live directed adjacency (a down link masks one direction).
         for (unsigned s = 0; s < n; ++s) {
             std::vector<int> parent(n, -1);
             auto &d = dist[s];
@@ -81,6 +92,8 @@ TopologyGraph::computeRouting()
                 for (int v : adj[static_cast<std::size_t>(u)]) {
                     if (d[static_cast<std::size_t>(v)] != big)
                         continue;
+                    if (edgeDown(u, v))
+                        continue;
                     d[static_cast<std::size_t>(v)] =
                         d[static_cast<std::size_t>(u)] + 1;
                     parent[static_cast<std::size_t>(v)] = u;
@@ -90,9 +103,16 @@ TopologyGraph::computeRouting()
             for (unsigned v = 0; v < n; ++v) {
                 if (v == s)
                     continue;
-                if (d[v] == big)
-                    fatal("topology %s with %u nodes is disconnected",
-                          toString(kind_), n);
+                if (d[v] == big) {
+                    // A statically disconnected topology is a build
+                    // error; one cut off by masked link failures is a
+                    // runtime condition the fabric routes around via
+                    // host forwarding.
+                    if (downEdges_.empty())
+                        fatal("topology %s with %u nodes is "
+                              "disconnected", toString(kind_), n);
+                    continue;
+                }
                 int cur = static_cast<int>(v);
                 while (parent[static_cast<std::size_t>(cur)] !=
                        static_cast<int>(s))
@@ -104,10 +124,11 @@ TopologyGraph::computeRouting()
 
     // Broadcast trees: the union of the unicast paths from the
     // source to every node, so broadcast copies follow the same
-    // (deadlock-managed) channel order as unicast traffic.
+    // (deadlock-managed) channel order as unicast traffic. Nodes the
+    // source cannot reach are simply absent from its tree.
     for (unsigned s = 0; s < n; ++s) {
         for (unsigned v = 0; v < n; ++v) {
-            if (v == s)
+            if (v == s || dist[s][v] == big)
                 continue;
             int cur = static_cast<int>(s);
             while (cur != static_cast<int>(v)) {
@@ -132,7 +153,8 @@ TopologyGraph::diameter() const
     unsigned d = 0;
     for (unsigned a = 0; a < n; ++a)
         for (unsigned b = 0; b < n; ++b)
-            d = std::max(d, dist[a][b]);
+            if (dist[a][b] != unreachable)
+                d = std::max(d, dist[a][b]);
     return d;
 }
 

@@ -17,6 +17,7 @@
 #define DIMMLINK_NOC_TOPOLOGY_HH
 
 #include <functional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -58,24 +59,35 @@ class TopologyGraph
     unsigned numNodes() const { return n; }
     Topology kind() const { return kind_; }
 
+    /** distance() result for node pairs with no live path. */
+    static constexpr unsigned unreachable = 0xffffffffu;
+
     /** Undirected adjacency: neighbors of @p node, sorted. */
     const std::vector<int> &neighbors(int node) const
     {
         return adj[static_cast<std::size_t>(node)];
     }
 
-    /** Next hop from @p node toward @p dst (== dst when adjacent). */
+    /** Next hop from @p node toward @p dst (== dst when adjacent);
+     * -1 when @p dst is unreachable over the live links. */
     int nextHop(int node, int dst) const
     {
         return nextHop_[static_cast<std::size_t>(node)]
                        [static_cast<std::size_t>(dst)];
     }
 
-    /** Shortest-path hop distance between two nodes. */
+    /** Shortest-path hop distance between two nodes over the live
+     * links; @ref unreachable when no path survives. */
     unsigned distance(int a, int b) const
     {
         return dist[static_cast<std::size_t>(a)]
                    [static_cast<std::size_t>(b)];
+    }
+
+    /** True when a live route from @p a to @p b exists. */
+    bool reachable(int a, int b) const
+    {
+        return distance(a, b) != unreachable;
     }
 
     /** Children of @p node in the broadcast tree rooted at @p src. */
@@ -97,6 +109,28 @@ class TopologyGraph
      * control to injected messages to stay deadlock-free.
      */
     bool cyclic() const { return cyclic_; }
+
+    // -- Dynamic link-failure masking (route-around) -------------------
+
+    /**
+     * Mark the directed link @p a -> @p b down (or back up) and
+     * recompute every routing table and broadcast tree over the
+     * surviving links. While any link is masked, routing falls back
+     * to BFS over the live directed adjacency (a builder-installed
+     * route function such as the grids' XY walk cannot avoid dead
+     * links); node pairs with no surviving path get distance()
+     * == unreachable and nextHop() == -1 instead of a fatal().
+     */
+    void setEdgeDown(int a, int b, bool down);
+
+    /** True when the directed link @p a -> @p b is masked down. */
+    bool edgeDown(int a, int b) const
+    {
+        return downEdges_.count({a, b}) != 0;
+    }
+
+    /** Number of directed links currently masked down. */
+    std::size_t numDownEdges() const { return downEdges_.size(); }
 
     // -- TopologyBuilder interface ------------------------------------
 
@@ -124,6 +158,8 @@ class TopologyGraph
     bool cyclic_ = false;
     std::function<int(int, int)> routeFn;
     std::vector<std::vector<int>> adj;
+    /** Directed links masked down by the health layer. */
+    std::set<std::pair<int, int>> downEdges_;
     std::vector<std::vector<int>> nextHop_;
     std::vector<std::vector<unsigned>> dist;
     /** bcastTree[src][node] = children to forward to. */

@@ -49,11 +49,12 @@ makeNack(const std::vector<std::uint8_t> &image)
 
 RetrySender::RetrySender(EventQueue &eq, Tick timeout_ps,
                          unsigned max_retries, stats::Group &sg,
-                         unsigned window)
+                         unsigned window, ExhaustFallback fallback)
     : eventq(eq),
       timeout(timeout_ps),
       maxRetries(max_retries),
       window_(window),
+      fallback_(fallback),
       statSent(sg.scalar("dllSent")),
       statAcked(sg.scalar("dllAcked")),
       statRetries(sg.scalar("dllRetries")),
@@ -187,9 +188,14 @@ RetrySender::retransmit(std::uint8_t dst, std::uint16_t seq)
         finish(st, it);
         if (failed)
             failed();
-        else
+        else if (fallback_ == ExhaustFallback::Panic)
             panic("DL link failed permanently after %u retries",
                   maxRetries);
+        else
+            warnRateLimited(
+                "dll-exhausted", 256,
+                "DLL transfer to DIMM %u dropped after %u retries",
+                static_cast<unsigned>(dst), maxRetries);
         return;
     }
     ++e.tries;
@@ -249,7 +255,8 @@ RetryReceiver::RetryReceiver(stats::Group &sg, unsigned window)
 void
 RetryReceiver::onArrive(const std::vector<std::uint8_t> &wire,
                         bool corrupted, std::vector<Packet> &deliver,
-                        std::optional<Packet> &ack)
+                        std::optional<Packet> &ack,
+                        std::vector<Packet> *stale)
 {
     std::vector<std::uint8_t> image = wire;
     if (corrupted && !image.empty())
@@ -295,9 +302,15 @@ RetryReceiver::onArrive(const std::vector<std::uint8_t> &wire,
         else
             ++statDuplicates;
     } else if (behind <= window_) {
-        // Behind the window base: delivered before; re-ACK so the
-        // sender stops retransmitting, but do not re-deliver.
+        // Behind the window base: normally delivered before; re-ACK
+        // so the sender stops retransmitting, but do not re-deliver.
+        // After a skipTo() resync this can instead be the first (and
+        // only) arrival of a sequence the skip jumped over while it
+        // was in flight — hand it to the stale list for the caller
+        // to reconcile.
         ++statDuplicates;
+        if (stale)
+            stale->push_back(std::move(pkt));
     } else {
         // Outside both windows: the peer's send window is larger than
         // our receive window. NACK instead of ACK — acknowledging a
@@ -306,6 +319,34 @@ RetryReceiver::onArrive(const std::vector<std::uint8_t> &wire,
         ctrl.cmd = DlCommand::DllNack;
     }
     ack = ctrl;
+}
+
+void
+RetryReceiver::skipTo(std::uint8_t src, std::uint16_t seq,
+                      std::vector<Packet> &deliver)
+{
+    SourceState &st = sources[src];
+    // Circular half-space test: with the window far below 2^15, a
+    // genuine skip target is always in the "ahead" half. Anything in
+    // the "behind" half is a late or duplicated notification.
+    if (static_cast<std::uint16_t>(seq - st.expected) >= 0x8000)
+        return;
+    const auto past = static_cast<std::uint16_t>(seq + 1);
+    while (st.expected != past) {
+        auto held = st.held.find(st.expected);
+        if (held != st.held.end()) {
+            deliver.push_back(std::move(held->second));
+            st.held.erase(held);
+        }
+        ++st.expected;
+    }
+    // The gap is closed; drain the consecutive run it unblocked.
+    for (auto held = st.held.find(st.expected); held != st.held.end();
+         held = st.held.find(st.expected)) {
+        deliver.push_back(std::move(held->second));
+        st.held.erase(held);
+        ++st.expected;
+    }
 }
 
 std::size_t

@@ -36,6 +36,15 @@ namespace dimmlink {
 namespace proto {
 
 /**
+ * What a RetrySender does when a send exhausts its retry budget and
+ * the caller supplied no on_failed handler. Panic preserves the
+ * historical fail-stop behavior; Drop logs a rate-limited warning and
+ * discards the transfer, for callers (the DL fabric) that recover at
+ * a higher layer.
+ */
+enum class ExhaustFallback { Panic, Drop };
+
+/**
  * Sender-side retry state for one DIMM's DL-Controller. Sequence
  * numbers live in the low 16 bits of the DLL field.
  */
@@ -52,7 +61,8 @@ class RetrySender
     static constexpr unsigned maxWindow = 8192;
 
     RetrySender(EventQueue &eq, Tick timeout_ps, unsigned max_retries,
-                stats::Group &sg, unsigned window = defaultWindow);
+                stats::Group &sg, unsigned window = defaultWindow,
+                ExhaustFallback fallback = ExhaustFallback::Panic);
 
     /**
      * Send @p pkt reliably. @p transmit is called immediately (or as
@@ -122,6 +132,7 @@ class RetrySender
     Tick timeout;
     unsigned maxRetries;
     unsigned window_;
+    ExhaustFallback fallback_;
     /** Per-destination streams, keyed by the packet's DST field. */
     std::map<std::uint8_t, Stream> streams;
 
@@ -160,7 +171,27 @@ class RetryReceiver
      */
     void onArrive(const std::vector<std::uint8_t> &wire, bool corrupted,
                   std::vector<Packet> &deliver,
-                  std::optional<Packet> &ack);
+                  std::optional<Packet> &ack,
+                  std::vector<Packet> *stale = nullptr);
+
+    /**
+     * The sender retired sequence @p seq of @p src's stream without a
+     * normal in-order delivery (retry exhaustion; the payload either
+     * travelled out-of-band or was dropped on purpose). Advance the
+     * stream past the permanent gap so later sequences are not held
+     * forever: any packets buffered up to and including @p seq are
+     * appended to @p deliver in order, `expected` moves past @p seq,
+     * and the consecutive run that follows drains too. A stale skip
+     * (@p seq already behind `expected`) is a no-op, so the
+     * notification may be duplicated or arrive late.
+     *
+     * A sequence the skip jumps over while its packet is still in
+     * flight will classify as behind-the-window on arrival; such
+     * first-time "duplicates" surface through onArrive's @p stale
+     * list so the caller can reconcile them.
+     */
+    void skipTo(std::uint8_t src, std::uint16_t seq,
+                std::vector<Packet> &deliver);
 
     /** Out-of-order packets currently held across all sources. */
     std::size_t bufferedPackets() const;

@@ -165,7 +165,8 @@ Runner::run()
     while (!allDone && sys.queue().step()) {
     }
     if (!allDone)
-        panic("event queue drained before the kernel finished");
+        panic("event queue drained before the kernel finished\n%s",
+              sys.hangDiagnostics().c_str());
 
     const Tick end = sys.queue().now();
     sys.exitNmpMode();

@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include <sstream>
+
 #include "common/log.hh"
 #include "dram/timing.hh"
 #include "obs/sampler.hh"
@@ -56,6 +58,8 @@ System::System(SystemConfig cfg_) : cfg(std::move(cfg_))
 
     if (cfg.obs.sampleIntervalPs > 0)
         buildSampler();
+    if (cfg.watchdog.stallPs > 0)
+        buildWatchdog();
 }
 
 System::~System() = default;
@@ -86,6 +90,7 @@ System::buildSampler()
     delta("coreStallRemotePs", "dimm", "stallRemotePs");
     delta("hostForwards", "host.forwarder", "forwards");
     delta("dllRetries", "fabric.dl", "dllRetries");
+    delta("dllFailovers", "fabric.dl", "dllFailovers");
 
     // Live occupancy gauges.
     sampler_->addProbe(
@@ -105,12 +110,57 @@ System::buildSampler()
 }
 
 void
+System::buildWatchdog()
+{
+    watchdog_ = std::make_unique<Watchdog>(eventq, cfg.watchdog.stallPs);
+    // Progress = any of these counters moving. Together they cover
+    // every layer that can be the last one still working: the cores,
+    // the DRAM controllers, the host forwarder, and the DLL transport.
+    auto sum = [this](std::string prefix, std::string stat) {
+        return [this, prefix = std::move(prefix),
+                stat = std::move(stat)] {
+            return registry.sumScalar(prefix, stat);
+        };
+    };
+    watchdog_->addProgress("instructions", sum("dimm", "instructions"));
+    watchdog_->addProgress("dramReads", sum("dimm", "reads"));
+    watchdog_->addProgress("dramWrites", sum("dimm", "writes"));
+    watchdog_->addProgress("hostForwards",
+                           sum("host.forwarder", "forwards"));
+    watchdog_->addProgress("dllAcked", sum("fabric.dl", "dllAcked"));
+    watchdog_->addDumper([this] { return hangDiagnostics(); });
+}
+
+std::string
+System::hangDiagnostics()
+{
+    std::ostringstream os;
+    os << "queue: now=" << eventq.now() << " pending=" << eventq.size()
+       << " executed=" << eventq.executed() << "\n";
+    os << "fabric: forwardBacklog=" << fabric_->forwardBacklog()
+       << " dllInFlight=" << fabric_->dllInFlight() << "\n";
+    for (unsigned d = 0; d < numDimms(); ++d) {
+        for (unsigned c = 0; c < cfg.dimm.numCores; ++c) {
+            auto &core = dimms[d]->core(static_cast<CoreId>(c));
+            if (!core.busy())
+                continue;
+            os << "  dimm" << d << ".core" << c << ": busy (thread "
+               << core.threadId() << ")\n";
+        }
+    }
+    os << fabric_->debugDump();
+    return os.str();
+}
+
+void
 System::enterNmpMode()
 {
     if (nmpMode)
         panic("already in NMP-Access mode");
     nmpMode = true;
     fabric_->enterNmpMode();
+    if (watchdog_)
+        watchdog_->arm();
 }
 
 void
@@ -119,6 +169,8 @@ System::exitNmpMode()
     if (!nmpMode)
         panic("not in NMP-Access mode");
     nmpMode = false;
+    if (watchdog_)
+        watchdog_->disarm();
     fabric_->exitNmpMode();
     // Kernel end: NMP caches flush so the host sees fresh DRAM.
     for (auto &dimm : dimms)

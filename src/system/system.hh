@@ -18,6 +18,7 @@
 #include "idc/fabric.hh"
 #include "sim/event_queue.hh"
 #include "sync/sync_manager.hh"
+#include "system/watchdog.hh"
 
 namespace dimmlink {
 
@@ -76,9 +77,19 @@ class System
     obs::Tracer *tracer() { return tracer_.get(); }
     /** The counter sampler, or null when obs.sampleIntervalPs is 0. */
     obs::Sampler *sampler() { return sampler_.get(); }
+    /** The hang watchdog, or null when watchdog.stallPs is 0. */
+    Watchdog *watchdog() { return watchdog_.get(); }
+
+    /**
+     * A diagnostic snapshot of in-flight state: queue occupancy,
+     * fabric backlogs, busy cores, DLL retry windows. Printed by the
+     * watchdog when it fires and by the drained-queue panic path.
+     */
+    std::string hangDiagnostics();
 
   private:
     void buildSampler();
+    void buildWatchdog();
 
     Tick hostAccess(Addr global, std::uint64_t bytes, bool is_write);
 
@@ -94,6 +105,7 @@ class System
     std::vector<std::unique_ptr<Dimm>> dimms;
     std::unique_ptr<SyncManager> sync_;
     std::unique_ptr<obs::Sampler> sampler_;
+    std::unique_ptr<Watchdog> watchdog_;
     bool nmpMode = false;
 };
 

@@ -1,0 +1,89 @@
+#include "system/watchdog.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+
+Watchdog::Watchdog(EventQueue &eq, Tick stall_ps)
+    : eventq(eq), stall(stall_ps)
+{
+    if (stall == 0)
+        panic("watchdog built with stallPs == 0");
+}
+
+void
+Watchdog::addProgress(std::string label, std::function<double()> fn)
+{
+    progress.emplace_back(std::move(label), std::move(fn));
+}
+
+void
+Watchdog::addDumper(std::function<std::string()> fn)
+{
+    dumpers.push_back(std::move(fn));
+}
+
+void
+Watchdog::arm()
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    lastSnapshot.clear();
+    for (const auto &p : progress)
+        lastSnapshot.push_back(p.second());
+    checkEv = eventq.scheduleIn(stall, [this] { check(); },
+                                EventPriority::Stat);
+}
+
+void
+Watchdog::disarm()
+{
+    if (!armed_)
+        return;
+    armed_ = false;
+    eventq.deschedule(checkEv);
+    checkEv = 0;
+}
+
+void
+Watchdog::check()
+{
+    if (!armed_)
+        return;
+    bool moved = false;
+    for (std::size_t i = 0; i < progress.size(); ++i) {
+        const double v = progress[i].second();
+        if (v != lastSnapshot[i])
+            moved = true;
+        lastSnapshot[i] = v;
+    }
+    if (!moved)
+        fire();
+    checkEv = eventq.scheduleIn(stall, [this] { check(); },
+                                EventPriority::Stat);
+}
+
+void
+Watchdog::fire()
+{
+    fatal("hang watchdog: no forward progress for %llu ps\n%s",
+          static_cast<unsigned long long>(stall),
+          diagnostics().c_str());
+}
+
+std::string
+Watchdog::diagnostics() const
+{
+    std::ostringstream os;
+    os << "watchdog progress counters:\n";
+    for (const auto &p : progress)
+        os << "  " << p.first << " = " << p.second() << "\n";
+    for (const auto &d : dumpers)
+        os << d();
+    return os.str();
+}
+
+} // namespace dimmlink

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The hang watchdog: a periodic self-check that fires while the
+ * kernel is running (armed between enterNmpMode and exitNmpMode) and
+ * fatal()s with a diagnostic dump when no registered progress counter
+ * has moved for a whole stall interval — a lost completion callback,
+ * a wedged retry engine, or a forwarding job that never ran would
+ * otherwise spin the simulation forever.
+ *
+ * Progress is measured through counters, not queue occupancy: the
+ * failure-recovery machinery (link re-probes) keeps events pending
+ * even in a genuine hang, so "queue empty" is not a usable signal.
+ */
+
+#ifndef DIMMLINK_SYSTEM_WATCHDOG_HH
+#define DIMMLINK_SYSTEM_WATCHDOG_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+
+class Watchdog
+{
+  public:
+    /** @param stall_ps firing threshold; must be positive. */
+    Watchdog(EventQueue &eq, Tick stall_ps);
+
+    /**
+     * Register a monotonic counter; the watchdog fires only when ALL
+     * registered counters are unchanged across one stall interval.
+     */
+    void addProgress(std::string label, std::function<double()> fn);
+
+    /** Extra diagnostic text appended to the firing message. */
+    void addDumper(std::function<std::string()> fn);
+
+    /** Start checking (kernel entry). */
+    void arm();
+    /** Stop checking (kernel exit). */
+    void disarm();
+    bool armed() const { return armed_; }
+
+    Tick stallPs() const { return stall; }
+
+    /** Current counter values plus every dumper's text. */
+    std::string diagnostics() const;
+
+  private:
+    void check();
+    [[noreturn]] void fire();
+
+    EventQueue &eventq;
+    Tick stall;
+    bool armed_ = false;
+    EventQueue::EventId checkEv = 0;
+    std::vector<std::pair<std::string, std::function<double()>>>
+        progress;
+    std::vector<double> lastSnapshot;
+    std::vector<std::function<std::string()>> dumpers;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SYSTEM_WATCHDOG_HH
