@@ -50,6 +50,28 @@ class WallTimer
     std::chrono::steady_clock::time_point start;
 };
 
+/**
+ * Uniform wall-clock footer for the fig and table drivers: declare
+ * one at the top of main() and every run ends with the same
+ * "[wall] <name>: N.NN s" line, so sweep scripts can compare driver
+ * cost across machines without each driver rolling its own timing.
+ */
+class ScopedWallReport
+{
+  public:
+    explicit ScopedWallReport(const char *name) : name(name) {}
+
+    ~ScopedWallReport()
+    {
+        std::printf("\n[wall] %s: %.2f s\n", name,
+                    timer.elapsedSec());
+    }
+
+  private:
+    const char *name;
+    WallTimer timer;
+};
+
 /** Problem-size knob: DIMMLINK_SCALE=small|default|large. */
 inline int
 scaleBoost()

@@ -68,6 +68,7 @@ p2pBandwidth(System &sys, std::uint64_t bytes)
 int
 main()
 {
+    ScopedWallReport wall("fig01_idc_bandwidth");
     std::printf("=== Figure 1-(a): P2P IDC bandwidth vs transfer "
                 "size (CPU-forwarding) ===\n\n");
     std::printf("%12s %14s\n", "transfer", "bandwidth");

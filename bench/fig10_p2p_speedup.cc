@@ -18,6 +18,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig10_p2p_speedup");
     const std::vector<std::string> presets = {"4D-2C", "8D-4C",
                                               "12D-6C", "16D-8C"};
     const auto workloads = workloads::p2pWorkloadNames();

@@ -15,6 +15,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig11_breakdown");
     std::printf("=== Figure 11: data transfer breakdown of "
                 "DIMM-Link-opt (16D-8C) ===\n\n");
     std::printf("%-9s %10s %10s %10s   %8s %8s %8s %10s\n",

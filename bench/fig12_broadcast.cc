@@ -16,6 +16,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig12_broadcast");
     struct SystemShape
     {
         const char *label;

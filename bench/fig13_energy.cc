@@ -16,6 +16,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig13_energy");
     const struct
     {
         const char *label;

@@ -50,6 +50,7 @@ runSync(const Variant &v, const char *wl, std::uint64_t interval)
 int
 main()
 {
+    ScopedWallReport wall("fig14_sync");
     std::printf("=== Figure 14-(a): barrier microkernel, speedup "
                 "over MCN per sync interval ===\n\n");
     std::printf("%10s", "interval");

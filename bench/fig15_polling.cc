@@ -18,6 +18,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig15_polling");
     const PollingMode modes[] = {
         PollingMode::Baseline, PollingMode::BaselineInterrupt,
         PollingMode::Proxy, PollingMode::ProxyInterrupt};

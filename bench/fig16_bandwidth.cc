@@ -16,6 +16,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig16_bandwidth");
     const std::vector<std::string> presets = {"4D-2C", "8D-4C",
                                               "12D-6C", "16D-8C"};
     const double bws[] = {4, 8, 16, 25, 32, 64};

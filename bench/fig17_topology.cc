@@ -16,6 +16,7 @@ using namespace benchutil;
 int
 main()
 {
+    ScopedWallReport wall("fig17_topology");
     const Topology topos[] = {Topology::HalfRing, Topology::Ring,
                               Topology::Mesh, Topology::Torus};
 

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Shards-vs-threads sweep of the parallel event kernel: for each
+ * system shape (= shard count) run the same workload under
+ * sim.shard=group at 1..N OS threads, plus the classic unsharded
+ * kernel as the overhead reference, and report wall time, executed
+ * events/s, and speedup over the 1-thread sharded run.
+ *
+ * Emits a JSON report (default BENCH_parallel.json, or argv[1]; "-"
+ * for stdout). Speedups are measured on whatever machine runs the
+ * bench and the report records hardware_concurrency for honest
+ * reading: a 2-CPU container cannot show more than ~2x regardless of
+ * shard count.
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/shard.hh"
+
+using namespace dimmlink;
+
+namespace {
+
+struct Shape
+{
+    const char *label;
+    const char *preset;
+    unsigned dimmsPerGroup; ///< 0 = preset default.
+};
+
+struct Row
+{
+    std::string config;
+    unsigned shards = 1;
+    unsigned threads = 1;
+    std::string mode; ///< "none" (classic kernel) or "group".
+    double wallSec = 0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0;
+    double speedupVs1T = 0; ///< vs the 1-thread sharded run; 0 = n/a.
+    Tick kernelTicks = 0;
+};
+
+SystemConfig
+shapeConfig(const Shape &s, unsigned threads)
+{
+    SystemConfig cfg =
+        benchutil::fabricConfig(s.preset, IdcMethod::DimmLink);
+    if (s.dimmsPerGroup)
+        cfg.dimmsPerGroup = s.dimmsPerGroup;
+    if (threads > 0) {
+        cfg.sim.shard = "group";
+        cfg.sim.threads = threads;
+    }
+    return cfg;
+}
+
+Row
+runOnce(const Shape &s, unsigned threads, const std::string &wl_name,
+        std::uint64_t scale, unsigned rounds)
+{
+    const SystemConfig cfg = shapeConfig(s, threads);
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = scale;
+    p.rounds = rounds;
+    auto wl =
+        workloads::makeWorkload(wl_name, p, sys.addressMap());
+    Runner runner(sys, *wl);
+
+    benchutil::WallTimer timer;
+    const RunResult r = runner.run();
+    const double sec = timer.elapsedSec();
+    if (!r.verified)
+        std::fprintf(stderr, "WARNING: %s did not verify on %s\n",
+                     wl_name.c_str(), s.label);
+
+    Row row;
+    row.config = s.label;
+    row.shards = sys.shards() ? sys.shards()->numShards() : 1;
+    row.threads = threads;
+    row.mode = threads > 0 ? "group" : "none";
+    row.wallSec = sec;
+    row.events = sys.queue().executed();
+    if (ShardSet *sh = sys.shards()) {
+        row.events = 0;
+        for (unsigned i = 0; i < sh->numShards(); ++i)
+            row.events += sh->queue(i).executed();
+    }
+    row.eventsPerSec =
+        sec > 0 ? static_cast<double>(row.events) / sec : 0;
+    row.kernelTicks = r.kernelTicks;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_parallel.json";
+    const std::string wl_name = "pagerank";
+    const std::uint64_t scale = benchutil::workloadScale(wl_name) - 3;
+    const unsigned rounds = 2;
+
+    const std::vector<Shape> shapes = {
+        {"8D-4C/g4", "8D-4C", 0},   // 2 groups -> 3 shards
+        {"8D-4C/g2", "8D-4C", 2},   // 4 groups -> 5 shards
+        {"16D-8C/g2", "16D-8C", 2}, // 8 groups -> 9 shards
+    };
+    const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+    std::vector<Row> rows;
+    for (const Shape &s : shapes) {
+        // Classic kernel reference: shows the windowing overhead the
+        // sharded mode pays even before any parallel win.
+        rows.push_back(runOnce(s, 0, wl_name, scale, rounds));
+        double base_sec = 0;
+        for (unsigned t : thread_counts) {
+            Row r = runOnce(s, t, wl_name, scale, rounds);
+            if (t == 1)
+                base_sec = r.wallSec;
+            else if (r.wallSec > 0)
+                r.speedupVs1T = base_sec / r.wallSec;
+            rows.push_back(r);
+            std::fprintf(stderr,
+                         "%-10s shards=%u threads=%u  %8.3fs  "
+                         "%12.0f ev/s  speedup %.2fx\n",
+                         r.config.c_str(), r.shards, r.threads,
+                         r.wallSec, r.eventsPerSec, r.speedupVs1T);
+        }
+    }
+
+    FILE *out = out_path == "-" ? stdout
+                                : std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"micro_parallel\",\n");
+    std::fprintf(out, "  \"workload\": \"%s\",\n", wl_name.c_str());
+    std::fprintf(out, "  \"scale\": %llu,\n",
+                 static_cast<unsigned long long>(scale));
+    std::fprintf(out, "  \"rounds\": %u,\n", rounds);
+    std::fprintf(out, "  \"hostCpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"config\": \"%s\", \"shards\": %u, \"mode\": "
+            "\"%s\", \"threads\": %u, \"wallSec\": %.4f, "
+            "\"events\": %llu, \"eventsPerSec\": %.0f, "
+            "\"speedupVs1T\": %.3f, \"kernelTicks\": %llu}%s\n",
+            r.config.c_str(), r.shards, r.mode.c_str(), r.threads,
+            r.wallSec, static_cast<unsigned long long>(r.events),
+            r.eventsPerSec, r.speedupVs1T,
+            static_cast<unsigned long long>(r.kernelTicks),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}

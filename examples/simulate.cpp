@@ -30,6 +30,10 @@
  *     --ber F          (shorthand for -p faults.model=ber
  *                       -p faults.ber=F; routes intra-group data
  *                       over the reliable DLL transport)
+ *     --threads N      (shorthand for -p sim.threads=N and, for
+ *                       N > 1, -p sim.shard=group: run the sharded
+ *                       parallel kernel on N OS threads; see
+ *                       docs/parallel_kernel.md)
  *     --cpu                                   (run the host baseline)
  *     --stats                                 (dump raw statistics)
  *     --json                                  (stats + config as JSON)
@@ -139,6 +143,12 @@ main(int argc, char **argv)
         else if (a == "--ber") {
             overrides.push_back("faults.model=ber");
             overrides.push_back("faults.ber=" + next());
+        }
+        else if (a == "--threads") {
+            const std::string n = next();
+            overrides.push_back("sim.threads=" + n);
+            if (n != "1")
+                overrides.push_back("sim.shard=group");
         }
         else if (a == "--trace")
             overrides.push_back("obs.trace=true");

@@ -26,6 +26,22 @@ echo "==> sanitizer tests"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
 
+echo "==> ThreadSanitizer build + sharded-kernel smoke"
+# The full suite under TSan is slow; what TSan must see is the
+# parallel kernel actually racing real threads, so build the example
+# driver and push a sharded multi-threaded workload through it.
+cmake -S "$root" -B "$root/build-tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_TSAN=ON
+cmake --build "$root/build-tsan" -j "$jobs" --target example_simulate
+TSAN_OPTIONS=halt_on_error=1 \
+    "$root/build-tsan/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 \
+    --workload pagerank --scale 5 --rounds 1 --threads 2 --json \
+    > /dev/null
+echo "    tsan OK: sharded run clean at 2 threads"
+
 echo "==> event-kernel microbench (smoke)"
 "$root/build/bench/micro_eventqueue" \
     --benchmark_min_time=0.05 --benchmark_format=json
@@ -90,6 +106,60 @@ if ! cmp -s "$trace_dir/off.out" "$trace_dir/plain.out"; then
     exit 1
 fi
 echo "    guard OK: byte-identical stats output"
+
+echo "==> parallel determinism: sharded stats identical across threads"
+# The contract of sim.shard=group: the full --json output (config
+# header, metrics, stats) is byte-identical at every thread count.
+# --threads 1 runs the same windowed algorithm single-threaded and is
+# the reference; the workload matrix also doubles as multi-threaded
+# coverage of each traffic pattern.
+for wl in stream bfs pagerank; do
+    "$root/build/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 -p sim.shard=group --threads 1 \
+        --workload "$wl" --scale 5 --rounds 1 --json \
+        > "$trace_dir/par1.out"
+    "$root/build/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 --threads 4 \
+        --workload "$wl" --scale 5 --rounds 1 --json \
+        > "$trace_dir/par4.out"
+    if ! cmp -s "$trace_dir/par1.out" "$trace_dir/par4.out"; then
+        echo "[$wl] sharded run diverged between 1 and 4 threads"
+        diff "$trace_dir/par1.out" "$trace_dir/par4.out" | head
+        exit 1
+    fi
+    echo "    [$wl] OK: byte-identical at 1 and 4 threads"
+done
+# The chaos cell inside the sharded kernel: a permanently-stuck link
+# with host failover must recover identically at every thread count.
+for t in 1 2; do
+    threads_args=(--threads "$t")
+    [ "$t" = 1 ] && threads_args+=(-p sim.shard=group)
+    "$root/build/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 \
+        -p faults.model=stuck -p faults.stuckAtPs=0 \
+        -p faults.stuckForPs=400000000000000 \
+        -p faults.stuckPeriodPs=0 -p faults.linkFilter=link1to2 \
+        -p faults.seed=7 -p faults.onExhausted=failover \
+        -p watchdog.stallPs=1000000000 \
+        "${threads_args[@]}" \
+        --workload bfs --scale 6 --rounds 1 --json \
+        > "$trace_dir/parfault$t.out"
+done
+if ! cmp -s "$trace_dir/parfault1.out" "$trace_dir/parfault2.out"; then
+    echo "sharded fault-injection run diverged between thread counts"
+    diff "$trace_dir/parfault1.out" "$trace_dir/parfault2.out" | head
+    exit 1
+fi
+if ! grep -q '"linkDownEvents": [1-9]' "$trace_dir/parfault2.out"; then
+    echo "sharded chaos cell never detected the dead link"; exit 1
+fi
+echo "    [stuck/failover] OK: byte-identical, recovery exercised"
 
 echo "==> fault-injection soak under ASan+UBSan"
 # A nonzero BER at a fixed seed drives the whole DLL retry path

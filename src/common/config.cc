@@ -398,6 +398,10 @@ fields()
         CFG_FIELD_HIDDEN("obs.ringCapacity", obs.ringCapacity),
 
         CFG_FIELD_HIDDEN("watchdog.stallPs", watchdog.stallPs),
+
+        CFG_FIELD_HIDDEN("sim.threads", sim.threads),
+        CFG_FIELD_HIDDEN("sim.shard", sim.shard),
+        CFG_FIELD_HIDDEN("sim.lookaheadPs", sim.lookaheadPs),
     };
     return table;
 }
@@ -572,6 +576,37 @@ SystemConfig::validate() const
         fatal("profileFraction (%g) must be within [0, 1]",
               profileFraction);
 
+    // Parallel execution engine.
+    if (sim.shard != "none" && sim.shard != "group")
+        fatal("sim.shard must be 'none' or 'group' (got '%s')",
+              sim.shard.c_str());
+    if (sim.threads == 0)
+        fatal("sim.threads must be positive");
+    if (sim.threads > 1 && !sharded())
+        fatal("sim.threads = %u needs sim.shard = group (the "
+              "sequential kernel has nothing to parallelize)",
+              sim.threads);
+    if (sharded()) {
+        if (idcMethod != IdcMethod::DimmLink)
+            fatal("sim.shard = group requires the DIMM-Link fabric "
+                  "(got %s): only its cross-group paths carry the "
+                  "latency the conservative window needs",
+                  toString(idcMethod));
+        if (distanceAwareMapping)
+            fatal("sim.shard = group does not support "
+                  "distance-aware mapping (migration restarts "
+                  "cross shard boundaries mid-kernel)");
+        if (resolvedLookaheadPs() == 0)
+            fatal("sim.shard = group needs a positive lookahead: "
+                  "link.routerLatencyPs + link.wireLatencyPs is 0 "
+                  "and sim.lookaheadPs is not set (a zero-latency "
+                  "cross-shard hop admits no conservative window)");
+        if (obs.sampleIntervalPs != 0)
+            fatal("sim.shard = group cannot run the periodic counter "
+                  "sampler (it reads live cross-shard gauges); set "
+                  "obs.sampleIntervalPs = 0");
+    }
+
     // Observability. Category names are validated where the tracer is
     // built (obs::categoryMaskFromString) to keep common/ free of an
     // obs/ dependency.
@@ -630,7 +665,8 @@ SystemConfig::set(const std::string &key, const std::string &value)
         fatal("unknown config key '%s' (keys in section '%s': %s)",
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
-          "link, bus, faults, energy, obs, watchdog)", key.c_str());
+          "link, bus, faults, energy, obs, watchdog, sim)",
+          key.c_str());
 }
 
 void

@@ -253,6 +253,29 @@ struct ObsConfig
     unsigned ringCapacity = 16384;
 };
 
+/**
+ * Execution-engine knobs: the sharded parallel event kernel
+ * (src/sim/shard.hh, docs/parallel_kernel.md). Like faults.suspectAfter
+ * and the obs.* keys, the sim.* keys are hidden from describe() so the
+ * config header embedded in stats JSON keeps its seed shape; the
+ * determinism guarantee is that within sim.shard=group, stats output
+ * is byte-identical for every sim.threads value.
+ */
+struct SimConfig
+{
+    /** Worker threads driving the shards; 1 = run the windowed
+     * algorithm on the calling thread. Requires shard=group when >1.
+     * Never affects simulation results. */
+    unsigned threads = 1;
+    /** Shard partitioning: "none" (the sequential reference kernel)
+     * or "group" (one shard per DL group plus a host shard,
+     * synchronized with conservative lookahead windows). */
+    std::string shard = "none";
+    /** Conservative lookahead window in ticks; 0 = auto (the minimum
+     * cross-shard latency: one DL-Bridge hop, router + wire). */
+    Tick lookaheadPs = 0;
+};
+
 /** Energy model constants (Section V-C). */
 struct EnergyConfig
 {
@@ -290,6 +313,7 @@ struct SystemConfig
     EnergyConfig energy;
     ObsConfig obs;
     WatchdogConfig watchdog;
+    SimConfig sim;
 
     /** DRAM timing preset name ("DDR4_2400" or "DDR4_3200"). */
     std::string dramPreset = "DDR4_2400";
@@ -312,6 +336,19 @@ struct SystemConfig
     ChannelId channelOf(DimmId d) const
     {
         return static_cast<ChannelId>(d / dimmsPerChannel());
+    }
+
+    /** Is the sharded (parallel-capable) kernel selected? */
+    bool sharded() const { return sim.shard == "group"; }
+
+    /** The effective conservative lookahead window (resolves the
+     * sim.lookaheadPs=0 auto setting to one DL-Bridge hop). */
+    Tick
+    resolvedLookaheadPs() const
+    {
+        return sim.lookaheadPs != 0
+                   ? sim.lookaheadPs
+                   : link.routerLatencyPs + link.wireLatencyPs;
     }
 
     /** Validate every cross-field invariant; fatal() on bad configs. */

@@ -51,6 +51,20 @@ class NmpCore : public Clocked
     using HomeFn = std::function<DimmId(Addr)>;
     void setHomeLookup(HomeFn f) { homeOf = std::move(f); }
 
+    /**
+     * Asynchronous op fetch for the sharded kernel: when set, the
+     * core never resumes its ThreadProgram directly -- it hands the
+     * program to the source and continues when the next Op is
+     * delivered back (the ShardSet's sequenced-call oracle, which
+     * resumes every program on one thread in a deterministic order;
+     * see docs/parallel_kernel.md). Workload generators may read and
+     * write state shared across threads, so resuming them from
+     * concurrent shards would race.
+     */
+    using OpSource =
+        std::function<void(ThreadProgram *, std::function<void(Op)>)>;
+    void setOpSource(OpSource s) { opSource = std::move(s); }
+
     /** Launch a thread; @p on_done fires after its Done op retires. */
     void run(ThreadId tid, std::unique_ptr<ThreadProgram> prog,
              std::function<void()> on_done);
@@ -75,6 +89,7 @@ class NmpCore : public Clocked
         Fence,     ///< Draining all outstanding requests.
         Barrier,   ///< Waiting for barrier release.
         Broadcast, ///< Waiting for broadcast completion.
+        FetchOp,   ///< Waiting for the async op source to deliver.
     };
 
     void advance();
@@ -94,6 +109,7 @@ class NmpCore : public Clocked
     BroadcastFn broadcaster;
     TrafficProbe probe;
     HomeFn homeOf;
+    OpSource opSource;
 
     State state = State::Idle;
     std::unique_ptr<ThreadProgram> prog;

@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "obs/tracer.hh"
+#include "sim/shard.hh"
 
 namespace dimmlink {
 namespace idc {
@@ -46,6 +47,7 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
     : Fabric(eq, cfg_, reg, "fabric.dl"),
       channels(channels_),
       path(eq, cfg_, channels_, pollTargets(cfg_), reg),
+      sh(eq.shards()),
       statPacketsLink(reg.group("fabric.dl").scalar("packetsViaLink")),
       statPacketsHost(reg.group("fabric.dl").scalar("packetsViaHost")),
       statProxyNotifies(reg.group("fabric.dl").scalar("proxyNotifies")),
@@ -56,7 +58,14 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
 {
     if (auto *t = eq.tracer(); t && t->enabled(obs::CatDll)) {
         tr = t;
-        trk = t->track("fabric.dl", obs::CatDll);
+        // One track per shard: each trace ring then has exactly one
+        // writer under the parallel kernel. Unsharded systems keep
+        // the single classic track.
+        trks.push_back(t->track("fabric.dl", obs::CatDll));
+        if (sh)
+            for (unsigned g = 0; g < cfg.numGroups(); ++g)
+                trks.push_back(t->track(
+                    "fabric.dl.g" + std::to_string(g), obs::CatDll));
         nmXact[static_cast<int>(Transaction::Type::RemoteRead)] =
             t->intern("remoteRead");
         nmXact[static_cast<int>(Transaction::Type::RemoteWrite)] =
@@ -78,9 +87,13 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
     const unsigned gs = cfg.groupSize();
     const unsigned groups = cfg.numGroups();
     injectQ.assign(groups, {});
+    dllWaiting.assign(groups, {});
+    msgSeq.assign(groups, 1);
+    if (sh)
+        latLane.resize(sh->numShards());
     for (unsigned g = 0; g < groups; ++g) {
         nets.push_back(std::make_unique<noc::Network>(
-            eq, "fabric.dl.group" + std::to_string(g), cfg.link, gs,
+            gq(g), "fabric.dl.group" + std::to_string(g), cfg.link, gs,
             reg, &cfg.faults));
         injectQ[g].assign(gs, {});
         for (unsigned node = 0; node < gs; ++node) {
@@ -105,7 +118,8 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
                                    : proto::ExhaustFallback::Drop;
         for (unsigned d = 0; d < cfg.numDimms; ++d) {
             dllCtl.push_back(std::make_unique<DlController>(
-                eq, "fabric.dl.dllc" + std::to_string(d),
+                gq(cfg.groupOf(static_cast<DimmId>(d))),
+                "fabric.dl.dllc" + std::to_string(d),
                 static_cast<DimmId>(d), cfg.link.retryTimeoutPs,
                 cfg.link.maxRetries, reg, cfg.link.retryWindow,
                 sender_fb));
@@ -127,7 +141,8 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
         // links and feeding route recomputation on down/up edges.
         for (unsigned g = 0; g < groups; ++g) {
             auto h = std::make_unique<fault::LinkHealth>(
-                eq, cfg.faults.suspectAfter, cfg.faults.reprobeIntervalPs,
+                gq(g), cfg.faults.suspectAfter,
+                cfg.faults.reprobeIntervalPs,
                 cfg.link.retryTimeoutPs);
             for (unsigned n = 0; n < gs; ++n)
                 for (int nb :
@@ -143,11 +158,82 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
                 onHealthTransition(g, a, b, from, to);
             };
             cbs.onProbeFailed = [this](int, int) {
-                ++*statProbesFailed;
+                statProbesFailed->addConcurrent(1);
             };
             h->setCallbacks(std::move(cbs));
             health.push_back(std::move(h));
         }
+    }
+}
+
+unsigned
+DlFabric::shardOf(DimmId d) const
+{
+    return sh ? 1 + groupIdx(d) : 0;
+}
+
+EventQueue &
+DlFabric::cq()
+{
+    return sh ? sh->queue(sh->current()) : eventq;
+}
+
+EventQueue &
+DlFabric::gq(unsigned g)
+{
+    return sh ? sh->queue(1 + g) : eventq;
+}
+
+void
+DlFabric::callOn(unsigned shard, std::function<void()> fn,
+                 EventPriority prio)
+{
+    if (sh)
+        sh->call(shard, std::move(fn), prio);
+    else
+        fn();
+}
+
+std::function<void()>
+DlFabric::onShard(unsigned shard, std::function<void()> fn)
+{
+    if (!sh || !fn)
+        return fn;
+    return [this, shard, fn = std::move(fn)]() mutable {
+        sh->call(shard, std::move(fn));
+    };
+}
+
+std::uint64_t
+DlFabric::allocMsgId(unsigned group)
+{
+    // Sharded: per-group streams keep the counter single-writer (and
+    // per-group ids deterministic at every thread count). The classic
+    // build keeps the one global stream so its behavior is untouched.
+    return sh ? msgSeq[group]++ : nextMsgId++;
+}
+
+std::uint32_t
+DlFabric::curTrk() const
+{
+    return trks[sh ? sh->current() : 0];
+}
+
+void
+DlFabric::sampleLatency(double v)
+{
+    if (sh)
+        latLane[sh->current()].sample(v);
+    else
+        statLatencyPs.sample(v);
+}
+
+void
+DlFabric::mergeShardStats()
+{
+    for (auto &lane : latLane) {
+        statLatencyPs.merge(lane);
+        lane.reset();
     }
 }
 
@@ -158,7 +244,7 @@ DlFabric::sendHealthProbe(unsigned group, int a, int b,
     noc::Link *l = nets[group]->linkBetween(a, b);
     if (!l)
         return; // Not adjacent; the probe timeout stands in.
-    ++*statProbesSent;
+    statProbesSent->addConcurrent(1);
     // Probes bypass routing and credits on purpose: they test the
     // physical link itself, so a route-around must not make a dead
     // link look alive.
@@ -166,7 +252,7 @@ DlFabric::sendHealthProbe(unsigned group, int a, int b,
     pm.src = a;
     pm.dst = b;
     pm.flits = 1;
-    pm.id = nextMsgId++;
+    pm.id = allocMsgId(group);
     l->transmit(std::move(pm),
                 [this, group, a, b, probe_id](noc::Message m) {
                     health[group]->probeResult(a, b, probe_id,
@@ -183,22 +269,22 @@ DlFabric::onHealthTransition(unsigned group, int a, int b,
                               static_cast<std::uint64_t>(b);
     switch (to) {
       case fault::LinkState::Suspect:
-        ++*statHealthSuspect;
+        statHealthSuspect->addConcurrent(1);
         if (tr)
-            tr->instant(trk, nmLinkSuspect, eventq.now(), arg);
+            tr->instant(curTrk(), nmLinkSuspect, cq().now(), arg);
         break;
       case fault::LinkState::Down:
-        ++*statHealthDown;
+        statHealthDown->addConcurrent(1);
         nets[group]->setLinkDown(a, b, true);
         if (tr)
-            tr->instant(trk, nmLinkDown, eventq.now(), arg);
+            tr->instant(curTrk(), nmLinkDown, cq().now(), arg);
         break;
       case fault::LinkState::Up:
-        ++*statHealthRecovered;
+        statHealthRecovered->addConcurrent(1);
         if (from == fault::LinkState::Down)
             nets[group]->setLinkDown(a, b, false);
         if (tr)
-            tr->instant(trk, nmLinkUp, eventq.now(), arg);
+            tr->instant(curTrk(), nmLinkUp, cq().now(), arg);
         break;
     }
 }
@@ -345,19 +431,19 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
                             : proto::DlCommand::ReadReq;
             pkt.tag = dllCtl[s]->allocTag();
             pkt.payload.assign(static_cast<std::size_t>(c), 0);
-            ++statPacketsLink;
-            statBytesViaLink +=
-                static_cast<double>(flitsFor(c)) * proto::flitBytes;
+            statPacketsLink.addConcurrent(1);
+            statBytesViaLink.addConcurrent(
+                static_cast<double>(flitsFor(c)) * proto::flitBytes);
             std::uint64_t aid = 0;
             if (tr) {
                 aid = tr->nextAsyncId();
-                tr->asyncBegin(trk, nmDllXfer, eventq.now(), aid);
+                tr->asyncBegin(curTrk(), nmDllXfer, cq().now(), aid);
             }
             sendDllPacket(s, d, std::move(pkt),
                           [this, remaining, done, aid] {
                               if (tr)
-                                  tr->asyncEnd(trk, nmDllXfer,
-                                               eventq.now(), aid);
+                                  tr->asyncEnd(curTrk(), nmDllXfer,
+                                               cq().now(), aid);
                               if (--*remaining == 0 && *done)
                                   (*done)();
                           });
@@ -371,34 +457,34 @@ DlFabric::sendIntraGroup(DimmId s, DimmId d,
         msg.src = nodeIdx(s);
         msg.dst = nodeIdx(d);
         msg.flits = flits;
-        msg.id = nextMsgId++;
-        ++statPacketsLink;
-        statBytesViaLink += static_cast<double>(flits) *
-                            proto::flitBytes;
+        msg.id = allocMsgId(group);
+        statPacketsLink.addConcurrent(1);
+        statBytesViaLink.addConcurrent(static_cast<double>(flits) *
+                                       proto::flitBytes);
         // Packet lifetime span: packetize begin -> decoded at d.
         std::uint64_t aid = 0;
         if (tr) {
             aid = tr->nextAsyncId();
-            tr->asyncBegin(trk, nmPacket, eventq.now(), aid);
+            tr->asyncBegin(curTrk(), nmPacket, cq().now(), aid);
         }
         msg.deliver = [this, flits, remaining, done, aid](int) {
             // NW-interface CRC check + decode at the destination.
-            eventq.scheduleIn(decodeDelay(flits),
-                              [this, remaining, done, aid] {
-                                  if (tr)
-                                      tr->asyncEnd(trk, nmPacket,
-                                                   eventq.now(), aid);
-                                  if (--*remaining == 0 && *done)
-                                      (*done)();
-                              },
-                              EventPriority::Control);
+            cq().scheduleIn(decodeDelay(flits),
+                            [this, remaining, done, aid] {
+                                if (tr)
+                                    tr->asyncEnd(curTrk(), nmPacket,
+                                                 cq().now(), aid);
+                                if (--*remaining == 0 && *done)
+                                    (*done)();
+                            },
+                            EventPriority::Control);
         };
         // NW-interface packetization before hitting the router.
-        eventq.scheduleIn(packetizeDelay(flits),
-                          [this, group, msg = std::move(msg)]() mutable {
-                              inject(group, std::move(msg));
-                          },
-                          EventPriority::Control);
+        cq().scheduleIn(packetizeDelay(flits),
+                        [this, group, msg = std::move(msg)]() mutable {
+                            inject(group, std::move(msg));
+                        },
+                        EventPriority::Control);
     }
 }
 
@@ -406,17 +492,20 @@ void
 DlFabric::hostFallback(DimmId s, DimmId d, std::uint64_t payload_bytes,
                        std::function<void()> delivered)
 {
-    ++*statHostReroutes;
+    statHostReroutes->addConcurrent(1);
     const auto wire = static_cast<unsigned>(wireBytesFor(payload_bytes));
-    ++statPacketsHost;
-    statBytesViaHost += wire;
+    statPacketsHost.addConcurrent(1);
+    statBytesViaHost.addConcurrent(wire);
     auto cb = std::make_shared<std::function<void()>>(
         std::move(delivered));
+    // The forward job runs on the host shard; the delivery callback
+    // belongs to the source group's shard and is routed back there.
     requestForward(s, [this, s, d, wire, cb] {
-        path.forwarder().forward(s, d, wire, [cb] {
-            if (*cb)
-                (*cb)();
-        });
+        path.forwarder().forward(s, d, wire,
+                                 onShard(shardOf(s), [cb] {
+                                     if (*cb)
+                                         (*cb)();
+                                 }));
     });
 }
 
@@ -445,12 +534,12 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                 *key = DllKey{
                     p.src, p.dst,
                     static_cast<std::uint16_t>(p.dll & 0xffff)};
-                dllWaiting[**key] = cb;
+                dllWaiting[group][**key] = cb;
                 *route = routePath(group, nodeIdx(s), nodeIdx(d));
             } else if (tr) {
                 // The retry engine re-invoked transmit: a timeout or
                 // NACK retransmission of this sequence number.
-                tr->instant(trk, nmDllRetry, eventq.now(),
+                tr->instant(curTrk(), nmDllRetry, cq().now(),
                             p.dll & 0xffff);
             }
             const unsigned flits = p.numFlits();
@@ -458,18 +547,18 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
             msg.src = nodeIdx(s);
             msg.dst = nodeIdx(d);
             msg.flits = flits;
-            msg.id = nextMsgId++;
+            msg.id = allocMsgId(group);
             // The encoded image travels with the message; fault
             // models flip its real bits in flight. Each retry gets a
             // freshly encoded (clean) image.
             msg.wire = std::make_shared<std::vector<std::uint8_t>>(
                 std::move(wire));
             msg.deliver = [this, d, flits, w = msg.wire](int) {
-                eventq.scheduleIn(decodeDelay(flits),
-                                  [this, d, w] { dllReceive(d, *w); },
-                                  EventPriority::Control);
+                cq().scheduleIn(decodeDelay(flits),
+                                [this, d, w] { dllReceive(d, *w); },
+                                EventPriority::Control);
             };
-            eventq.scheduleIn(
+            cq().scheduleIn(
                 packetizeDelay(flits),
                 [this, group, msg = std::move(msg)]() mutable {
                     inject(group, std::move(msg));
@@ -490,9 +579,9 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
             // budget). Blame the route the transfer was admitted on so
             // the health machinery can take the dead link out of the
             // tables, then apply the configured exhaustion policy.
-            ++statDllFailedTransfers;
+            statDllFailedTransfers.addConcurrent(1);
             if (tr)
-                tr->instant(trk, nmDllFailed, eventq.now(),
+                tr->instant(curTrk(), nmDllFailed, cq().now(),
                             key->has_value()
                                 ? std::get<2>(**key)
                                 : std::uint64_t{0});
@@ -504,11 +593,11 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                         : *route);
             if (!key->has_value())
                 return;
-            auto it = dllWaiting.find(**key);
-            if (it == dllWaiting.end())
+            auto it = dllWaiting[g].find(**key);
+            if (it == dllWaiting[g].end())
                 return; // Delivered earlier; only the ACKs kept dying.
             auto cb2 = it->second;
-            dllWaiting.erase(it);
+            dllWaiting[g].erase(it);
             switch (exhaustPolicy) {
               case ExhaustPolicy::Panic:
                 panic("DLL transfer %u -> %u (seq %u) exhausted its "
@@ -531,14 +620,18 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                     (*cb2)();
                 const auto note =
                     static_cast<unsigned>(wireBytesFor(0));
-                ++statPacketsHost;
-                statBytesViaHost += note;
+                statPacketsHost.addConcurrent(1);
+                statBytesViaHost.addConcurrent(note);
                 const auto seq = std::get<2>(**key);
                 requestForward(s, [this, s, d, note, seq] {
                     path.forwarder().forward(
-                        s, d, note, [this, s, d, seq] {
+                        s, d, note,
+                        // The resync touches d's controller: run it on
+                        // d's group shard (== s's; streams are
+                        // intra-group).
+                        onShard(shardOf(s), [this, s, d, seq] {
                             dllStreamResync(s, d, seq);
-                        });
+                        }));
                 });
                 break;
               }
@@ -548,23 +641,24 @@ DlFabric::sendDllPacket(DimmId s, DimmId d, proto::Packet pkt,
                 // completion chain stays intact. The forwarded image
                 // carries the DLL header, so its arrival also resyncs
                 // the receiver's stream past the retired sequence.
-                ++*statFailovers;
+                statFailovers->addConcurrent(1);
                 const auto wire =
                     static_cast<unsigned>(wireBytesFor(payload));
-                *statFailoverBytes += wire;
-                ++statPacketsHost;
-                statBytesViaHost += wire;
+                statFailoverBytes->addConcurrent(wire);
+                statPacketsHost.addConcurrent(1);
+                statBytesViaHost.addConcurrent(wire);
                 if (tr)
-                    tr->instant(trk, nmFailover, eventq.now(),
+                    tr->instant(curTrk(), nmFailover, cq().now(),
                                 std::get<2>(**key));
                 const auto seq = std::get<2>(**key);
                 requestForward(s, [this, s, d, wire, cb2, seq] {
                     path.forwarder().forward(
-                        s, d, wire, [this, s, d, seq, cb2] {
+                        s, d, wire,
+                        onShard(shardOf(s), [this, s, d, seq, cb2] {
                             dllStreamResync(s, d, seq);
                             if (cb2 && *cb2)
                                 (*cb2)();
-                        });
+                        }));
                 });
                 break;
               }
@@ -577,11 +671,12 @@ DlFabric::completeDllDelivery(const proto::Packet &p)
 {
     const DllKey k{p.src, p.dst,
                    static_cast<std::uint16_t>(p.dll & 0xffff)};
-    auto it = dllWaiting.find(k);
-    if (it == dllWaiting.end())
+    auto &wmap = dllWaiting[groupIdx(static_cast<DimmId>(p.src))];
+    auto it = wmap.find(k);
+    if (it == wmap.end())
         return; // Completed earlier (delivery, failover, or drop).
     auto cb = it->second;
-    dllWaiting.erase(it);
+    wmap.erase(it);
     if (cb && *cb)
         (*cb)();
 }
@@ -606,9 +701,9 @@ void
 DlFabric::dllStreamResync(DimmId s, DimmId d, std::uint16_t seq)
 {
     if (statStreamResyncs)
-        ++*statStreamResyncs;
+        statStreamResyncs->addConcurrent(1);
     if (tr)
-        tr->instant(trk, nmDllResync, eventq.now(), seq);
+        tr->instant(curTrk(), nmDllResync, cq().now(), seq);
     // The destination's controller learns the retired sequence from
     // the host-delivered DLL header and advances its reorder stream
     // past the permanent gap; held packets the skip releases complete
@@ -626,7 +721,7 @@ DlFabric::sendDllControl(DimmId from, const proto::Packet &ctrl)
         // Can only happen when a NACK was synthesized from an image
         // whose header bits (SRC) were themselves damaged: there is
         // no one to send it to. The sender's timeout recovers.
-        ++statDllCtrlDropped;
+        statDllCtrlDropped.addConcurrent(1);
         return;
     }
     const unsigned group = groupIdx(from);
@@ -635,30 +730,30 @@ DlFabric::sendDllControl(DimmId from, const proto::Packet &ctrl)
     msg.src = nodeIdx(from);
     msg.dst = nodeIdx(dst);
     msg.flits = 1;
-    msg.id = nextMsgId++;
+    msg.id = allocMsgId(group);
     // Control packets cross the same faulty links as data; a
     // corrupted ACK/NACK is dropped at the far end and the data
     // sender's retry timeout takes over.
     msg.wire = std::make_shared<std::vector<std::uint8_t>>(
         proto::encode(ctrl));
     msg.deliver = [this, dst, w = msg.wire](int) {
-        eventq.scheduleIn(
+        cq().scheduleIn(
             decodeDelay(1),
             [this, dst, w] {
                 proto::Packet c;
                 if (!proto::decode(*w, c)) {
-                    ++statDllCtrlDropped;
+                    statDllCtrlDropped.addConcurrent(1);
                     return;
                 }
                 dllCtl[dst]->onControlArrive(c);
             },
             EventPriority::Control);
     };
-    eventq.scheduleIn(packetizeDelay(1),
-                      [this, group, msg = std::move(msg)]() mutable {
-                          inject(group, std::move(msg));
-                      },
-                      EventPriority::Control);
+    cq().scheduleIn(packetizeDelay(1),
+                    [this, group, msg = std::move(msg)]() mutable {
+                        inject(group, std::move(msg));
+                    },
+                    EventPriority::Control);
 }
 
 void
@@ -667,56 +762,68 @@ DlFabric::requestForward(DimmId src, std::function<void()> job)
     const bool proxy_mode =
         cfg.pollingMode == PollingMode::Proxy ||
         cfg.pollingMode == PollingMode::ProxyInterrupt;
-    if (!proxy_mode) {
-        path.request(src, std::move(job));
-        return;
-    }
-    const DimmId proxy = proxyOf(groupIdx(src));
-    if (proxy == src) {
-        path.request(proxy, std::move(job));
+    const DimmId proxy =
+        proxy_mode ? proxyOf(groupIdx(src)) : src;
+    if (!proxy_mode || proxy == src) {
+        // The polling engine and forwarder live on the host shard; the
+        // job runs there once polling discovers the target.
+        callOn(0, [this, proxy, job = std::move(job)]() mutable {
+            path.request(proxy, std::move(job));
+        });
         return;
     }
     // Register the request with the group's proxy over the link
     // network (a single-flit FwdReq packet), so the host only has to
-    // poll one DIMM per group (Fig. 7).
-    const unsigned g = groupIdx(src);
-    auto job_sh =
-        std::make_shared<std::function<void()>>(std::move(job));
-    // When the proxy cannot be reached over the bridge (now, or by
-    // the time the note would arrive), the host discovers the request
-    // on its own polling cadence instead — modeled as one extra poll
-    // interval of discovery latency.
-    auto fallback = [this, proxy, job_sh] {
-        if (statProxyNotifyFallbacks)
-            ++*statProxyNotifyFallbacks;
-        eventq.scheduleIn(
-            cfg.host.pollIntervalPs,
-            [this, proxy, job_sh] {
+    // poll one DIMM per group (Fig. 7). The note rides src's group
+    // network, so everything below runs on src's group shard (callers
+    // may sit on another shard, e.g. the read-return leg of an
+    // inter-group RemoteRead running on the host shard).
+    callOn(shardOf(src), [this, src, proxy,
+                          job = std::move(job)]() mutable {
+        const unsigned g = groupIdx(src);
+        auto job_sh =
+            std::make_shared<std::function<void()>>(std::move(job));
+        // When the proxy cannot be reached over the bridge (now, or by
+        // the time the note would arrive), the host discovers the
+        // request on its own polling cadence instead — modeled as one
+        // extra poll interval of discovery latency.
+        auto fallback = [this, proxy, job_sh] {
+            if (statProxyNotifyFallbacks)
+                statProxyNotifyFallbacks->addConcurrent(1);
+            cq().scheduleIn(
+                cfg.host.pollIntervalPs,
+                [this, proxy, job_sh] {
+                    callOn(0, [this, proxy, job_sh] {
+                        path.request(proxy, [job_sh] { (*job_sh)(); });
+                    });
+                },
+                EventPriority::Control);
+        };
+        if (dllPath &&
+            !nets[g]->graph().reachable(nodeIdx(src),
+                                        nodeIdx(proxy))) {
+            fallback();
+            return;
+        }
+        statProxyNotifies.addConcurrent(1);
+        noc::Message note;
+        note.src = nodeIdx(src);
+        note.dst = nodeIdx(proxy);
+        note.flits = 1;
+        note.id = allocMsgId(g);
+        statBytesViaLink.addConcurrent(proto::flitBytes);
+        note.deliver = [this, proxy, job_sh](int) {
+            callOn(0, [this, proxy, job_sh] {
                 path.request(proxy, [job_sh] { (*job_sh)(); });
-            },
-            EventPriority::Control);
-    };
-    if (dllPath &&
-        !nets[g]->graph().reachable(nodeIdx(src), nodeIdx(proxy))) {
-        fallback();
-        return;
-    }
-    ++statProxyNotifies;
-    noc::Message note;
-    note.src = nodeIdx(src);
-    note.dst = nodeIdx(proxy);
-    note.flits = 1;
-    note.id = nextMsgId++;
-    statBytesViaLink += proto::flitBytes;
-    note.deliver = [this, proxy, job_sh](int) {
-        path.request(proxy, [job_sh] { (*job_sh)(); });
-    };
-    note.onDropped = fallback;
-    eventq.scheduleIn(packetizeDelay(1),
-                      [this, g, note = std::move(note)]() mutable {
-                          inject(g, std::move(note));
-                      },
-                      EventPriority::Control);
+            });
+        };
+        note.onDropped = fallback;
+        cq().scheduleIn(packetizeDelay(1),
+                        [this, g, note = std::move(note)]() mutable {
+                            inject(g, std::move(note));
+                        },
+                        EventPriority::Control);
+    });
 }
 
 void
@@ -726,7 +833,12 @@ DlFabric::groupBroadcast(DimmId s, std::uint64_t bytes,
     const unsigned group = groupIdx(s);
     const unsigned gs = cfg.groupSize();
     if (gs == 1) {
-        completeLater(all_delivered, eventq.now());
+        // Complete on the executing shard's queue (completeLater
+        // would land on the host queue even when this group-local
+        // broadcast runs on a group shard).
+        if (all_delivered)
+            cq().schedule(cq().now(), std::move(all_delivered),
+                          EventPriority::Delivery);
         return;
     }
 
@@ -774,10 +886,10 @@ DlFabric::groupBroadcast(DimmId s, std::uint64_t bytes,
         msg.dst = 0;
         msg.broadcast = true;
         msg.flits = flits;
-        msg.id = nextMsgId++;
-        ++statPacketsLink;
-        statBytesViaLink += static_cast<double>(flits) *
-                            proto::flitBytes;
+        msg.id = allocMsgId(group);
+        statPacketsLink.addConcurrent(1);
+        statBytesViaLink.addConcurrent(static_cast<double>(flits) *
+                                       proto::flitBytes);
         msg.deliver = [this, flits, remaining, done,
                        src_node = nodeIdx(s)](int node) {
             if (node == src_node) {
@@ -786,18 +898,18 @@ DlFabric::groupBroadcast(DimmId s, std::uint64_t bytes,
                     (*done)();
                 return;
             }
-            eventq.scheduleIn(decodeDelay(flits),
-                              [remaining, done] {
-                                  if (--*remaining == 0 && *done)
-                                      (*done)();
-                              },
-                              EventPriority::Control);
+            cq().scheduleIn(decodeDelay(flits),
+                            [remaining, done] {
+                                if (--*remaining == 0 && *done)
+                                    (*done)();
+                            },
+                            EventPriority::Control);
         };
-        eventq.scheduleIn(packetizeDelay(flits),
-                          [this, group, msg = std::move(msg)]() mutable {
-                              inject(group, std::move(msg));
-                          },
-                          EventPriority::Control);
+        cq().scheduleIn(packetizeDelay(flits),
+                        [this, group, msg = std::move(msg)]() mutable {
+                            inject(group, std::move(msg));
+                        },
+                        EventPriority::Control);
     }
 }
 
@@ -820,8 +932,9 @@ DlFabric::doRemoteRead(Transaction t, std::function<void()> finish)
     // Fig. 5-(b): the request packet is CPU-forwarded to the remote
     // group's DIMM; the read-return data is CPU-forwarded back after
     // the destination registers its own forwarding request.
-    ++statPacketsHost;
-    statBytesViaHost += wireBytesFor(0);
+    statPacketsHost.addConcurrent(1);
+    statBytesViaHost.addConcurrent(
+        static_cast<double>(wireBytesFor(0)));
     requestForward(t.src, [this, t, finish]() mutable {
         path.forwarder().forward(
             t.src, t.dst, static_cast<unsigned>(wireBytesFor(0)),
@@ -831,8 +944,8 @@ DlFabric::doRemoteRead(Transaction t, std::function<void()> finish)
                     [this, t, finish]() mutable {
                         const auto wire = static_cast<unsigned>(
                             wireBytesFor(t.bytes));
-                        ++statPacketsHost;
-                        statBytesViaHost += wire;
+                        statPacketsHost.addConcurrent(1);
+                        statBytesViaHost.addConcurrent(wire);
                         requestForward(
                             t.dst, [this, t, wire, finish]() mutable {
                                 path.forwarder().forward(
@@ -855,8 +968,8 @@ DlFabric::doRemoteWrite(Transaction t, std::function<void()> finish)
         return;
     }
     const auto wire = static_cast<unsigned>(wireBytesFor(t.bytes));
-    ++statPacketsHost;
-    statBytesViaHost += wire;
+    statPacketsHost.addConcurrent(1);
+    statBytesViaHost.addConcurrent(wire);
     requestForward(t.src, [this, t, wire, finish]() mutable {
         path.forwarder().forward(
             t.src, t.dst, wire, [this, t, finish]() mutable {
@@ -872,7 +985,7 @@ DlFabric::doBroadcast(Transaction t, std::function<void()> finish)
     // Fig. 5-(c)/(d): broadcast in the local group over the bridge;
     // for each remote group, one CPU-forwarded copy to the group's
     // entry DIMM (its proxy), then a group-local broadcast there.
-    ++statBroadcasts;
+    statBroadcasts.addConcurrent(1);
     auto finish_sh =
         std::make_shared<std::function<void()>>(std::move(finish));
     auto remaining = std::make_shared<unsigned>(0);
@@ -881,6 +994,10 @@ DlFabric::doBroadcast(Transaction t, std::function<void()> finish)
             (*finish_sh)();
     };
 
+    // The shared remaining-counter is touched only on the source
+    // group's shard: remote-group broadcasts run on their own shard
+    // (the entry proxy's group), but their completions are routed
+    // back here before decrementing.
     memAccess(t.src, t.addr, t.bytes, /*is_write=*/false,
               [this, t, remaining, dec]() mutable {
                   ++*remaining;
@@ -892,17 +1009,22 @@ DlFabric::doBroadcast(Transaction t, std::function<void()> finish)
                       const DimmId entry = proxyOf(g);
                       const auto wire = static_cast<unsigned>(
                           wireBytesFor(t.bytes));
-                      ++statPacketsHost;
-                      statBytesViaHost += wire;
+                      statPacketsHost.addConcurrent(1);
+                      statBytesViaHost.addConcurrent(wire);
                       requestForward(
                           t.src,
                           [this, t, entry, wire, dec]() mutable {
                               path.forwarder().forward(
                                   t.src, entry, wire,
-                                  [this, t, entry, dec]() mutable {
-                                      groupBroadcast(entry, t.bytes,
-                                                     dec);
-                                  });
+                                  onShard(
+                                      shardOf(entry),
+                                      [this, t, entry,
+                                       dec]() mutable {
+                                          groupBroadcast(
+                                              entry, t.bytes,
+                                              onShard(shardOf(t.src),
+                                                      dec));
+                                      }));
                           });
                   }
               });
@@ -916,8 +1038,8 @@ DlFabric::doSyncMessage(Transaction t, std::function<void()> finish)
         return;
     }
     const auto wire = static_cast<unsigned>(wireBytesFor(t.bytes));
-    ++statPacketsHost;
-    statBytesViaHost += wire;
+    statPacketsHost.addConcurrent(1);
+    statBytesViaHost.addConcurrent(wire);
     requestForward(t.src, [this, t, wire, finish]() mutable {
         path.forwarder().forward(t.src, t.dst, wire, finish);
     });
@@ -927,18 +1049,26 @@ std::string
 DlFabric::debugDump()
 {
     std::ostringstream os;
-    os << "fabric.dl: dllWaiting=" << dllWaiting.size()
+    std::size_t waiting = 0;
+    for (const auto &m : dllWaiting)
+        waiting += m.size();
+    os << "fabric.dl: dllWaiting=" << waiting
        << " forwardBacklog=" << path.forwarder().backlog() << "\n";
-    unsigned shown = 0;
-    for (const auto &kv : dllWaiting) {
-        if (shown++ == 16) {
-            os << "  ... (" << (dllWaiting.size() - 16)
-               << " more waiting keys)\n";
-            break;
+    std::size_t shown = 0;
+    for (const auto &m : dllWaiting) {
+        for (const auto &kv : m) {
+            if (shown++ == 16) {
+                os << "  ... (" << (waiting - 16)
+                   << " more waiting keys)\n";
+                break;
+            }
+            os << "  waiting: "
+               << static_cast<unsigned>(std::get<0>(kv.first)) << " -> "
+               << static_cast<unsigned>(std::get<1>(kv.first))
+               << " seq=" << std::get<2>(kv.first) << "\n";
         }
-        os << "  waiting: " << static_cast<unsigned>(std::get<0>(kv.first))
-           << " -> " << static_cast<unsigned>(std::get<1>(kv.first))
-           << " seq=" << std::get<2>(kv.first) << "\n";
+        if (shown > 16)
+            break;
     }
     for (std::size_t d = 0; d < dllCtl.size(); ++d) {
         const auto &c = *dllCtl[d];
@@ -960,22 +1090,48 @@ DlFabric::debugDump()
 void
 DlFabric::submit(Transaction t)
 {
-    ++statTransactions;
-    const Tick started = eventq.now();
+    if (!sh) {
+        submitHere(std::move(t));
+        return;
+    }
+    // The transaction state machine runs on the source DIMM's group
+    // shard; the completion is routed back to whichever shard
+    // submitted (the SyncManager on the host shard, or a core's MC on
+    // its group shard — for the latter the hop is a direct call).
+    t.onComplete = onShard(sh->current(), std::move(t.onComplete));
+    const unsigned owner = shardOf(t.src);
+    if (owner == sh->current()) {
+        submitHere(std::move(t));
+        return;
+    }
+    sh->call(owner, [this, t = std::move(t)]() mutable {
+        submitHere(std::move(t));
+    });
+}
+
+void
+DlFabric::submitHere(Transaction t)
+{
+    statTransactions.addConcurrent(1);
+    const Tick started = cq().now();
+    const unsigned home = sh ? sh->current() : 0;
     const std::uint16_t nm = nmXact[static_cast<int>(t.type)];
     std::uint64_t aid = 0;
     if (tr) {
         aid = tr->nextAsyncId();
-        tr->asyncBegin(trk, nm, started, aid);
+        tr->asyncBegin(curTrk(), nm, started, aid);
     }
+    // finish may fire on a different shard than the one the
+    // transaction started on (inter-group chains end on the host
+    // shard): the latency sample lands in the executing shard's lane
+    // and the completion is routed back to the starting shard.
     auto finish = [this, cb = std::move(t.onComplete), started, nm,
-                   aid]() {
-        statLatencyPs.sample(
-            static_cast<double>(eventq.now() - started));
+                   aid, home]() mutable {
+        sampleLatency(static_cast<double>(cq().now() - started));
         if (tr)
-            tr->asyncEnd(trk, nm, eventq.now(), aid);
+            tr->asyncEnd(curTrk(), nm, cq().now(), aid);
         if (cb)
-            cb();
+            callOn(home, std::move(cb));
     };
 
     switch (t.type) {

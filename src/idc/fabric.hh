@@ -92,6 +92,14 @@ class Fabric
      * the hang watchdog and the drained-queue panic path. */
     virtual std::string debugDump() { return ""; }
 
+    /**
+     * Fold per-shard statistic lanes (latency distributions kept
+     * thread-local by the parallel kernel) into the registered stats,
+     * in fixed shard order. No-op for unsharded fabrics; called at
+     * NMP-mode exit, before anyone reads the registry.
+     */
+    virtual void mergeShardStats() {}
+
     const std::string &name() const { return name_; }
 
   protected:

@@ -28,20 +28,24 @@ struct FreeNode
 struct Pool
 {
     FreeNode *freeList[numClasses] = {};
-    // Slab backing storage, kept alive for the process lifetime.
+    // Slab backing storage. Deliberately leaked (no destructor): the
+    // parallel kernel allocates callbacks on per-window worker
+    // threads, and blocks carved from a worker's slab can still be
+    // live in an event queue after that worker exits. Freeing slabs
+    // at thread exit would turn those callbacks into dangling
+    // pointers; the leak is bounded by each thread's allocation
+    // high-water mark.
     std::vector<void *> slabs;
-
-    ~Pool()
-    {
-        for (void *s : slabs)
-            ::operator delete(s);
-    }
 };
 
 Pool &
 pool()
 {
-    static Pool p;
+    // One pool per thread: allocation and the free-list push in
+    // deallocate() are single-threaded without locks. Blocks of one
+    // size class are interchangeable, so a block allocated on thread
+    // A and freed on thread B simply joins B's free list.
+    static thread_local Pool p;
     return p;
 }
 

@@ -1,0 +1,301 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+
+namespace {
+
+/**
+ * Which ShardSet (and which of its shards) the calling thread is
+ * executing. Thread-locals rather than members so worker threads of
+ * one ShardSet never alias another System's shards in the same
+ * process.
+ */
+thread_local const ShardSet *tlsOwner = nullptr;
+thread_local unsigned tlsShard = 0;
+
+/**
+ * Barrier wait: windows are often only a handful of events long, so
+ * the hand-off should stay in user space when possible. Busy-poll up
+ * to `spin` iterations, then yield; drive() passes spin=0 when the
+ * pool is wider than the machine, where spinning only steals cycles
+ * from the thread being waited on.
+ */
+template <typename Pred>
+void
+spinWait(unsigned spin, Pred pred)
+{
+    for (unsigned i = 0; i < spin; ++i)
+        if (pred())
+            return;
+    while (!pred())
+        std::this_thread::yield();
+}
+
+/** Canonical cross-shard delivery order: thread count never changes
+ * it because it depends only on simulated time and shard identity. */
+struct CanonicalOrder
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.prio != b.prio)
+            return a.prio < b.prio;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.seq < b.seq;
+    }
+};
+
+} // namespace
+
+ShardSet::ShardSet(std::vector<EventQueue *> queues_, Tick lookahead)
+    : queues(std::move(queues_)), lookaheadTicks(lookahead),
+      out(queues.size())
+{
+    if (queues.empty())
+        panic("ShardSet needs at least one shard");
+    if (lookaheadTicks == 0)
+        panic("ShardSet lookahead must be positive (a zero-latency "
+              "cross-shard path admits no conservative window)");
+    for (unsigned s = 0; s < numShards(); ++s)
+        queues[s]->setShard(this, s);
+}
+
+unsigned
+ShardSet::current() const
+{
+    return tlsOwner == this ? tlsShard : 0;
+}
+
+bool
+ShardSet::mayTouch(unsigned shard) const
+{
+    if (!parallelPhase())
+        return true;
+    return tlsOwner == this && tlsShard == shard;
+}
+
+void
+ShardSet::call(unsigned dst, std::function<void()> fn,
+               EventPriority prio)
+{
+    if (!parallelPhase() || current() == dst) {
+        fn();
+        return;
+    }
+    const unsigned src = current();
+    Outbox &ob = out[src];
+    ob.posts.push_back(Post{queues[src]->now() + lookaheadTicks,
+                            static_cast<int>(prio), src, ob.nextSeq++,
+                            dst, std::move(fn)});
+}
+
+void
+ShardSet::callSequenced(std::function<std::function<void()>()> fn,
+                        EventPriority prio)
+{
+    const unsigned src = current();
+    if (!parallelPhase()) {
+        // No window in flight (host phases): the calling thread IS
+        // the coordinator, so run in place with the same +lookahead
+        // delivery the windowed path applies.
+        auto cont = fn();
+        queues[src]->scheduleIn(lookaheadTicks, std::move(cont), prio);
+        return;
+    }
+    Outbox &ob = out[src];
+    ob.reqs.push_back(SeqReq{queues[src]->now(),
+                             static_cast<int>(prio), src, ob.nextSeq++,
+                             std::move(fn)});
+}
+
+void
+ShardSet::drainOutboxes()
+{
+    // Collect everything, then deliver in one canonical order; a
+    // post's delivery tick (sender-now + lookahead) always lands at
+    // or past the next window start, so scheduling into a queue whose
+    // clock sits at the old window's end is legal.
+    std::vector<Post> posts;
+    std::vector<SeqReq> reqs;
+    for (Outbox &ob : out) {
+        std::move(ob.posts.begin(), ob.posts.end(),
+                  std::back_inserter(posts));
+        ob.posts.clear();
+        std::move(ob.reqs.begin(), ob.reqs.end(),
+                  std::back_inserter(reqs));
+        ob.reqs.clear();
+    }
+    std::sort(posts.begin(), posts.end(), CanonicalOrder{});
+    std::sort(reqs.begin(), reqs.end(), CanonicalOrder{});
+    for (Post &p : posts)
+        queues[p.dst]->schedule(p.when, std::move(p.fn),
+                                static_cast<EventPriority>(p.prio));
+    for (SeqReq &r : reqs) {
+        auto cont = r.fn();
+        queues[r.src]->schedule(r.when + lookaheadTicks,
+                                std::move(cont),
+                                static_cast<EventPriority>(r.prio));
+    }
+}
+
+Tick
+ShardSet::minNextPending()
+{
+    Tick t = maxTick;
+    for (EventQueue *q : queues)
+        t = std::min(t, q->nextPendingTick());
+    return t;
+}
+
+void
+ShardSet::runShardRange(unsigned self, unsigned threads, Tick limit)
+{
+    for (unsigned s = self; s < numShards(); s += threads) {
+        tlsOwner = this;
+        tlsShard = s;
+        queues[s]->runUntil(limit);
+    }
+    tlsOwner = nullptr;
+    tlsShard = 0;
+}
+
+void
+ShardSet::workerLoop(unsigned self, unsigned threads)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        spinWait(spinIters, [this, seen] {
+            return round.load(std::memory_order_acquire) != seen;
+        });
+        ++seen;
+        if (stopWorkers.load(std::memory_order_relaxed))
+            return;
+        runShardRange(self, threads, windowLimit);
+        arrived.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ShardSet::runWindow(Tick limit, unsigned threads)
+{
+    windowLimit = limit;
+    parallel.store(true, std::memory_order_relaxed);
+    if (threads > 1) {
+        const std::uint64_t target =
+            arrived.load(std::memory_order_relaxed) + (threads - 1);
+        round.fetch_add(1, std::memory_order_release);
+        runShardRange(0, threads, limit);
+        spinWait(spinIters, [this, target] {
+            return arrived.load(std::memory_order_acquire) >= target;
+        });
+    } else {
+        runShardRange(0, 1, limit);
+    }
+    parallel.store(false, std::memory_order_relaxed);
+}
+
+void
+ShardSet::drive(unsigned threads, const std::function<bool()> &done)
+{
+    threads = std::max(1u, std::min(threads, numShards()));
+    syncClocks();
+
+    std::vector<std::thread> workers;
+    if (threads > 1) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        spinIters = (hw == 0 || threads <= hw) ? 16384 : 0;
+        // Fresh pool per drive(): reset the hand-off counters while
+        // no worker is alive so a second run starts from round 0.
+        stopWorkers.store(false, std::memory_order_relaxed);
+        round.store(0, std::memory_order_relaxed);
+        arrived.store(0, std::memory_order_relaxed);
+        workers.reserve(threads - 1);
+        for (unsigned i = 1; i < threads; ++i)
+            workers.emplace_back(
+                [this, i, threads] { workerLoop(i, threads); });
+    }
+
+    while (!done()) {
+        drainOutboxes();
+        const Tick t = minNextPending();
+        if (t == maxTick)
+            break; // Queues and outboxes fully drained.
+        const Tick limit = maxTick - t > lookaheadTicks
+                               ? t + lookaheadTicks - 1
+                               : maxTick;
+        runWindow(limit, threads);
+    }
+
+    if (!workers.empty()) {
+        stopWorkers.store(true, std::memory_order_relaxed);
+        round.fetch_add(1, std::memory_order_release);
+        for (std::thread &w : workers)
+            w.join();
+    }
+    // Deliver any posts the final window produced so no cross-shard
+    // message is lost; their events stay pending like any other
+    // post-kernel work (retry timers, polling).
+    drainOutboxes();
+    syncClocks();
+}
+
+bool
+ShardSet::stepMerged()
+{
+    unsigned best = 0;
+    Tick bt = maxTick;
+    for (unsigned s = 0; s < numShards(); ++s) {
+        const Tick t = queues[s]->nextPendingTick();
+        if (t < bt) {
+            bt = t;
+            best = s;
+        }
+    }
+    if (bt == maxTick)
+        return false;
+    // Drag every other clock to just below the firing tick so a
+    // directly-invoked cross-shard handler schedules at (almost) the
+    // time the caller intended; nothing fires on them (their next
+    // pending tick is >= bt).
+    if (bt > 0)
+        for (unsigned s = 0; s < numShards(); ++s)
+            if (s != best)
+                queues[s]->runUntil(bt - 1);
+    // The fired handler must see its own shard as current so
+    // shard-aware components (cq(), per-shard stat lanes) resolve to
+    // the queue that is actually executing.
+    tlsOwner = this;
+    tlsShard = best;
+    const bool fired = queues[best]->step();
+    tlsOwner = nullptr;
+    tlsShard = 0;
+    return fired;
+}
+
+void
+ShardSet::syncClocks()
+{
+    Tick m = 0;
+    for (EventQueue *q : queues)
+        m = std::max(m, q->now());
+    for (unsigned s = 0; s < numShards(); ++s) {
+        // Events that fire during the drag execute with their own
+        // shard current (see stepMerged).
+        tlsOwner = this;
+        tlsShard = s;
+        queues[s]->runUntil(m);
+    }
+    tlsOwner = nullptr;
+    tlsShard = 0;
+}
+
+} // namespace dimmlink

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Conservative parallel execution of the event kernel (see
+ * docs/parallel_kernel.md). A ShardSet owns one EventQueue per shard
+ * and runs all of them over the same sequence of lookahead windows
+ * [T, T+L): within a window every shard executes independently (on a
+ * thread pool when sim.threads > 1), and all cross-shard interaction
+ * is deferred into per-shard outboxes that the coordinator drains at
+ * the window barrier in one canonical (tick, priority, shard,
+ * sequence) order. Because the windowed algorithm -- including the
+ * barrier-drain order -- is identical whether the shards run on one
+ * thread or many, the simulation is bit-for-bit deterministic across
+ * thread counts by construction.
+ */
+
+#ifndef DIMMLINK_SIM_SHARD_HH
+#define DIMMLINK_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace dimmlink {
+
+/**
+ * A set of per-shard event queues advancing in lockstep lookahead
+ * windows. Shard 0 is the host (channels, forwarder, sync manager,
+ * runner); shard 1+g is DIMM group g. The ShardSet never owns the
+ * queues; the System does.
+ */
+class ShardSet
+{
+  public:
+    /**
+     * @param queues one EventQueue per shard, shard 0 first. Each
+     *        queue gets its shard id installed (setShard()) so
+     *        schedule() can assert single-writer discipline.
+     * @param lookahead the conservative window length: no cross-shard
+     *        effect may take fewer than @p lookahead ticks. Must be
+     *        positive.
+     */
+    ShardSet(std::vector<EventQueue *> queues, Tick lookahead);
+
+    unsigned
+    numShards() const
+    {
+        return static_cast<unsigned>(queues.size());
+    }
+
+    Tick lookahead() const { return lookaheadTicks; }
+
+    EventQueue &queue(unsigned s) { return *queues[s]; }
+
+    /**
+     * Shard the calling thread is currently executing (0 outside
+     * window execution -- the coordinator acts as the host shard).
+     */
+    unsigned current() const;
+
+    /** True while shards are executing a window (possibly on worker
+     * threads); cross-shard calls must go through the mailbox then. */
+    bool
+    parallelPhase() const
+    {
+        return parallel.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Run @p fn in the context of shard @p dst. Inside a window a
+     * cross-shard call is posted to the calling shard's outbox and
+     * delivered as an event on @p dst's queue at sender-now +
+     * lookahead; a same-shard call (and any call outside a window)
+     * runs immediately. Identical behavior at every thread count.
+     */
+    void call(unsigned dst, std::function<void()> fn,
+              EventPriority prio = EventPriority::Default);
+
+    /**
+     * Run @p fn on the coordinator thread at the next window barrier,
+     * in canonical (tick, priority, shard, sequence) order across all
+     * shards' requests, then deliver the continuation it returns back
+     * on the calling shard's queue at request-time + lookahead. This
+     * is how order-sensitive shared state (the workload program
+     * oracle) is touched from shard context without races: every
+     * thread count replays the same total order.
+     */
+    void callSequenced(std::function<std::function<void()>()> fn,
+                       EventPriority prio = EventPriority::Core);
+
+    /**
+     * Run every shard until @p done returns true or all queues and
+     * outboxes drain. @p threads worker threads execute the windows
+     * (clamped to [1, numShards()]); the calling thread is worker 0
+     * and the barrier coordinator.
+     */
+    void drive(unsigned threads, const std::function<bool()> &done);
+
+    /**
+     * Sequential cross-shard stepping for the host-access phases:
+     * fire the globally next event (ties broken toward the lowest
+     * shard), keeping every other queue's clock within one tick.
+     * @return false when all queues are drained.
+     */
+    bool stepMerged();
+
+    /** Advance every queue to the maximum now() across shards (runs
+     * any events on the way); used at phase boundaries. */
+    void syncClocks();
+
+    /** May the calling thread schedule into @p shard's queue right
+     * now? (single-writer assertion used by EventQueue::schedule). */
+    bool mayTouch(unsigned shard) const;
+
+  private:
+    struct Post
+    {
+        Tick when;
+        int prio;
+        unsigned src;
+        std::uint64_t seq;
+        unsigned dst;
+        std::function<void()> fn;
+    };
+
+    struct SeqReq
+    {
+        Tick when;
+        int prio;
+        unsigned src;
+        std::uint64_t seq;
+        std::function<std::function<void()>()> fn;
+    };
+
+    /** Single-writer while its shard executes a window; padded so
+     * neighboring outboxes never share a cache line. */
+    struct alignas(64) Outbox
+    {
+        std::vector<Post> posts;
+        std::vector<SeqReq> reqs;
+        std::uint64_t nextSeq = 0;
+    };
+
+    void drainOutboxes();
+    Tick minNextPending();
+    void runWindow(Tick limit, unsigned threads);
+    void runShardRange(unsigned self, unsigned threads, Tick limit);
+    void workerLoop(unsigned self, unsigned threads);
+
+    std::vector<EventQueue *> queues;
+    Tick lookaheadTicks;
+    std::vector<Outbox> out;
+
+    std::atomic<bool> parallel{false};
+
+    // Window hand-off between the coordinator and the worker pool:
+    // round is bumped (release) once per window after windowLimit is
+    // set; workers add to arrived (release) when their shards finish.
+    std::atomic<std::uint64_t> round{0};
+    std::atomic<std::uint64_t> arrived{0};
+    std::atomic<bool> stopWorkers{false};
+    Tick windowLimit = 0;
+    /// Busy-poll budget for barrier waits; 0 when the pool is wider
+    /// than the machine (set per drive()).
+    unsigned spinIters = 0;
+};
+
+} // namespace dimmlink
+
+#endif // DIMMLINK_SIM_SHARD_HH

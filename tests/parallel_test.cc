@@ -1,0 +1,280 @@
+/** @file The sharded parallel kernel (sim.shard=group): stats output
+ * must be byte-identical at every thread count -- across workloads,
+ * seeds, shard counts, and under fault injection -- the cross-shard
+ * mailbox must deliver in its canonical order regardless of threads,
+ * and the configuration gates must reject unusable setups. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats_json.hh"
+#include "sim/shard.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace {
+
+struct RunSpec
+{
+    std::string preset = "8D-4C";
+    std::string workload = "pagerank";
+    std::uint64_t seed = 1;
+    std::uint64_t scale = 6;
+    unsigned rounds = 2;
+    unsigned dimmsPerGroup = 0; ///< 0 = preset default.
+    bool stuckLinkFailover = false;
+};
+
+/** One sharded run; returns the full stats JSON + kernel summary. */
+std::string
+runSharded(const RunSpec &spec, unsigned threads)
+{
+    auto cfg = SystemConfig::preset(spec.preset);
+    cfg.idcMethod = IdcMethod::DimmLink;
+    cfg.sim.shard = "group";
+    cfg.sim.threads = threads;
+    if (spec.dimmsPerGroup)
+        cfg.dimmsPerGroup = spec.dimmsPerGroup;
+    if (spec.stuckLinkFailover) {
+        // The chaos-matrix cell: one direction of the 1<->2 bridge
+        // link held down past the retry budget for the whole run, so
+        // exhaustion, health transitions, route-around, and host
+        // failover all execute inside the sharded kernel.
+        cfg.faults.model = "stuck";
+        cfg.faults.stuckAtPs = 0;
+        cfg.faults.stuckForPs = 400000000000000ULL;
+        cfg.faults.stuckPeriodPs = 0;
+        cfg.faults.linkFilter = "link1to2";
+        cfg.faults.onExhausted = "failover";
+        cfg.faults.seed = 7;
+    }
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = spec.scale;
+    p.rounds = spec.rounds;
+    p.seed = spec.seed;
+    auto wl =
+        workloads::makeWorkload(spec.workload, p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    EXPECT_TRUE(r.verified)
+        << spec.workload << " seed=" << spec.seed
+        << " threads=" << threads;
+    std::ostringstream os;
+    stats::dumpJson(sys.stats(), os, /*include_empty=*/true);
+    os << "\nkernelTicks=" << r.kernelTicks
+       << "\nfinalTick=" << sys.queue().now();
+    return os.str();
+}
+
+/** threads=1 is the reference; every other count must match byte for
+ * byte (the determinism contract is within sim.shard=group). */
+void
+expectThreadCountInvariant(const RunSpec &spec,
+                           const std::vector<unsigned> &counts)
+{
+    const std::string ref = runSharded(spec, 1);
+    ASSERT_FALSE(ref.empty());
+    for (unsigned t : counts) {
+        const std::string got = runSharded(spec, t);
+        EXPECT_EQ(ref, got)
+            << spec.workload << " seed=" << spec.seed
+            << " diverged at threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, PagerankAcrossSeedsAndThreadCounts)
+{
+    for (std::uint64_t seed : {1, 2, 3, 7}) {
+        RunSpec s;
+        s.workload = "pagerank";
+        s.seed = seed;
+        expectThreadCountInvariant(s, {2, 4});
+    }
+}
+
+TEST(ParallelDeterminism, BfsAcrossSeedsAndThreadCounts)
+{
+    for (std::uint64_t seed : {1, 2, 3, 7}) {
+        RunSpec s;
+        s.workload = "bfs";
+        s.seed = seed;
+        expectThreadCountInvariant(s, {2, 4});
+    }
+}
+
+TEST(ParallelDeterminism, SyncHeavyWorkloadAcrossSeeds)
+{
+    for (std::uint64_t seed : {1, 2, 3, 7}) {
+        RunSpec s;
+        s.workload = "syncbench";
+        s.seed = seed;
+        s.rounds = 4;
+        expectThreadCountInvariant(s, {2, 4});
+    }
+}
+
+TEST(ParallelDeterminism, EightShardsAtHighThreadCounts)
+{
+    // 16 DIMMs in groups of 2: nine shards, so threads=8 really runs
+    // eight workers (elsewhere the clamp to numShards kicks in).
+    RunSpec s;
+    s.preset = "16D-8C";
+    s.workload = "pagerank";
+    s.dimmsPerGroup = 2;
+    s.scale = 5;
+    s.rounds = 1;
+    expectThreadCountInvariant(s, {2, 4, 8});
+}
+
+TEST(ParallelDeterminism, FaultInjectionWithFailoverRecovery)
+{
+    RunSpec s;
+    s.preset = "4D-2C";
+    s.workload = "bfs";
+    s.seed = 7;
+    s.rounds = 1;
+    s.stuckLinkFailover = true;
+    const std::string ref = runSharded(s, 1);
+    // The cell must actually exercise the recovery path, not just
+    // complete: a dead link detected and failovers taken.
+    EXPECT_NE(ref.find("\"linkDownEvents\": 1"), std::string::npos);
+    EXPECT_EQ(ref.find("\"dllFailovers\": 0,"), std::string::npos);
+    const std::string got = runSharded(s, 2);
+    EXPECT_EQ(ref, got);
+}
+
+/** Cross-shard mailbox: posts made inside a window are delivered at
+ * sender-now + lookahead in canonical (tick, priority, source shard,
+ * sequence) order -- identically on one worker thread or many. */
+class MailboxHarness
+{
+  public:
+    explicit MailboxHarness(Tick lookahead)
+    {
+        for (int i = 0; i < 3; ++i)
+            queues.push_back(std::make_unique<EventQueue>());
+        std::vector<EventQueue *> qs;
+        for (auto &q : queues)
+            qs.push_back(q.get());
+        set = std::make_unique<ShardSet>(qs, lookahead);
+    }
+
+    void
+    log(const std::string &label)
+    {
+        std::ostringstream os;
+        os << label << "@shard" << set->current() << "/t"
+           << set->queue(set->current()).now();
+        events.push_back(os.str());
+    }
+
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::unique_ptr<ShardSet> set;
+    /** Only shard 0 appends (every logging callback is routed there),
+     * so the vector needs no lock even at threads > 1. */
+    std::vector<std::string> events;
+};
+
+std::vector<std::string>
+runMailboxScenario(unsigned threads)
+{
+    MailboxHarness h(/*lookahead=*/100);
+    ShardSet &sh = *h.set;
+
+    // Shard 1, tick 10: two same-tick posts to shard 0 with distinct
+    // priorities, plus one ping-pong chain 1 -> 2 -> 0 that spans
+    // three windows.
+    h.queues[1]->schedule(10, [&] {
+        sh.call(0, [&h] { h.log("b-default"); },
+                EventPriority::Default);
+        sh.call(0, [&h] { h.log("a-core"); }, EventPriority::Core);
+        sh.call(2, [&sh, &h] {
+            sh.call(0, [&h] { h.log("pingpong"); },
+                    EventPriority::Core);
+        }, EventPriority::Core);
+    }, EventPriority::Default);
+    // Shard 2, tick 10: same delivery tick as shard 1's posts; the
+    // lower source-shard id must win the tie at equal priority.
+    h.queues[2]->schedule(10, [&] {
+        sh.call(0, [&h] { h.log("c-default-src2"); },
+                EventPriority::Default);
+    }, EventPriority::Default);
+    // Shard 0, tick 30: a later post that must stay behind all of the
+    // tick-110 deliveries despite being created in the same window.
+    h.queues[0]->schedule(30, [&] {
+        sh.call(1, [&sh, &h] {
+            sh.call(0, [&h] { h.log("late"); }, EventPriority::Core);
+        }, EventPriority::Core);
+    }, EventPriority::Default);
+
+    sh.drive(threads, [] { return false; });
+    return h.events;
+}
+
+TEST(ShardMailbox, CanonicalOrderIsThreadCountInvariant)
+{
+    const auto seq = runMailboxScenario(1);
+    const std::vector<std::string> expected = {
+        "a-core@shard0/t110",      // prio Core beats Default at t110
+        "b-default@shard0/t110",   // same src, same tick, later prio
+        "c-default-src2@shard0/t110", // equal prio: src 1 before 2
+        "pingpong@shard0/t210",    // two hops: 10 + 2 * lookahead
+        "late@shard0/t230",        // 30 + 2 * lookahead
+    };
+    EXPECT_EQ(seq, expected);
+    EXPECT_EQ(runMailboxScenario(2), seq);
+    EXPECT_EQ(runMailboxScenario(3), seq);
+}
+
+TEST(ShardMailbox, SameShardCallRunsInline)
+{
+    MailboxHarness h(/*lookahead=*/100);
+    ShardSet &sh = *h.set;
+    bool ran_inline = false;
+    h.queues[0]->schedule(10, [&] {
+        sh.call(0, [&] { ran_inline = true; });
+        EXPECT_TRUE(ran_inline);
+    }, EventPriority::Default);
+    sh.drive(1, [] { return false; });
+    EXPECT_TRUE(ran_inline);
+}
+
+TEST(ParallelConfig, ZeroLookaheadIsRejected)
+{
+    auto cfg = SystemConfig::preset("8D-4C");
+    cfg.idcMethod = IdcMethod::DimmLink;
+    cfg.sim.shard = "group";
+    cfg.link.routerLatencyPs = 0;
+    cfg.link.wireLatencyPs = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "lookahead");
+}
+
+TEST(ParallelConfig, ThreadsWithoutShardingIsRejected)
+{
+    auto cfg = SystemConfig::preset("8D-4C");
+    cfg.sim.threads = 4; // sim.shard stays "none"
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "sim.shard");
+}
+
+TEST(ParallelConfig, SequentialDefaultIsUntouched)
+{
+    // The classic kernel must not even build a shard set.
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.idcMethod = IdcMethod::DimmLink;
+    System sys(cfg);
+    EXPECT_EQ(sys.shards(), nullptr);
+}
+
+} // namespace
+} // namespace dimmlink
