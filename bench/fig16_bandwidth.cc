@@ -7,15 +7,123 @@
  *
  * Expected shape: bandwidth sensitivity grows with system size; at
  * 16D-8C the HS/BFS curves are near-linear in the paper.
+ *
+ * `--standards [out]` runs the cross-standard memory sweep instead:
+ * the same DIMM-Link machine under each registered DRAM family, with
+ * enough NMP cores that the kernels are memory-bound, written as
+ * BENCH_dram.json (docs/dram_timing.md).
  */
 
 #include "bench_util.hh"
 
+#include "dram/timing.hh"
+
 using namespace benchutil;
 
+namespace {
+
+/** One (standard, workload) cell of the cross-standard sweep. */
+struct StdRow {
+    std::string family;
+    std::string preset;
+    std::string workload;
+    Tick kernelTicks = 0;
+    double speedupVsDdr4 = 0;
+};
+
 int
-main()
+runStandardsSweep(const std::string &out_path)
 {
+    ScopedWallReport wall("fig16_bandwidth --standards");
+    const std::vector<std::string> families = {"ddr4", "ddr5",
+                                               "lpddr5x", "hbm2"};
+    const std::vector<std::string> wls = {"stream", "bfs"};
+
+    std::printf("=== DRAM standards sweep (4D-2C DIMM-Link, "
+                "16 NMP cores/DIMM) ===\n\n");
+    std::printf("%9s %13s", "standard", "preset");
+    for (const auto &wl : wls)
+        std::printf(" %12s", (wl + " ms").c_str());
+    std::printf(" %12s\n", "vs ddr4");
+    printRule(9 + 14 + 13 * (wls.size() + 1));
+
+    std::vector<StdRow> rows;
+    std::map<std::string, double> ddr4_time;
+    for (const auto &family : families) {
+        const std::string preset = dram::Timing::resolveName(family);
+        double total = 0, base_total = 0;
+        std::printf("%9s %13s", family.c_str(), preset.c_str());
+        for (const auto &wl : wls) {
+            SystemConfig cfg =
+                fabricConfig("4D-2C", IdcMethod::DimmLink);
+            cfg.dramPreset = preset;
+            // 16 cores per DIMM makes the kernels memory-bound, so
+            // the standards separate instead of hitting the common
+            // compute floor of the paper's 4-core DIMM.
+            cfg.dimm.numCores = 16;
+            const RunResult r = runNmp(cfg, wl);
+            StdRow row;
+            row.family = family;
+            row.preset = preset;
+            row.workload = wl;
+            row.kernelTicks = r.kernelTicks;
+            rows.push_back(row);
+            if (family == families[0])
+                ddr4_time[wl] = static_cast<double>(r.kernelTicks);
+            total += static_cast<double>(r.kernelTicks);
+            base_total += ddr4_time[wl];
+            std::printf(" %12.3f",
+                        static_cast<double>(r.kernelTicks) /
+                            static_cast<double>(tickPerMs));
+            std::fflush(stdout);
+        }
+        std::printf(" %11.2fx\n", base_total / total);
+    }
+    for (StdRow &row : rows)
+        row.speedupVsDdr4 =
+            ddr4_time[row.workload] /
+            static_cast<double>(row.kernelTicks);
+
+    FILE *out = out_path == "-" ? stdout
+                                : std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"dram_standards\",\n");
+    std::fprintf(out, "  \"machine\": \"4D-2C DIMM-Link\",\n");
+    std::fprintf(out, "  \"dimmNumCores\": 16,\n");
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const StdRow &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"standard\": \"%s\", \"preset\": \"%s\", "
+            "\"workload\": \"%s\", \"kernelTicks\": %llu, "
+            "\"kernelMs\": %.4f, \"speedupVsDdr4\": %.3f}%s\n",
+            r.family.c_str(), r.preset.c_str(), r.workload.c_str(),
+            static_cast<unsigned long long>(r.kernelTicks),
+            static_cast<double>(r.kernelTicks) /
+                static_cast<double>(tickPerMs),
+            r.speedupVsDdr4, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    if (out != stdout)
+        std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::string(argv[1]) == "--standards")
+        return runStandardsSweep(argc > 2 ? argv[2]
+                                          : "BENCH_dram.json");
+
     ScopedWallReport wall("fig16_bandwidth");
     const std::vector<std::string> presets = {"4D-2C", "8D-4C",
                                               "12D-6C", "16D-8C"};

@@ -107,6 +107,44 @@ if ! cmp -s "$trace_dir/off.out" "$trace_dir/plain.out"; then
 fi
 echo "    guard OK: byte-identical stats output"
 
+echo "==> DRAM standards matrix"
+# Every registered memory-standard family must push the whole workload
+# matrix to completion and verification (example_simulate exits
+# nonzero when a kernel fails to verify), exercising each family's own
+# constraint set: DDR5 sub-channels + write CRC, LPDDR5X groupless /
+# windowless decode + REFpb, HBM2 pseudo-channels (docs/dram_timing.md).
+# And the ddr4 family alias must be pure sugar: a run selected via
+# -p dram.standard=ddr4 is byte-identical to one without it.
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 \
+    --workload bfs --scale 5 --rounds 1 --json \
+    > "$trace_dir/std-base.out"
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/default.json" \
+    -p system.numDimms=4 -p system.numChannels=2 \
+    -p host.numChannels=2 -p dram.standard=ddr4 \
+    --workload bfs --scale 5 --rounds 1 --json \
+    > "$trace_dir/std-alias.out"
+if ! cmp -s "$trace_dir/std-base.out" "$trace_dir/std-alias.out"; then
+    echo "dram.standard=ddr4 perturbed the default run"
+    diff "$trace_dir/std-base.out" "$trace_dir/std-alias.out" | head
+    exit 1
+fi
+echo "    [alias] OK: dram.standard=ddr4 is byte-identical"
+for std in ddr4 ddr5 lpddr5x hbm2; do
+    for wl in bfs gups hotspot kmeans nw pagerank spmv sssp stream \
+        tspow; do
+        "$root/build/examples/example_simulate" \
+            --config "$root/configs/default.json" \
+            -p system.numDimms=4 -p system.numChannels=2 \
+            -p host.numChannels=2 -p dram.standard="$std" \
+            --workload "$wl" --scale 5 --rounds 1 > /dev/null
+    done
+    echo "    [$std] OK: 10-workload matrix completed and verified"
+done
+
 echo "==> parallel determinism: sharded stats identical across threads"
 # The contract of sim.shard=group: the full --json output (config
 # header, metrics, stats) is byte-identical at every thread count.

@@ -317,6 +317,23 @@ fields()
         CFG_FIELD("system.dramScheduler", dramScheduler),
         CFG_FIELD("system.seed", seed),
 
+        // The `dram` section aliases into the timing-preset registry:
+        // `dram.standard = ddr5` resolves to that family's default
+        // speed grade, an exact grade name passes through. Hidden so
+        // the config header embedded in stats JSON (and with it the
+        // default path's byte-identity) is unchanged;
+        // `system.dramPreset` stays the describable source of truth.
+        Field{"dram.standard",
+              [](const SystemConfig &c) {
+                  return formatValue(
+                      dram::Timing::familyOf(c.dramPreset));
+              },
+              [](SystemConfig &c, const std::string &v) {
+                  c.dramPreset = dram::Timing::resolveName(
+                      parseValue(v, "dram.standard", std::string()));
+              },
+              false},
+
         CFG_FIELD("host.numCores", host.numCores),
         CFG_FIELD("host.coreFreqMHz", host.coreFreqMHz),
         CFG_FIELD("host.computeIpc", host.computeIpc),
@@ -524,15 +541,10 @@ SystemConfig::validate() const
     if (!sched.contains(dramScheduler))
         fatal("unknown DRAM scheduling policy '%s' (registered: %s)",
               dramScheduler.c_str(), sched.knownList().c_str());
-    const auto &presets = dram::Timing::presets();
-    if (std::find(presets.begin(), presets.end(), dramPreset) ==
-        presets.end()) {
-        std::string list;
-        for (const std::string &p : presets)
-            list += (list.empty() ? "" : ", ") + p;
-        fatal("unknown DRAM timing preset '%s' (valid: %s)",
-              dramPreset.c_str(), list.c_str());
-    }
+    const auto &timings = dram::TimingFactory::instance();
+    if (!timings.contains(dramPreset))
+        fatal("unknown DRAM timing preset '%s' (registered: %s)",
+              dramPreset.c_str(), timings.knownList().c_str());
 
     // DLL retry window: the selective-repeat dedup logic needs the
     // old and new halves of the 16-bit sequence space to stay
@@ -665,7 +677,7 @@ SystemConfig::set(const std::string &key, const std::string &value)
         fatal("unknown config key '%s' (keys in section '%s': %s)",
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
-          "link, bus, faults, energy, obs, watchdog, sim)",
+          "dram, link, bus, faults, energy, obs, watchdog, sim)",
           key.c_str());
 }
 
@@ -687,6 +699,12 @@ SystemConfig::knownKeys()
     for (const Field &f : fields())
         keys.push_back(f.key);
     return keys;
+}
+
+dram::Timing
+SystemConfig::dramTiming() const
+{
+    return dram::Timing::preset(dramPreset);
 }
 
 SystemConfig

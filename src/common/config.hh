@@ -289,6 +289,10 @@ struct EnergyConfig
     double dedicatedBusPjPerBit = 22.0; ///< AIM bus == memory-bus IO.
 };
 
+namespace dram {
+struct Timing;
+} // namespace dram
+
 /** Everything needed to build a System. */
 struct SystemConfig
 {
@@ -315,7 +319,10 @@ struct SystemConfig
     WatchdogConfig watchdog;
     SimConfig sim;
 
-    /** DRAM timing preset name ("DDR4_2400" or "DDR4_3200"). */
+    /** DRAM timing preset name, keyed into the timing registry
+     * (DDR4_2400, DDR5_4800, LPDDR5X_8533, HBM2_2000, ...). Set
+     * directly, or via the `dram.standard` family alias
+     * (ddr4|ddr5|lpddr5x|hbm2); see docs/dram_timing.md. */
     std::string dramPreset = "DDR4_2400";
 
     /** DRAM controller scheduling policy (registry-keyed; the seed
@@ -323,6 +330,10 @@ struct SystemConfig
     std::string dramScheduler = "FRFCFS";
 
     std::uint64_t seed = 1;
+
+    /** The registered timing table dramPreset names (the seam
+     * System::build, host_runner and the energy model read). */
+    dram::Timing dramTiming() const;
 
     /** DIMMs per channel (derived). */
     unsigned dimmsPerChannel() const { return numDimms / numChannels; }

@@ -47,7 +47,7 @@ LocalMc::ctrlAddr(Addr local) const
 
 void
 LocalMc::enqueueLine(Addr line_addr, bool is_write,
-                     std::function<void()> done)
+                     EventCallback done)
 {
     dram::DramController &ctrl = *rankCtrl[rankOf(line_addr)];
     if (ctrl.full(is_write)) {

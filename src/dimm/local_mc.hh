@@ -20,6 +20,7 @@
 #include "dram/address_map.hh"
 #include "dram/dram_controller.hh"
 #include "idc/fabric.hh"
+#include "sim/event_callback.hh"
 #include "sim/event_queue.hh"
 
 namespace dimmlink {
@@ -70,7 +71,7 @@ class LocalMc
     {
         Addr local;
         bool isWrite;
-        std::function<void()> done;
+        EventCallback done; ///< SBO; matches DramRequest::done.
     };
 
     /** Split a DIMM-local span into line accesses on the rank
@@ -79,7 +80,7 @@ class LocalMc
                     std::function<void()> done);
 
     void enqueueLine(Addr line_addr, bool is_write,
-                     std::function<void()> done);
+                     EventCallback done);
     void drainPending();
 
     unsigned rankOf(Addr local) const;

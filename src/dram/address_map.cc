@@ -46,12 +46,12 @@ LocalAddressMap::LocalAddressMap(const Timing &t, unsigned num_ranks,
                                  unsigned line_bytes)
     : line(line_bytes),
       lineBits(floorLog2(line_bytes)),
-      bgBits(floorLog2(t.bankGroups)),
-      bankBits(floorLog2(t.banksPerGroup)),
+      bgBits(t.bankGroups > 1 ? floorLog2(t.bankGroups) : 0),
+      bankBits(t.banksPerGroup > 1 ? floorLog2(t.banksPerGroup) : 0),
       rankBits(num_ranks > 1 ? floorLog2(num_ranks) : 0),
       rowBits(floorLog2(t.rows)),
       ranks(num_ranks),
-      bankGroups(t.bankGroups),
+      bankGroups(t.effGroups()),
       banksPerGroup(t.banksPerGroup),
       columns(t.columns),
       rows(t.rows)

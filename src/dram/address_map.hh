@@ -30,11 +30,12 @@ struct DramCoord
     unsigned row;
     unsigned column;
 
-    /** Flat bank index within the DIMM. */
+    /** Flat bank index within the DIMM. bankGroup is always 0 for a
+     * groupless standard, so effGroups() keeps the index dense. */
     unsigned
     flatBank(const Timing &t) const
     {
-        return (rank * t.bankGroups + bankGroup) * t.banksPerGroup
+        return (rank * t.effGroups() + bankGroup) * t.banksPerGroup
             + bank;
     }
 };

@@ -25,9 +25,12 @@ DramController::DramController(EventQueue &eq, std::string name,
       ranks(num_ranks),
       banks(num_ranks * timing.banksPerRank()),
       sched(makeSchedPolicy(sched_policy)),
-      actWindow(num_ranks),
-      nextCasSameGroup(num_ranks * timing.bankGroups, 0),
+      actWindow(num_ranks * timing.subChannels),
+      nextCasAnyGroup(timing.subChannels, 0),
+      nextCasSameGroup(num_ranks * timing.effGroups(), 0),
+      dataBusFreeAt(timing.subChannels, 0),
       rankBlockedUntil(num_ranks, 0),
+      refreshCursor(num_ranks, 0),
       statReads(stats_group.scalar("reads")),
       statWrites(stats_group.scalar("writes")),
       statActs(stats_group.scalar("activates")),
@@ -36,10 +39,11 @@ DramController::DramController(EventQueue &eq, std::string name,
       statRefreshes(stats_group.scalar("refreshes")),
       statLatency(stats_group.distribution("accessLatencyPs"))
 {
-    nextRdCas.assign(ranks, 0);
-    nextWrCas.assign(ranks, 0);
-    nextActRank.assign(ranks, 0);
-    nextActGroup.assign(ranks * spec.bankGroups, 0);
+    spec.check();
+    nextRdCas.assign(ranks * spec.subChannels, 0);
+    nextWrCas.assign(ranks * spec.subChannels, 0);
+    nextActRank.assign(ranks * spec.subChannels, 0);
+    nextActGroup.assign(ranks * spec.effGroups(), 0);
     if (auto *t = eq.tracer(); t && t->enabled(obs::CatDram)) {
         tr = t;
         trk = t->track(stats_group.name(), obs::CatDram);
@@ -135,19 +139,27 @@ DramController::casReadyAt(const QueuedReq &qr, Tick now_t) const
     const Bank &bank = bankOf(qr.coord);
     const bool is_wr = qr.req.isWrite;
     const unsigned r = qr.coord.rank;
-    const unsigned rg = r * spec.bankGroups + qr.coord.bankGroup;
 
     Tick ready = bank.readyAt(is_wr ? DramCmd::Wr : DramCmd::Rd);
-    ready = std::max(ready, nextCasAnyGroup);
-    ready = std::max(ready, nextCasSameGroup[rg]);
+    ready = std::max(ready, nextCasAnyGroup[laneOf(qr.coord)]);
+    // Without bank groups the tCCD L/S split collapses: tCCD_S (via
+    // nextCasAnyGroup above) is the only CAS-to-CAS spacing.
+    if (spec.hasBankGroups()) {
+        const unsigned rg =
+            r * spec.effGroups() + qr.coord.bankGroup;
+        ready = std::max(ready, nextCasSameGroup[rg]);
+    }
     ready = std::max(ready, rankBlockedUntil[r]);
-    ready = std::max(ready, is_wr ? nextWrCas[r] : nextRdCas[r]);
+    const unsigned lane = laneOf(qr.coord);
+    ready = std::max(ready, is_wr ? nextWrCas[rankLane(r, lane)]
+                                  : nextRdCas[rankLane(r, lane)]);
 
     // The data burst (starting tCL / tCWL after the CAS) must not
-    // overlap the previous burst on the shared data bus.
+    // overlap the previous burst on this bank's data-bus lane.
     const Tick cas_to_data = spec.cyc(is_wr ? spec.tCWL : spec.tCL);
-    if (dataBusFreeAt > cas_to_data)
-        ready = std::max(ready, dataBusFreeAt - cas_to_data);
+    const Tick bus_free = dataBusFreeAt[lane];
+    if (bus_free > cas_to_data)
+        ready = std::max(ready, bus_free - cas_to_data);
 
     return std::max(ready, now_t);
 }
@@ -171,13 +183,19 @@ DramController::actReadyAt(const QueuedReq &qr, Tick now_t) const
 {
     const Bank &bank = bankOf(qr.coord);
     const unsigned r = qr.coord.rank;
-    const unsigned rg = r * spec.bankGroups + qr.coord.bankGroup;
+    const unsigned rl = rankLane(r, laneOf(qr.coord));
     Tick ready = bank.readyAt(DramCmd::Act);
     ready = std::max(ready, rankBlockedUntil[r]);
-    ready = std::max(ready, nextActRank[r]);
-    ready = std::max(ready, nextActGroup[rg]);
-    if (actWindow[r].size() >= 4)
-        ready = std::max(ready, actWindow[r].front() + spec.cyc(spec.tFAW));
+    ready = std::max(ready, nextActRank[rl]);
+    if (spec.hasBankGroups()) {
+        const unsigned rg =
+            r * spec.effGroups() + qr.coord.bankGroup;
+        ready = std::max(ready, nextActGroup[rg]);
+    }
+    // tFAW == 0: the standard has no four-activate window.
+    if (spec.tFAW > 0 && actWindow[rl].size() >= 4)
+        ready = std::max(ready,
+                         actWindow[rl].front() + spec.cyc(spec.tFAW));
     return std::max(ready, now_t);
 }
 
@@ -186,36 +204,45 @@ DramController::advance(QueuedReq &qr, Tick now_t)
 {
     Bank &bank = bankOf(qr.coord);
     const unsigned r = qr.coord.rank;
-    const unsigned rg = r * spec.bankGroups + qr.coord.bankGroup;
+    const unsigned rg = r * spec.effGroups() + qr.coord.bankGroup;
 
     if (bank.isOpen() && bank.openRow() == qr.coord.row) {
-        // Row hit: issue the CAS.
+        // Row hit: issue the CAS. Writes may carry extra burst clocks
+        // for on-die write CRC (DDR5).
         const bool is_wr = qr.req.isWrite;
         const Tick data_start =
             now_t + spec.cyc(is_wr ? spec.tCWL : spec.tCL);
-        const Tick data_end = data_start + spec.cyc(spec.tBL);
+        const Tick data_end =
+            data_start +
+            spec.cyc(spec.tBL + (is_wr ? spec.wrCrcCycles : 0));
 
+        const unsigned lane = laneOf(qr.coord);
         if (is_wr) {
             bank.write(now_t, spec);
             ++statWrites;
-            // Write-to-read turnaround on this rank.
-            nextRdCas[r] = std::max(
-                nextRdCas[r], data_end + spec.cyc(spec.tWTRl));
+            // Write-to-read turnaround on this rank's lane.
+            const unsigned rl = rankLane(r, lane);
+            nextRdCas[rl] = std::max(
+                nextRdCas[rl], data_end + spec.cyc(spec.tWTRl));
         } else {
             bank.read(now_t, spec);
             ++statReads;
-            // Read-to-write turnaround (bus direction change).
-            for (unsigned rr = 0; rr < ranks; ++rr)
-                nextWrCas[rr] = std::max(
-                    nextWrCas[rr],
+            // Read-to-write turnaround (direction change on this
+            // lane's data bus, so every rank sharing the lane waits).
+            for (unsigned rr = 0; rr < ranks; ++rr) {
+                const unsigned rl = rankLane(rr, lane);
+                nextWrCas[rl] = std::max(
+                    nextWrCas[rl],
                     data_end > spec.cyc(spec.tCWL)
                         ? data_end - spec.cyc(spec.tCWL)
                               + spec.cyc(spec.tRTW)
                         : spec.cyc(spec.tRTW));
+            }
         }
-        nextCasAnyGroup = now_t + spec.cyc(spec.tCCDs);
-        nextCasSameGroup[rg] = now_t + spec.cyc(spec.tCCDl);
-        dataBusFreeAt = data_end;
+        nextCasAnyGroup[lane] = now_t + spec.cyc(spec.tCCDs);
+        if (spec.hasBankGroups())
+            nextCasSameGroup[rg] = now_t + spec.cyc(spec.tCCDl);
+        dataBusFreeAt[lane] = data_end;
 
         statLatency.sample(static_cast<double>(data_end - qr.arrival));
         if (tr)
@@ -231,20 +258,24 @@ DramController::advance(QueuedReq &qr, Tick now_t)
     if (!bank.isOpen()) {
         bank.activate(now_t, qr.coord.row, spec);
         ++statActs;
+        const unsigned rl = rankLane(r, laneOf(qr.coord));
         if (tr) {
             tr->instant(trk, nmAct, now_t, qr.coord.row);
             // The ACT was tFAW-bound exactly when the fourth-previous
             // ACT plus tFAW lands on this issue tick (issue legality
             // guarantees <=; equality means the window was binding).
-            if (actWindow[r].size() >= 4 &&
-                actWindow[r].front() + spec.cyc(spec.tFAW) == now_t)
+            if (spec.tFAW > 0 && actWindow[rl].size() >= 4 &&
+                actWindow[rl].front() + spec.cyc(spec.tFAW) == now_t)
                 tr->instant(trk, nmFaw, now_t, r);
         }
-        nextActRank[r] = now_t + spec.cyc(spec.tRRDs);
-        nextActGroup[rg] = now_t + spec.cyc(spec.tRRDl);
-        actWindow[r].push_back(now_t);
-        if (actWindow[r].size() > 4)
-            actWindow[r].pop_front();
+        nextActRank[rl] = now_t + spec.cyc(spec.tRRDs);
+        if (spec.hasBankGroups())
+            nextActGroup[rg] = now_t + spec.cyc(spec.tRRDl);
+        if (spec.tFAW > 0) {
+            actWindow[rl].push_back(now_t);
+            if (actWindow[rl].size() > 4)
+                actWindow[rl].pop_front();
+        }
         return false;
     }
 
@@ -311,6 +342,25 @@ DramController::scheduleRefresh(unsigned rank)
 void
 DramController::doRefresh(unsigned rank)
 {
+    if (spec.perBankRefresh) {
+        // Same-bank refresh (REFsb / REFpb): each tREFI command
+        // refreshes one bank round-robin for tRFCpb while the rest of
+        // the rank keeps serving. stepReadyAt() sees the refreshing
+        // bank's busy-until through Bank::readyAt, so no rank-wide
+        // block is needed.
+        const unsigned nb = spec.banksPerRank();
+        const unsigned b = refreshCursor[rank];
+        refreshCursor[rank] = (b + 1) % nb;
+        const Tick until = now() + spec.cyc(spec.tRFCpb);
+        banks[rank * nb + b].refresh(until);
+        ++statRefreshes;
+        if (tr)
+            tr->complete(trk, nmRef, now(), until - now());
+        if (pending() > 0)
+            scheduleIssue(clockEdge());
+        scheduleRefresh(rank);
+        return;
+    }
     const Tick until = now() + spec.cyc(spec.tRFC);
     for (unsigned b = 0; b < spec.banksPerRank(); ++b)
         banks[rank * spec.banksPerRank() + b].refresh(until);

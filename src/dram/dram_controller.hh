@@ -1,8 +1,13 @@
 /**
  * @file
- * A cycle-level DDR4 memory controller with FR-FCFS scheduling, write
+ * A cycle-level memory controller with FR-FCFS scheduling, write
  * draining, per-rank tFAW tracking, CAS-to-CAS bus constraints and
- * all-bank refresh. One controller instance models the DRAM devices of
+ * refresh. The controller is standard-agnostic: every constraint is
+ * read from the Timing table and degrades cleanly when a standard
+ * lacks it (tFAW=0 means no activate window, bankGroups=0 collapses
+ * the tCCD/tRRD L/S split, perBankRefresh refreshes one bank per
+ * REFsb instead of blocking the rank, subChannels>1 runs independent
+ * data-bus lanes). One controller instance models the DRAM devices of
  * one DIMM (driven by the DIMM's Local MC in NMP mode, or by a host
  * channel in Host-Access mode).
  */
@@ -21,6 +26,7 @@
 #include "dram/sched_policy.hh"
 #include "dram/timing.hh"
 #include "sim/clocked.hh"
+#include "sim/event_callback.hh"
 
 namespace dimmlink {
 
@@ -35,8 +41,11 @@ struct DramRequest
 {
     Addr local = 0;
     bool isWrite = false;
-    /** Invoked when the data burst completes. */
-    std::function<void()> done;
+    /** Invoked when the data burst completes. EventCallback (not
+     * std::function): completions are scheduled directly into the
+     * event kernel, and the SBO representation keeps the per-request
+     * hot path allocation-free even for large captures. */
+    EventCallback done;
 };
 
 /** A request waiting in a controller queue, as scheduling sees it. */
@@ -129,6 +138,29 @@ class DramController : public Clocked
         return banks[c.flatBank(spec)];
     }
 
+    /** Data-bus lane serving @p c (trivially lane 0 with a single
+     * data bus). A whole bank group lives on one lane — sub-channels
+     * are independent halves of the device, not an interleave — and a
+     * groupless standard stripes flat banks across lanes instead. */
+    unsigned
+    laneOf(const DramCoord &c) const
+    {
+        if (spec.subChannels == 1)
+            return 0;
+        return (spec.hasBankGroups() ? c.bankGroup : c.bank) %
+               spec.subChannels;
+    }
+
+    /** Index into the per-(rank, lane) constraint tables. Sub-channels
+     * (DDR5) and pseudo-channels (HBM2) have independent command and
+     * data paths, so tFAW / tRRD / turnaround apply per lane, not per
+     * rank; with one lane this degenerates to plain rank indexing. */
+    unsigned
+    rankLane(unsigned rank, unsigned lane) const
+    {
+        return rank * spec.subChannels + lane;
+    }
+
     Timing spec;
     LocalAddressMap map;
     unsigned ranks;
@@ -143,24 +175,32 @@ class DramController : public Clocked
     unsigned writeLowWatermark = 16;
     bool drainingWrites = false;
 
-    /** Sliding window of the last four ACT ticks, per rank (tFAW). */
+    /** Sliding window of the last four ACT ticks (tFAW), per
+     * (rank, lane); unused when the standard has no window (tFAW ==
+     * 0). */
     std::vector<std::deque<Tick>> actWindow;
-    /** Earliest next CAS per (same-bank-group? tCCD_L : tCCD_S). */
-    Tick nextCasAnyGroup = 0;
-    std::vector<Tick> nextCasSameGroup; ///< indexed rank*bg.
-    /** Rank-level turnaround constraints (tWTR / tRTW). */
+    /** Earliest next CAS per (same-bank-group? tCCD_L : tCCD_S).
+     * tCCD_S paces each lane's command stream independently —
+     * sub-channels have their own command/data paths. */
+    std::vector<Tick> nextCasAnyGroup; ///< indexed by lane.
+    std::vector<Tick> nextCasSameGroup; ///< indexed rank*effGroups.
+    /** Turnaround constraints (tWTR / tRTW), per (rank, lane). */
     std::vector<Tick> nextRdCas;
     std::vector<Tick> nextWrCas;
-    /** ACT-to-ACT spacing (tRRD_S per rank, tRRD_L per bank group). */
+    /** ACT-to-ACT spacing (tRRD_S per (rank, lane), tRRD_L per bank
+     * group). */
     std::vector<Tick> nextActRank;
     std::vector<Tick> nextActGroup;
-    /** Data-bus busy-until (one burst at a time). */
-    Tick dataBusFreeAt = 0;
+    /** Per-lane data-bus busy-until (one burst at a time per
+     * sub-channel; single entry for a one-bus standard). */
+    std::vector<Tick> dataBusFreeAt;
     /** Bus turnaround bookkeeping. */
     Tick lastReadEnd = 0;
     Tick lastWriteEnd = 0;
-    /** Refresh blocks the whole rank. */
+    /** All-bank refresh blocks the whole rank; REFsb leaves this at
+     * zero and cycles refreshCursor over the rank's banks instead. */
     std::vector<Tick> rankBlockedUntil;
+    std::vector<unsigned> refreshCursor;
 
     bool issueScheduled = false;
     Tick issueAt = 0;

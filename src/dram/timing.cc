@@ -1,50 +1,86 @@
 #include "dram/timing.hh"
 
+#include <algorithm>
+#include <cctype>
+
+#include "common/bitfield.hh"
 #include "common/log.hh"
 
 namespace dimmlink {
 namespace dram {
 
+void
+Timing::check() const
+{
+    if (clkMHz <= 0)
+        fatal("DRAM preset '%s': clock must be positive", name.c_str());
+    if (tBL == 0)
+        fatal("DRAM preset '%s': burst length must be positive",
+              name.c_str());
+    if (banksPerGroup == 0 || rows == 0 || columns == 0 ||
+        deviceBusBytes == 0)
+        fatal("DRAM preset '%s': geometry fields must be positive",
+              name.c_str());
+    if (bankGroups > 1 && !isPow2(bankGroups))
+        fatal("DRAM preset '%s': bankGroups (%u) must be 0 or a power "
+              "of two", name.c_str(), bankGroups);
+    if (!isPow2(banksPerGroup))
+        fatal("DRAM preset '%s': banksPerGroup (%u) must be a power "
+              "of two", name.c_str(), banksPerGroup);
+    if (subChannels == 0)
+        fatal("DRAM preset '%s': subChannels must be positive",
+              name.c_str());
+    if (perBankRefresh && tRFCpb == 0)
+        fatal("DRAM preset '%s': per-bank refresh needs tRFCpb",
+              name.c_str());
+}
+
 Timing
 Timing::preset(const std::string &name)
 {
-    if (name == "DDR4_2400")
-        return Timing{};
-
-    if (name == "DDR4_3200") {
-        // Scaled from the 2400 preset: same wall-clock latencies at a
-        // 1600 MHz command clock.
-        Timing t;
-        t.name = "DDR4_3200";
-        t.clkMHz = 1600.0;
-        t.tRCD = 22;
-        t.tRP = 22;
-        t.tCL = 22;
-        t.tCWL = 20;
-        t.tRAS = 52;
-        t.tRC = 74;
-        t.tCCDl = 8;
-        t.tRRDl = 8;
-        t.tFAW = 34;
-        t.tWR = 24;
-        t.tWTRl = 12;
-        t.tWTRs = 4;
-        t.tRTP = 12;
-        t.tREFI = 12480;
-        t.tRFC = 560;
-        return t;
-    }
-
-    fatal("unknown DRAM timing preset '%s'", name.c_str());
+    // The factory fatal()s with the registered-name list on unknown
+    // keys; presets registered at static-init time in
+    // timing_presets.cc.
+    return *TimingFactory::instance().create(name);
 }
 
-const std::vector<std::string> &
+std::vector<std::string>
 Timing::presets()
 {
-    static const std::vector<std::string> names = {
-        "DDR4_2400", "DDR4_3200",
+    return TimingFactory::instance().known();
+}
+
+std::string
+Timing::resolveName(const std::string &name)
+{
+    const auto &factory = TimingFactory::instance();
+    if (factory.contains(name))
+        return name;
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    // Family alias -> default speed grade.
+    static const std::pair<const char *, const char *> families[] = {
+        {"ddr4", "DDR4_2400"},
+        {"ddr5", "DDR5_4800"},
+        {"lpddr5x", "LPDDR5X_8533"},
+        {"hbm2", "HBM2_2000"},
     };
-    return names;
+    for (const auto &[family, grade] : families)
+        if (lower == family)
+            return grade;
+    return name;
+}
+
+std::string
+Timing::familyOf(const std::string &name)
+{
+    const auto &factory = TimingFactory::instance();
+    if (!factory.contains(name))
+        return name;
+    return factory.create(name)->standard;
 }
 
 } // namespace dram

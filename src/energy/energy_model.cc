@@ -1,5 +1,7 @@
 #include "energy/energy_model.hh"
 
+#include "dram/timing.hh"
+
 namespace dimmlink {
 
 namespace {
@@ -48,12 +50,16 @@ EnergyModel::report(const stats::Registry &reg, Tick kernel_ticks,
     EnergyReport r;
 
     // DRAM: each read/write moves one 64-byte line through the
-    // array; ACTs are charged separately.
+    // array; ACTs are charged separately. The per-standard scale
+    // factors adjust the paper's DDR4 constants (both 1.0 for DDR4,
+    // so the default path is numerically untouched).
+    const dram::Timing timing = cfg.dramTiming();
     const double accesses = delta(reg, "dimm", "reads") +
                             delta(reg, "dimm", "writes");
     const double act = delta(reg, "dimm", "activates");
-    r.dramPj = accesses * 64 * 8 * e.ddrRdWrPjPerBit +
-               act * e.activateNj * 1e3;
+    r.dramPj = accesses * 64 * 8 * e.ddrRdWrPjPerBit *
+                   timing.energyRdWrScale +
+               act * e.activateNj * timing.energyActScale * 1e3;
 
     // DIMM-Link SerDes traffic.
     r.linkPj = delta(reg, "fabric", "bytesViaLink") * 8 *

@@ -806,18 +806,52 @@ DlFabric::requestForward(DimmId src, std::function<void()> job)
             return;
         }
         statProxyNotifies.addConcurrent(1);
+        // Exactly one of {delivery, drop, deadline} may claim the job:
+        // all three race on this group's shard, so a plain flag is
+        // enough to make the losers no-ops.
+        auto claimed = std::make_shared<bool>(false);
         noc::Message note;
         note.src = nodeIdx(src);
         note.dst = nodeIdx(proxy);
         note.flits = 1;
         note.id = allocMsgId(g);
         statBytesViaLink.addConcurrent(proto::flitBytes);
-        note.deliver = [this, proxy, job_sh](int) {
+        note.deliver = [this, proxy, job_sh, claimed](int) {
+            if (*claimed)
+                return;
+            *claimed = true;
             callOn(0, [this, proxy, job_sh] {
                 path.request(proxy, [job_sh] { (*job_sh)(); });
             });
         };
-        note.onDropped = fallback;
+        note.onDropped = [claimed, fallback] {
+            if (*claimed)
+                return;
+            *claimed = true;
+            fallback();
+        };
+        if (dllPath) {
+            // A stuck link *delays* whatever is serialized into it
+            // (noc::Link::transmit adds the outage to the arrival
+            // tick, it never drops), so a notify note caught upstream
+            // of the proxy before LinkHealth marks the link down would
+            // neither deliver nor fire onDropped within the run — the
+            // forward job would be lost and every transaction behind
+            // it would hang (the 8D two-group stuck-bridge hang noted
+            // in PR 6: group 0's proxy sits behind the stuck 1->2
+            // edge). Bound the note's useful life by the same timeout
+            // that protects DLL data packets; past it, the host
+            // discovers the request on its own polling cadence.
+            cq().scheduleIn(
+                packetizeDelay(1) + cfg.link.retryTimeoutPs,
+                [claimed, fallback] {
+                    if (*claimed)
+                        return;
+                    *claimed = true;
+                    fallback();
+                },
+                EventPriority::Control);
+        }
         cq().scheduleIn(packetizeDelay(1),
                         [this, g, note = std::move(note)]() mutable {
                             inject(g, std::move(note));

@@ -202,7 +202,7 @@ HostRunner::HostRunner(SystemConfig cfg_) : cfg(std::move(cfg_))
             eventq, name, cfg.host.channelGBps,
             registry.group(name)));
     }
-    const dram::Timing timing = dram::Timing::preset(cfg.dramPreset);
+    const dram::Timing timing = cfg.dramTiming();
     dramPending.resize(cfg.numChannels);
     for (unsigned c = 0; c < cfg.numChannels; ++c) {
         const std::string n = "host.dram" + std::to_string(c);

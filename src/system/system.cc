@@ -92,7 +92,7 @@ System::System(SystemConfig cfg_) : cfg(std::move(cfg_))
         chan_ptrs.push_back(ch.get());
     fabric_ = idc::makeFabric(eventq, cfg, chan_ptrs, registry);
 
-    const dram::Timing timing = dram::Timing::preset(cfg.dramPreset);
+    const dram::Timing timing = cfg.dramTiming();
     for (unsigned d = 0; d < cfg.numDimms; ++d)
         dimms.push_back(std::make_unique<Dimm>(
             // Each DIMM's components live (and schedule) on its

@@ -85,6 +85,37 @@ TEST(ConfigSet, ApplyOverrideSplitsOnEquals)
     EXPECT_EQ(cfg.dramScheduler, "FCFS");
 }
 
+TEST(ConfigSet, DramStandardAliasRewritesThePreset)
+{
+    // dram.standard is a hidden convenience alias: each family name
+    // selects that family's default speed grade.
+    SystemConfig cfg;
+    cfg.set("dram.standard", "ddr5");
+    EXPECT_EQ(cfg.dramPreset, "DDR5_4800");
+    cfg.set("dram.standard", "hbm2");
+    EXPECT_EQ(cfg.dramPreset, "HBM2_2000");
+    cfg.set("dram.standard", "lpddr5x");
+    EXPECT_EQ(cfg.dramPreset, "LPDDR5X_8533");
+    cfg.set("dram.standard", "ddr4");
+    EXPECT_EQ(cfg.dramPreset, "DDR4_2400");
+    // A full preset name passes through unchanged.
+    cfg.set("dram.standard", "DDR5_6400");
+    EXPECT_EQ(cfg.dramPreset, "DDR5_6400");
+    // Hidden: the alias never appears in describe() output, so adding
+    // it did not perturb the stats-JSON config header.
+    EXPECT_EQ(cfg.describe().find("dram.standard"), std::string::npos);
+}
+
+TEST(ConfigSetDeathTest, UnknownDramStandardFatalsInValidate)
+{
+    SystemConfig cfg = SystemConfig::preset("4D-2C");
+    // An unknown family is left as-is and caught by validate()'s
+    // registry check, which lists what is available.
+    cfg.set("dram.standard", "sdram");
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "DRAM timing preset 'sdram'.*DDR4_2400");
+}
+
 TEST(ConfigSetDeathTest, MalformedOverrideFatals)
 {
     SystemConfig cfg;
@@ -235,9 +266,9 @@ TEST(ConfigValidateDeathTest, CrossFieldConstraints)
     }
     {
         SystemConfig cfg = SystemConfig::preset("8D-4C");
-        cfg.dramPreset = "DDR5_4800";
+        cfg.dramPreset = "DDR9_9999"; // no such registered preset
         EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                    "DRAM timing preset 'DDR5_4800'.*DDR4_2400");
+                    "DRAM timing preset 'DDR9_9999'.*DDR4_2400");
     }
     {
         SystemConfig cfg = SystemConfig::preset("8D-4C");

@@ -27,10 +27,40 @@ TEST(Timing, Ddr4Preset)
     EXPECT_GE(t.tCCDl, t.tCCDs);
 }
 
-TEST(Timing, UnknownPresetDies)
+TEST(Timing, UnknownPresetDiesListingRegisteredOnes)
 {
-    EXPECT_EXIT(Timing::preset("DDR9"),
-                ::testing::ExitedWithCode(1), "unknown");
+    // The registry rejects unknown names and says what it knows, so a
+    // typo is a one-round-trip fix.
+    EXPECT_EXIT(Timing::preset("DDR9"), ::testing::ExitedWithCode(1),
+                "unknown DRAM timing preset 'DDR9'.*DDR4_2400");
+}
+
+TEST(Timing, EveryRegisteredPresetRoundTrips)
+{
+    const auto names = Timing::presets();
+    EXPECT_GE(names.size(), 6u);
+    for (const auto &n : names) {
+        const Timing t = Timing::preset(n);
+        EXPECT_EQ(t.name, n);
+        t.check(); // registered tables must be self-consistent
+        EXPECT_EQ(Timing::resolveName(n), n);
+        EXPECT_EQ(Timing::familyOf(n), t.standard);
+        EXPECT_GT(t.banksPerRank(), 0u);
+        EXPECT_GE(t.subChannels, 1u);
+        if (t.perBankRefresh) {
+            EXPECT_GT(t.tRFCpb, 0u);
+        }
+    }
+}
+
+TEST(Timing, FamilyAliasesResolveToDefaultGrades)
+{
+    EXPECT_EQ(Timing::resolveName("ddr4"), "DDR4_2400");
+    EXPECT_EQ(Timing::resolveName("DDR5"), "DDR5_4800");
+    EXPECT_EQ(Timing::resolveName("lpddr5x"), "LPDDR5X_8533");
+    EXPECT_EQ(Timing::resolveName("hbm2"), "HBM2_2000");
+    // Unknown names pass through unchanged for validate() to reject.
+    EXPECT_EQ(Timing::resolveName("DDR9_9999"), "DDR9_9999");
 }
 
 TEST(GlobalMap, RoundTrips)
@@ -313,6 +343,199 @@ TEST_P(ControllerRandomTest, AllRandomRequestsComplete)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ControllerRandomTest,
                          ::testing::Values(1, 2, 3, 17, 99));
+
+// ---- cross-standard behaviour -----------------------------------------
+
+/** Latency of a read to bank-group 1 issued one cycle after the first
+ * refresh command of @p t lands. */
+Tick
+latencyDuringRefresh(const Timing &t)
+{
+    EventQueue eq;
+    stats::Registry reg;
+    DramController ctrl(eq, "ctl", t, 1, 64, reg.group("ctl"));
+    eq.runUntil(t.cyc(t.tREFI) + t.cyc(1));
+    EXPECT_GE(reg.scalar("ctl.refreshes"), 1.0);
+    bool done = false;
+    Tick done_at = 0;
+    DramRequest req;
+    req.local = 64; // decodes to bank-group 1: not the REFsb target
+    req.done = [&] {
+        done = true;
+        done_at = eq.now();
+    };
+    const Tick start = eq.now();
+    EXPECT_TRUE(ctrl.enqueue(std::move(req)));
+    while (!done && eq.step()) {
+    }
+    EXPECT_TRUE(done);
+    return done_at - start;
+}
+
+TEST(Refresh, PerBankRefreshDoesNotBlockTheRank)
+{
+    // REFab parks the whole rank for tRFC; REFsb (perBankRefresh)
+    // only takes the cursor bank (bank 0 first) out of service, so a
+    // read to another bank group proceeds at normal latency.
+    Timing ab = Timing::preset("DDR4_2400");
+    ab.name = "REFAB_TEST";
+    ab.tREFI = 1000;
+    ab.tRFC = 800;
+    Timing sb = ab;
+    sb.name = "REFSB_TEST";
+    sb.perBankRefresh = true;
+    sb.tRFCpb = 800;
+    const Tick lat_ab = latencyDuringRefresh(ab);
+    const Tick lat_sb = latencyDuringRefresh(sb);
+    EXPECT_GE(lat_ab, ab.cyc(600));
+    EXPECT_LT(lat_sb, lat_ab - ab.cyc(400));
+}
+
+/** Time for eight cold reads, one per bank, to all complete. */
+Tick
+eightColdReadsTime(const Timing &t)
+{
+    EventQueue eq;
+    stats::Registry reg;
+    DramController ctrl(eq, "ctl", t, 1, 64, reg.group("ctl"));
+    unsigned done = 0;
+    for (int i = 0; i < 8; ++i) {
+        DramRequest req;
+        req.local = static_cast<Addr>(i) * 64; // distinct banks
+        req.done = [&] { ++done; };
+        EXPECT_TRUE(ctrl.enqueue(std::move(req)));
+    }
+    while (done < 8 && eq.step()) {
+    }
+    EXPECT_EQ(done, 8u);
+    return eq.now();
+}
+
+TEST(Controller, FourActivateWindowThrottlesActs)
+{
+    // tFAW == 0 disables the window entirely; a wide window must slow
+    // a burst of activates to distinct banks.
+    Timing windowless = Timing::preset("DDR4_2400");
+    windowless.name = "NOFAW_TEST";
+    windowless.tFAW = 0;
+    Timing tight = Timing::preset("DDR4_2400");
+    tight.name = "FAW_TEST";
+    tight.tFAW = 200; // far wider than 4 x tRRD_S
+    EXPECT_GT(eightColdReadsTime(tight),
+              eightColdReadsTime(windowless));
+}
+
+TEST(Controller, GrouplessTimingCollapsesTheLSSplit)
+{
+    // bankGroups == 0 (LPDDR-style flat bank space) must drive the
+    // same controller: the decode has no group bits and the tCCD/tRRD
+    // L-variant constraints are skipped.
+    Timing t = Timing::preset("DDR4_2400");
+    t.name = "FLAT_TEST";
+    t.bankGroups = 0;
+    t.banksPerGroup = 16;
+    t.check();
+    EXPECT_FALSE(t.hasBankGroups());
+    EXPECT_EQ(t.banksPerRank(), 16u);
+
+    LocalAddressMap map(t, 1, 64);
+    const DramCoord c1 = map.decode(64);
+    EXPECT_EQ(c1.bankGroup, 0u); // zero-width field decodes to 0
+    EXPECT_EQ(c1.bank, 1u);      // lines rotate over flat banks
+
+    EventQueue eq;
+    stats::Registry reg;
+    DramController ctrl(eq, "ctl", t, 1, 64, reg.group("ctl"));
+    unsigned done = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        DramRequest req;
+        req.local = static_cast<Addr>(i) * 8192;
+        req.isWrite = (i % 3) == 0;
+        req.done = [&] { ++done; };
+        ASSERT_TRUE(ctrl.enqueue(std::move(req)));
+    }
+    while (done < 64 && eq.step()) {
+    }
+    EXPECT_EQ(done, 64u);
+}
+
+/** Digest of a fixed random-traffic run against one preset. */
+struct RunDigest
+{
+    Tick end = 0;
+    double reads = 0, writes = 0, acts = 0, refreshes = 0;
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return end == o.end && reads == o.reads &&
+               writes == o.writes && acts == o.acts &&
+               refreshes == o.refreshes;
+    }
+};
+
+RunDigest
+randomRun(const std::string &preset, std::uint64_t seed)
+{
+    EventQueue eq;
+    stats::Registry reg;
+    const Timing timing = Timing::preset(preset);
+    DramController ctrl(eq, "ctl", timing, 2, 64, reg.group("ctl"));
+    Rng rng(seed);
+
+    constexpr unsigned total = 400;
+    unsigned submitted = 0, done = 0;
+    Tick last_done = 0;
+    std::function<void()> submit_some = [&] {
+        while (submitted < total) {
+            DramRequest req;
+            req.local = rng.below(1ull << 26) & ~Addr(63);
+            req.isWrite = rng.chance(0.4);
+            req.done = [&] {
+                ++done;
+                last_done = eq.now();
+            };
+            if (!ctrl.enqueue(std::move(req)))
+                return;
+            ++submitted;
+        }
+    };
+    ctrl.setUnblockCallback(submit_some);
+    submit_some();
+    eq.runUntil(Tick(200'000'000)); // 200 us covers every standard
+    EXPECT_EQ(done, total) << preset;
+
+    RunDigest d;
+    d.end = last_done;
+    d.reads = reg.scalar("ctl.reads");
+    d.writes = reg.scalar("ctl.writes");
+    d.acts = reg.scalar("ctl.activates");
+    d.refreshes = reg.scalar("ctl.refreshes");
+    return d;
+}
+
+class ControllerStandardTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ControllerStandardTest, RandomTrafficCompletesDeterministically)
+{
+    // Every registered standard must (a) complete mixed random
+    // traffic — exercising its own constraint set: sub-channel lanes,
+    // REFsb, no-window, groupless decode — and (b) be bit-repeatable
+    // run-to-run under a pinned seed.
+    const RunDigest a = randomRun(GetParam(), 42);
+    const RunDigest b = randomRun(GetParam(), 42);
+    EXPECT_TRUE(a == b) << GetParam();
+    EXPECT_GT(a.reads + a.writes, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Standards, ControllerStandardTest,
+                         ::testing::Values("DDR4_2400", "DDR4_3200",
+                                           "DDR5_4800", "DDR5_6400",
+                                           "LPDDR5X_8533",
+                                           "HBM2_2000"));
 
 } // namespace
 } // namespace dram

@@ -759,9 +759,10 @@ runStuck(const std::string &workload, std::uint64_t seed,
          const char *policy = "failover",
          Topology topo = Topology::HalfRing,
          Tick stuck_for_ps = 400000000000000ull,
-         Tick reprobe_interval_ps = 0)
+         Tick reprobe_interval_ps = 0,
+         const char *preset = "4D-2C")
 {
-    auto cfg = SystemConfig::preset("4D-2C");
+    auto cfg = SystemConfig::preset(preset);
     cfg.idcMethod = IdcMethod::DimmLink;
     cfg.link.topology = topo;
     // One direction of the 1<->2 link is dead from tick 0; by default
@@ -852,6 +853,31 @@ TEST(StuckLink, SameSeedRunsAreByteIdentical)
     EXPECT_EQ(a.json, b.json);
     EXPECT_EQ(a.finalTick, b.finalTick);
     EXPECT_TRUE(a.verified);
+}
+
+// Regression (hang): on a multi-group system, DlFabric's proxy-notify
+// note used to carry its inter-group forward job ONLY inside the
+// note's deliver callback. The "stuck" fault model stalls packets (it
+// delays arrival by the remaining outage, it does not drop them), so
+// when the note was serialized into the stuck 1->2 link - upstream of
+// group 0's proxy DIMM - before LinkHealth had marked the edge down,
+// neither deliver nor onDropped ever fired within the run: the
+// forward job was lost, the inter-group transaction never completed,
+// and the BFS barrier deadlocked until the watchdog killed the run.
+// 4D (single-group) configs never take the proxy-notify path, which
+// is why the 4D tests above always passed. requestForward now arms a
+// retry-deadline fallback (claimed-flag arbitrated against deliver /
+// onDropped) whenever a fault model is configured, so a stalled note
+// re-forwards via the healthy route instead of hanging.
+TEST(StuckLink, MultiGroupProxyNotifySurvivesAStalledBridge)
+{
+    const auto r =
+        runStuck("bfs", 7, "failover", Topology::HalfRing,
+                 /*stuck_for_ps=*/400000000000000ull,
+                 /*reprobe_interval_ps=*/0, /*preset=*/"8D-4C");
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.downs, 0.0);
+    EXPECT_GT(r.failovers + r.reroutes, 0.0);
 }
 
 TEST(StuckLink, RingRoutesAroundWithoutDisconnecting)
