@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Serving-frontend sweep (docs/serving.md): offered load vs achieved
+ * throughput and tail latency for the request-level workloads (kv,
+ * embed) on DIMM-Link against the host-forwarded MCN baseline.
+ *
+ * For each workload a closed-loop run on each fabric measures its
+ * saturation throughput; the open-loop sweep then offers fixed
+ * fractions of the DIMM-Link capacity (0.25x .. 1.25x) to both
+ * fabrics, so the grid brackets saturation: the top points exceed
+ * even DIMM-Link's capacity, and the baseline saturates earlier.
+ *
+ * Emits a JSON report (default BENCH_serving.json, or argv[1]; "-"
+ * for stdout). All latencies are picoseconds.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace dimmlink;
+using namespace benchutil;
+
+namespace {
+
+struct Row
+{
+    std::string workload;
+    std::string fabric;
+    std::string mode;
+    double offeredQps = 0; ///< 0 for closed-loop rows.
+    double loadFrac = 0;   ///< Offered / DIMM-Link capacity.
+    double achievedQps = 0;
+    double p50Ps = 0, p95Ps = 0, p99Ps = 0;
+    double reqWaitPs = 0;
+    Tick kernelTicks = 0;
+    bool verified = false;
+};
+
+SystemConfig
+servingConfig(IdcMethod method, const std::string &wl)
+{
+    SystemConfig cfg = fabricConfig("4D-2C", method);
+    cfg.serve.requests = wl == "embed" ? 1024 : 2048;
+    cfg.serve.keys = 65536;
+    return cfg;
+}
+
+Row
+runPoint(IdcMethod method, const std::string &wl, double offered_qps)
+{
+    SystemConfig cfg = servingConfig(method, wl);
+    if (offered_qps > 0) {
+        cfg.serve.mode = "open";
+        cfg.serve.offeredQps = offered_qps;
+    } else {
+        cfg.serve.mode = "closed";
+    }
+
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wload = workloads::makeWorkload(wl, p, sys.addressMap());
+    Runner runner(sys, *wload);
+    const RunResult r = runner.run();
+
+    const auto &reg = sys.stats();
+    Row row;
+    row.workload = wl;
+    row.fabric = toString(method);
+    row.mode = cfg.serve.mode;
+    row.offeredQps = offered_qps;
+    row.achievedQps = reg.scalar("serve.achievedQps");
+    row.p50Ps = reg.scalar("serve.latencyP50Ps");
+    row.p95Ps = reg.scalar("serve.latencyP95Ps");
+    row.p99Ps = reg.scalar("serve.latencyP99Ps");
+    row.reqWaitPs = reg.scalar("serve.reqWaitPs");
+    row.kernelTicks = r.kernelTicks;
+    row.verified = r.verified;
+    if (!r.verified)
+        std::fprintf(stderr, "WARNING: %s did not verify on %s\n",
+                     wl.c_str(), toString(method));
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScopedWallReport wall("serving");
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_serving.json";
+
+    const std::vector<std::string> wls = {"kv", "embed"};
+    const std::vector<IdcMethod> fabrics = {IdcMethod::DimmLink,
+                                            IdcMethod::CpuForwarding};
+    const std::vector<double> fractions = {0.25, 0.5, 0.75, 1.0,
+                                           1.25};
+
+    std::vector<Row> rows;
+    for (const auto &wl : wls) {
+        // Closed-loop capacity per fabric (reported for reference;
+        // the DIMM-Link one anchors the sweep grid).
+        double dl_capacity = 0;
+        for (IdcMethod m : fabrics) {
+            Row cap = runPoint(m, wl, 0);
+            std::printf("%-6s %-16s closed-loop capacity: "
+                        "%.3g qps  (p50 %.2f us, p99 %.2f us)\n",
+                        wl.c_str(), cap.fabric.c_str(),
+                        cap.achievedQps, cap.p50Ps / 1e6,
+                        cap.p99Ps / 1e6);
+            std::fflush(stdout);
+            if (m == IdcMethod::DimmLink)
+                dl_capacity = cap.achievedQps;
+            rows.push_back(std::move(cap));
+        }
+        for (double f : fractions) {
+            for (IdcMethod m : fabrics) {
+                Row r = runPoint(m, wl, f * dl_capacity);
+                r.loadFrac = f;
+                std::printf("%-6s %-16s %4.2fx load (%.3g qps): "
+                            "achieved %.3g qps  p50 %.2f us  "
+                            "p95 %.2f us  p99 %.2f us\n",
+                            wl.c_str(), r.fabric.c_str(), f,
+                            r.offeredQps, r.achievedQps,
+                            r.p50Ps / 1e6, r.p95Ps / 1e6,
+                            r.p99Ps / 1e6);
+                std::fflush(stdout);
+                rows.push_back(std::move(r));
+            }
+        }
+    }
+
+    FILE *out = out_path == "-" ? stdout
+                                : std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"serving\",\n");
+    std::fprintf(out, "  \"preset\": \"4D-2C\",\n");
+    std::fprintf(out, "  \"zipfTheta\": 0.99,\n");
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"workload\": \"%s\", \"fabric\": \"%s\", "
+            "\"mode\": \"%s\", \"offeredQps\": %.6g, "
+            "\"loadFrac\": %.6g, \"achievedQps\": %.6g, "
+            "\"p50Ps\": %.6g, \"p95Ps\": %.6g, \"p99Ps\": %.6g, "
+            "\"reqWaitPs\": %.6g, \"kernelTicks\": %llu, "
+            "\"verified\": %s}%s\n",
+            r.workload.c_str(), r.fabric.c_str(), r.mode.c_str(),
+            r.offeredQps, r.loadFrac, r.achievedQps, r.p50Ps,
+            r.p95Ps, r.p99Ps, r.reqWaitPs,
+            static_cast<unsigned long long>(r.kernelTicks),
+            r.verified ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}

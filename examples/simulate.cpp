@@ -128,6 +128,12 @@ main(int argc, char **argv)
             scale = std::stoull(next());
         else if (a == "--rounds")
             rounds = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--qps")
+            overrides.push_back("serve.offeredQps=" + next());
+        else if (a == "--requests")
+            overrides.push_back("serve.requests=" + next());
+        else if (a == "--closed-loop")
+            overrides.push_back("serve.mode=closed");
         else if (a == "--topology")
             overrides.push_back("link.topology=" + next());
         else if (a == "--polling")
@@ -196,6 +202,7 @@ main(int argc, char **argv)
     p.scale = scale;
     p.rounds = rounds;
     p.broadcastMode = broadcast;
+    p.serve = cfg.serve;
     auto wl = workloads::makeWorkload(workload, p, sys.addressMap());
 
     Runner runner(sys, *wl);
@@ -223,6 +230,23 @@ main(int argc, char **argv)
                 "idc %.3f  cores %.3f\n", r.energy.total() / 1e9,
                 r.energy.dramPj / 1e9, r.energy.idc() / 1e9,
                 r.energy.nmpCorePj / 1e9);
+
+    {
+        const auto &reg = sys.stats();
+        const double nreq = reg.sumScalar("serve", "requests");
+        if (nreq > 0) {
+            auto sv = [&](const char *s) {
+                return reg.sumScalar("serve", s);
+            };
+            std::printf("  serving              : %.0f requests  "
+                        "offered %.3g qps  achieved %.3g qps\n",
+                        nreq, sv("offeredQps"), sv("achievedQps"));
+            std::printf("    latency (us)       : p50 %.2f  p95 %.2f  "
+                        "p99 %.2f\n", sv("latencyP50Ps") / 1e6,
+                        sv("latencyP95Ps") / 1e6,
+                        sv("latencyP99Ps") / 1e6);
+        }
+    }
 
     if (cfg.faults.model != "none") {
         const auto &reg = sys.stats();

@@ -199,6 +199,57 @@ if ! grep -q '"linkDownEvents": [1-9]' "$trace_dir/parfault2.out"; then
 fi
 echo "    [stuck/failover] OK: byte-identical, recovery exercised"
 
+echo "==> serving smoke under ASan+UBSan"
+# Short open-loop runs of both request-level workloads
+# (docs/serving.md): the stats JSON must carry the serve group with a
+# nonzero request count and the SLO percentiles, and the run must
+# verify (example_simulate exits nonzero otherwise).
+for wl in kv embed; do
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        "$root/build-asan/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 \
+        --workload "$wl" --requests 256 -p serve.keys=8192 --json \
+        > "$trace_dir/serve-$wl.out"
+    python3 - "$trace_dir/serve-$wl.out" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+stats = json.loads(text[text.index('{\n  "config"'):])
+serve = stats["serve"]["scalars"]
+assert serve["requests"] > 0, "no requests retired"
+for k in ("latencyP50Ps", "latencyP95Ps", "latencyP99Ps"):
+    assert serve[k] > 0, f"missing/zero {k}"
+assert serve["latencyP50Ps"] <= serve["latencyP95Ps"] \
+       <= serve["latencyP99Ps"], "percentiles not monotone"
+hist = stats["serve"]["histograms"]["latencyPs"]
+assert hist["total"] == serve["requests"], "histogram count mismatch"
+EOF
+    echo "    [$wl] OK: served, percentiles present"
+done
+# Determinism contract: byte-identical stats at 1 vs 4 threads under
+# sim.shard=group, for both serving workloads.
+for wl in kv embed; do
+    "$root/build/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 -p sim.shard=group --threads 1 \
+        --workload "$wl" --requests 256 -p serve.keys=8192 --json \
+        > "$trace_dir/serve1.out"
+    "$root/build/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p system.numDimms=4 -p system.numChannels=2 \
+        -p host.numChannels=2 --threads 4 \
+        --workload "$wl" --requests 256 -p serve.keys=8192 --json \
+        > "$trace_dir/serve4.out"
+    if ! cmp -s "$trace_dir/serve1.out" "$trace_dir/serve4.out"; then
+        echo "[$wl] serving run diverged between 1 and 4 threads"
+        diff "$trace_dir/serve1.out" "$trace_dir/serve4.out" | head
+        exit 1
+    fi
+    echo "    [$wl] OK: byte-identical at 1 and 4 threads"
+done
+
 echo "==> fault-injection soak under ASan+UBSan"
 # A nonzero BER at a fixed seed drives the whole DLL retry path
 # (corruption, NACK, timeout retransmission, dedup) under the

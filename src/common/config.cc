@@ -396,6 +396,23 @@ fields()
                          faults.reprobeIntervalPs),
         CFG_FIELD_HIDDEN("faults.onExhausted", faults.onExhausted),
 
+        CFG_FIELD("serve.mode", serve.mode),
+        CFG_FIELD("serve.offeredQps", serve.offeredQps),
+        CFG_FIELD("serve.requests", serve.requests),
+        CFG_FIELD("serve.seed", serve.seed),
+        CFG_FIELD("serve.keys", serve.keys),
+        CFG_FIELD("serve.zipfTheta", serve.zipfTheta),
+        CFG_FIELD("serve.scramble", serve.scramble),
+        CFG_FIELD("serve.getFraction", serve.getFraction),
+        CFG_FIELD("serve.valueBytes", serve.valueBytes),
+        CFG_FIELD("serve.embedDim", serve.embedDim),
+        CFG_FIELD("serve.pooling", serve.pooling),
+        CFG_FIELD("serve.burstFactor", serve.burstFactor),
+        CFG_FIELD("serve.burstPeriodPs", serve.burstPeriodPs),
+        CFG_FIELD("serve.burstLenPs", serve.burstLenPs),
+        CFG_FIELD("serve.latBucketPs", serve.latBucketPs),
+        CFG_FIELD("serve.latBuckets", serve.latBuckets),
+
         CFG_FIELD("energy.linkPjPerBit", energy.linkPjPerBit),
         CFG_FIELD("energy.ddrRdWrPjPerBit", energy.ddrRdWrPjPerBit),
         CFG_FIELD("energy.busIoPjPerBit", energy.busIoPjPerBit),
@@ -583,6 +600,38 @@ SystemConfig::validate() const
         fatal("faults.onExhausted must be one of failover, drop, "
               "panic (got '%s')", faults.onExhausted.c_str());
 
+    // Serving frontend.
+    if (serve.mode != "open" && serve.mode != "closed")
+        fatal("serve.mode must be 'open' or 'closed' (got '%s')",
+              serve.mode.c_str());
+    if (serve.offeredQps <= 0)
+        fatal("serve.offeredQps (%g) must be positive",
+              serve.offeredQps);
+    if (serve.requests == 0)
+        fatal("serve.requests must be positive");
+    if (serve.keys == 0)
+        fatal("serve.keys must be positive");
+    if (serve.zipfTheta < 0.0 || serve.zipfTheta >= 1.0)
+        fatal("serve.zipfTheta (%g) must be within [0, 1) (the YCSB "
+              "zipfian generator's range)", serve.zipfTheta);
+    if (serve.getFraction < 0.0 || serve.getFraction > 1.0)
+        fatal("serve.getFraction (%g) must be within [0, 1]",
+              serve.getFraction);
+    if (serve.valueBytes == 0)
+        fatal("serve.valueBytes must be positive");
+    if (serve.embedDim == 0 || serve.pooling == 0)
+        fatal("serve.embedDim and serve.pooling must be positive");
+    if (serve.burstFactor < 1.0)
+        fatal("serve.burstFactor (%g) must be >= 1 (it multiplies "
+              "the base rate during bursts)", serve.burstFactor);
+    if (serve.burstPeriodPs != 0 &&
+        (serve.burstLenPs == 0 || serve.burstLenPs >= serve.burstPeriodPs))
+        fatal("serve.burstLenPs must be within (0, burstPeriodPs) "
+              "when bursty phases are on");
+    if (serve.latBucketPs == 0 || serve.latBuckets == 0)
+        fatal("serve.latBucketPs and serve.latBuckets must be "
+              "positive");
+
     // Mapping knobs.
     if (profileFraction < 0.0 || profileFraction > 1.0)
         fatal("profileFraction (%g) must be within [0, 1]",
@@ -677,8 +726,8 @@ SystemConfig::set(const std::string &key, const std::string &value)
         fatal("unknown config key '%s' (keys in section '%s': %s)",
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
-          "dram, link, bus, faults, energy, obs, watchdog, sim)",
-          key.c_str());
+          "dram, link, bus, faults, serve, energy, obs, watchdog, "
+          "sim)", key.c_str());
 }
 
 void

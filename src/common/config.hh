@@ -276,6 +276,61 @@ struct SimConfig
     Tick lookaheadPs = 0;
 };
 
+/**
+ * The serving frontend (docs/serving.md): request-level workloads
+ * ("kv", "embed") driven by an open-loop arrival process with Zipfian
+ * key popularity, or closed-loop for saturation sweeps. Like
+ * faults.seed, every random stream derives deterministically from
+ * serve.seed, so a fixed seed is byte-identical across runs and --
+ * within sim.shard=group -- across thread counts.
+ */
+struct ServeConfig
+{
+    /** "open": requests arrive on a Poisson process at offeredQps
+     * and latency includes queueing from the arrival; "closed": each
+     * thread issues its next request as soon as the previous one
+     * finishes (saturation throughput). */
+    std::string mode = "open";
+    /** Aggregate offered load, requests per second, across all
+     * serving threads (open mode). */
+    double offeredQps = 2e6;
+    /** Total requests across all threads for one run. */
+    std::uint64_t requests = 2048;
+    /** Base seed of the per-thread arrival and key streams. */
+    std::uint64_t seed = 1;
+    /** Keyspace size: kv keys / embed table rows, block-distributed
+     * across the DIMMs. */
+    std::uint64_t keys = 65536;
+    /** Zipfian skew of key popularity; 0 = uniform, YCSB default is
+     * 0.99. Must stay below 1 (the YCSB generator's range). */
+    double zipfTheta = 0.99;
+    /** Hash popularity ranks over the keyspace so hot keys spread
+     * across DIMMs (YCSB "scrambled Zipfian"); false concentrates
+     * them on the first DIMMs. */
+    bool scramble = true;
+    /** kv: fraction of requests that are GETs (rest are PUTs). */
+    double getFraction = 0.95;
+    /** kv: value size per key. */
+    unsigned valueBytes = 128;
+    /** embed: floats per table row (row is embedDim * 4 bytes). */
+    unsigned embedDim = 64;
+    /** embed: rows gathered and reduced per request. */
+    unsigned pooling = 32;
+    /** Open-loop bursty phases: rate multiplier while a burst is on
+     * (1 = plain Poisson). */
+    double burstFactor = 1.0;
+    /** Burst cycle period; 0 disables bursty phases. */
+    Tick burstPeriodPs = 0;
+    /** Burst duration within each period. */
+    Tick burstLenPs = 0;
+    /** Request-latency histogram geometry (per core, merged into the
+     * "serve" stats group after a run). The default spans 512 us --
+     * wide enough that tails stay resolvable well past saturation,
+     * where queueing inflates latencies far beyond the service time. */
+    Tick latBucketPs = 250000;
+    unsigned latBuckets = 2048;
+};
+
 /** Energy model constants (Section V-C). */
 struct EnergyConfig
 {
@@ -314,6 +369,7 @@ struct SystemConfig
     LinkConfig link;
     BusConfig bus;
     FaultConfig faults;
+    ServeConfig serve;
     EnergyConfig energy;
     ObsConfig obs;
     WatchdogConfig watchdog;

@@ -21,14 +21,17 @@ Histogram::sample(double v)
 {
     ++totalCount;
     if (v < 0) {
+        ++underflowCount;
+        return;
+    }
+    // Compare before casting: converting a quotient beyond the
+    // size_t range (one huge sample) or NaN to size_t is UB.
+    const double q = v / bucketSize;
+    if (!(q < static_cast<double>(buckets.size()))) {
         ++overflowCount;
         return;
     }
-    const auto idx = static_cast<std::size_t>(v / bucketSize);
-    if (idx >= buckets.size())
-        ++overflowCount;
-    else
-        ++buckets[idx];
+    ++buckets[static_cast<std::size_t>(q)];
 }
 
 double
@@ -41,7 +44,11 @@ Histogram::percentile(double p) const
     if (p > 1)
         p = 1;
     const double rank = p * static_cast<double>(totalCount);
-    double cum = 0;
+    // Underflow samples rank below bucket 0; their exact values were
+    // not retained, so they resolve to the histogram's lower edge.
+    double cum = static_cast<double>(underflowCount);
+    if (underflowCount > 0 && rank <= cum)
+        return 0;
     for (std::size_t b = 0; b < buckets.size(); ++b) {
         const auto cnt = static_cast<double>(buckets[b]);
         if (cum + cnt >= rank && cnt > 0) {
@@ -57,10 +64,25 @@ Histogram::percentile(double p) const
 }
 
 void
+Histogram::merge(const Histogram &o)
+{
+    if (o.bucketSize != bucketSize || o.buckets.size() != buckets.size())
+        panic("merging histograms with different geometry "
+              "(%g x %zu vs %g x %zu)", bucketSize, buckets.size(),
+              o.bucketSize, o.buckets.size());
+    for (std::size_t b = 0; b < buckets.size(); ++b)
+        buckets[b] += o.buckets[b];
+    underflowCount += o.underflowCount;
+    overflowCount += o.overflowCount;
+    totalCount += o.totalCount;
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets)
         b = 0;
+    underflowCount = 0;
     overflowCount = 0;
     totalCount = 0;
 }
@@ -148,6 +170,7 @@ Registry::dump(std::ostream &os) const
             if (h.total() == 0)
                 continue;
             os << gname << '.' << hname << " : total=" << h.total()
+               << " underflow=" << h.underflow()
                << " overflow=" << h.overflow()
                << " p50=" << h.percentile(0.50)
                << " p95=" << h.percentile(0.95)

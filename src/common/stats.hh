@@ -140,20 +140,31 @@ class Histogram
 
     /**
      * The value below which fraction @p p (in [0, 1]) of the samples
-     * fall, linearly interpolated within the owning bucket. Samples in
-     * the overflow region resolve to the histogram's upper edge (the
-     * exact values are not retained). Returns 0 on an empty histogram.
+     * fall, linearly interpolated within the owning bucket. Samples
+     * below zero (the underflow region) rank below bucket 0 and
+     * resolve to the histogram's lower edge; samples in the overflow
+     * region resolve to the upper edge (the exact values are not
+     * retained in either case). Returns 0 on an empty histogram.
      */
     double percentile(double p) const;
 
+    /**
+     * Fold another histogram's counts into this one. Both must share
+     * the same bucket geometry. Count addition commutes, so merging
+     * per-core histograms in any fixed order is deterministic.
+     */
+    void merge(const Histogram &o);
+
     double bucketWidth() const { return bucketSize; }
     const std::vector<std::uint64_t> &data() const { return buckets; }
+    std::uint64_t underflow() const { return underflowCount; }
     std::uint64_t overflow() const { return overflowCount; }
     std::uint64_t total() const { return totalCount; }
 
   private:
     double bucketSize;
     std::vector<std::uint64_t> buckets;
+    std::uint64_t underflowCount = 0;
     std::uint64_t overflowCount = 0;
     std::uint64_t totalCount = 0;
 };

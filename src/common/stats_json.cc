@@ -151,6 +151,7 @@ dumpJson(const Registry &reg, std::ostream &os, bool include_empty,
                    << "\": {\"bucketWidth\": ";
                 num(os, h.bucketWidth());
                 os << ", \"total\": " << h.total()
+                   << ", \"underflow\": " << h.underflow()
                    << ", \"overflow\": " << h.overflow()
                    << ", \"p50\": ";
                 num(os, h.percentile(0.50));

@@ -25,7 +25,10 @@ NmpCore::NmpCore(EventQueue &eq, const std::string &name, DimmId dimm_,
       statStallLocal(reg.group(name).scalar("stallLocalPs")),
       statStallRemote(reg.group(name).scalar("stallRemotePs")),
       statBarrierPs(reg.group(name).scalar("barrierPs")),
-      statBroadcasts(reg.group(name).scalar("broadcasts"))
+      statBroadcasts(reg.group(name).scalar("broadcasts")),
+      statRequests(reg.group(name).scalar("requests")),
+      statReqWaitPs(reg.group(name).scalar("reqWaitPs")),
+      statGroup(reg.group(name))
 {
     if (auto *t = eq.tracer(); t && t->enabled(obs::CatCore)) {
         tr = t;
@@ -53,6 +56,8 @@ NmpCore::run(ThreadId tid, std::unique_ptr<ThreadProgram> program,
     issueDebt = 0;
     outstanding = 0;
     remoteOutstanding = 0;
+    runStart = now();
+    reqStart = now();
     state = State::Ready;
     // Start on the next clock edge.
     const auto gen = runGeneration;
@@ -357,6 +362,51 @@ NmpCore::advance()
                 advance();
             });
             return;
+          }
+
+          case Op::Kind::ReqStart: {
+            // The previous request's ReqEnd drained the MSHRs, so the
+            // latency clock starts clean. Open-loop arrivals are
+            // relative to runStart; an arrival already in the past
+            // starts immediately but still measures from the arrival,
+            // so queueing delay lands in the latency histogram.
+            const Tick arrival = op.tickArg == Op::reqNow
+                                     ? now()
+                                     : runStart + op.tickArg;
+            reqStart = arrival;
+            if (arrival > now()) {
+                statReqWaitPs += static_cast<double>(arrival - now());
+                state = State::Waiting;
+                const auto gen = runGeneration;
+                queue().schedule(arrival,
+                                 [this, gen] {
+                                     if (gen != runGeneration)
+                                         return;
+                                     state = State::Ready;
+                                     finishOp();
+                                     advance();
+                                 },
+                                 EventPriority::Core);
+                return;
+            }
+            finishOp();
+            break;
+          }
+
+          case Op::Kind::ReqEnd: {
+            if (outstanding > 0) {
+                enterStall(State::Fence);
+                return;
+            }
+            if (!reqHist)
+                reqHist = &statGroup.histogram(
+                    "reqLatencyPs", static_cast<double>(
+                                        cfg.serve.latBucketPs),
+                    cfg.serve.latBuckets);
+            reqHist->sample(static_cast<double>(now() - reqStart));
+            ++statRequests;
+            finishOp();
+            break;
           }
 
           case Op::Kind::Done: {

@@ -90,6 +90,7 @@ class NmpCore : public Clocked
         Barrier,   ///< Waiting for barrier release.
         Broadcast, ///< Waiting for broadcast completion.
         FetchOp,   ///< Waiting for the async op source to deliver.
+        Waiting,   ///< Idle until an open-loop request's arrival.
     };
 
     void advance();
@@ -129,6 +130,11 @@ class NmpCore : public Clocked
     bool barrierAfterFence = false;
     bool broadcastAfterFence = false;
 
+    /** Tick this thread's run() began (serving arrivals are relative
+     * to it) and the in-flight request's latency-clock start. */
+    Tick runStart = 0;
+    Tick reqStart = 0;
+
     stats::Scalar &statInstructions;
     stats::Scalar &statMemRefs;
     stats::Scalar &statRemoteRefs;
@@ -137,6 +143,14 @@ class NmpCore : public Clocked
     stats::Scalar &statStallRemote;
     stats::Scalar &statBarrierPs;
     stats::Scalar &statBroadcasts;
+    stats::Scalar &statRequests;
+    stats::Scalar &statReqWaitPs;
+    /** The core's stat group, kept for the lazily-created request-
+     * latency histogram: creating it only when a serving workload
+     * actually retires a request keeps every non-serving run's stats
+     * output byte-identical to builds without the serving frontend. */
+    stats::Group &statGroup;
+    stats::Histogram *reqHist = nullptr;
 
     obs::Tracer *tr = nullptr; ///< Null unless core tracing is on.
     std::uint32_t trk = 0;

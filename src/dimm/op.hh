@@ -41,7 +41,12 @@ struct Op
         Barrier,   ///< Synchronize with all threads of the kernel.
         Broadcast, ///< Explicit DL broadcast of @ref bcastBytes.
         Done,      ///< Thread finished.
+        ReqStart,  ///< Open a serving request (see @ref tickArg).
+        ReqEnd,    ///< Drain and record the request's latency.
     };
+
+    /** ReqStart: arrival == "now" (closed-loop load generation). */
+    static constexpr Tick reqNow = maxTick;
 
     Kind kind = Kind::Done;
     /** Compute: dynamic instruction count. */
@@ -53,6 +58,13 @@ struct Op
     /** Broadcast: payload location and size. */
     Addr bcastAddr = 0;
     std::uint64_t bcastBytes = 0;
+    /** ReqStart: the request's arrival tick, relative to the tick the
+     * thread's run began (so traces replay on any system), or reqNow
+     * for closed-loop mode. An open-loop core idles until the arrival
+     * and measures latency from it -- queueing delay included -- while
+     * a closed-loop core starts the clock when it picks the request
+     * up. */
+    Tick tickArg = 0;
 
     static Op
     compute(std::uint64_t instructions)
@@ -109,6 +121,34 @@ struct Op
     done()
     {
         return Op{};
+    }
+
+    /** Open-loop request: idle until @p arrival_rel (ticks after the
+     * thread's run start), then measure end-to-end latency from it. */
+    static Op
+    reqStart(Tick arrival_rel)
+    {
+        Op op;
+        op.kind = Kind::ReqStart;
+        op.tickArg = arrival_rel;
+        return op;
+    }
+
+    /** Closed-loop request: start the latency clock immediately. */
+    static Op
+    reqStartNow()
+    {
+        return reqStart(reqNow);
+    }
+
+    /** Drain outstanding accesses, then record now - request start
+     * into the core's request-latency histogram. */
+    static Op
+    reqEnd()
+    {
+        Op op;
+        op.kind = Kind::ReqEnd;
+        return op;
     }
 };
 

@@ -5,6 +5,7 @@
 #include "common/bitfield.hh"
 #include "common/log.hh"
 #include "sim/clocked.hh"
+#include "workloads/serving.hh"
 
 namespace dimmlink {
 
@@ -26,7 +27,10 @@ class HostRunner::HostCore : public Clocked
                                .group(name())
                                .scalar("instructions")),
           statStallPs(
-              owner.registry.group(name()).scalar("stallPs"))
+              owner.registry.group(name()).scalar("stallPs")),
+          statRequests(
+              owner.registry.group(name()).scalar("requests")),
+          statGroup(owner.registry.group(name()))
     {
     }
 
@@ -39,6 +43,8 @@ class HostRunner::HostCore : public Clocked
         haveOp = false;
         outstanding = 0;
         issueDebt = 0;
+        runStart = now();
+        reqStart = now();
         state = State::Ready;
         queue().schedule(clockEdge(), [this] { advance(); },
                          EventPriority::Core);
@@ -48,7 +54,8 @@ class HostRunner::HostCore : public Clocked
 
   private:
     enum class State {
-        Idle, Ready, Computing, StallMshr, Fence, Barrier, Broadcast
+        Idle, Ready, Computing, StallMshr, Fence, Barrier, Broadcast,
+        Waiting
     };
 
     void
@@ -160,6 +167,46 @@ class HostRunner::HostCore : public Clocked
                 });
                 return;
               }
+              case Op::Kind::ReqStart: {
+                // Same semantics as the NMP core: open-loop arrivals
+                // are relative to runStart and start the latency
+                // clock even when they are already in the past.
+                const Tick arrival = op.tickArg == Op::reqNow
+                                         ? now()
+                                         : runStart + op.tickArg;
+                reqStart = arrival;
+                if (arrival > now()) {
+                    state = State::Waiting;
+                    queue().schedule(arrival,
+                                     [this] {
+                                         state = State::Ready;
+                                         haveOp = false;
+                                         advance();
+                                     },
+                                     EventPriority::Core);
+                    return;
+                }
+                haveOp = false;
+                break;
+              }
+              case Op::Kind::ReqEnd: {
+                if (outstanding > 0) {
+                    state = State::Fence;
+                    stallStart = now();
+                    return;
+                }
+                if (!reqHist)
+                    reqHist = &statGroup.histogram(
+                        "reqLatencyPs",
+                        static_cast<double>(
+                            owner.cfg.serve.latBucketPs),
+                        owner.cfg.serve.latBuckets);
+                reqHist->sample(
+                    static_cast<double>(now() - reqStart));
+                ++statRequests;
+                haveOp = false;
+                break;
+              }
               case Op::Kind::Done: {
                 state = State::Idle;
                 prog.reset();
@@ -187,9 +234,14 @@ class HostRunner::HostCore : public Clocked
     std::uint64_t issueDebt = 0;
     unsigned outstanding = 0;
     Tick stallStart = 0;
+    Tick runStart = 0;
+    Tick reqStart = 0;
 
     stats::Scalar &statInstructions;
     stats::Scalar &statStallPs;
+    stats::Scalar &statRequests;
+    stats::Group &statGroup;
+    stats::Histogram *reqHist = nullptr;
 };
 
 HostRunner::HostRunner(SystemConfig cfg_) : cfg(std::move(cfg_))
@@ -384,6 +436,7 @@ HostRunner::run(workloads::Workload &wl)
     r.instructions = static_cast<std::uint64_t>(
         registry.sumScalar("hostcore", "instructions") - instr0);
     r.verified = wl.verify();
+    workloads::serving::aggregate(registry, cfg, r.kernelTicks);
     return r;
 }
 

@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "energy/energy_model.hh"
 #include "mapping/placement.hh"
+#include "workloads/serving.hh"
 
 namespace dimmlink {
 
@@ -209,6 +210,9 @@ Runner::run()
         (sys.channelBusyPs() - chan0) /
         (static_cast<double>(r.kernelTicks) * sys.numChannels());
     r.energy = energy.report(reg, r.kernelTicks, sys.numDimms());
+    // Serving workloads: fold the per-core request-latency histograms
+    // into the "serve" group (no-op for the batch kernels).
+    workloads::serving::aggregate(reg, cfg, r.kernelTicks);
     return r;
 }
 

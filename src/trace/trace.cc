@@ -11,7 +11,9 @@ namespace trace {
 namespace {
 
 constexpr std::uint32_t traceMagic = 0x444c5452; // "DLTR"
-constexpr std::uint32_t traceVersion = 1;
+// Version 2 added the serving-request ops (ReqStart/ReqEnd); version-1
+// traces contain neither and still load.
+constexpr std::uint32_t traceVersion = 2;
 
 template <typename T>
 void
@@ -59,8 +61,12 @@ ThreadTrace::save(std::ostream &os) const
             put(os, op.bcastAddr);
             put(os, op.bcastBytes);
             break;
+          case Op::Kind::ReqStart:
+            put(os, op.tickArg);
+            break;
           case Op::Kind::Barrier:
           case Op::Kind::Done:
+          case Op::Kind::ReqEnd:
             break;
         }
     }
@@ -71,8 +77,9 @@ ThreadTrace::load(std::istream &is)
 {
     if (get<std::uint32_t>(is) != traceMagic)
         fatal("not a DIMM-Link trace (bad magic)");
-    if (get<std::uint32_t>(is) != traceVersion)
-        fatal("unsupported trace version");
+    const auto version = get<std::uint32_t>(is);
+    if (version < 1 || version > traceVersion)
+        fatal("unsupported trace version %u", version);
     const auto count = get<std::uint64_t>(is);
 
     ThreadTrace t;
@@ -102,8 +109,12 @@ ThreadTrace::load(std::istream &is)
             op.bcastAddr = get<Addr>(is);
             op.bcastBytes = get<std::uint64_t>(is);
             break;
+          case Op::Kind::ReqStart:
+            op.tickArg = get<Tick>(is);
+            break;
           case Op::Kind::Barrier:
           case Op::Kind::Done:
+          case Op::Kind::ReqEnd:
             break;
         }
         t.ops.push_back(std::move(op));
@@ -123,6 +134,7 @@ ThreadTrace::operator==(const ThreadTrace &o) const
             a.fenceAfter != b.fenceAfter ||
             a.bcastAddr != b.bcastAddr ||
             a.bcastBytes != b.bcastBytes ||
+            a.tickArg != b.tickArg ||
             a.refs.size() != b.refs.size())
             return false;
         for (std::size_t r = 0; r < a.refs.size(); ++r) {

@@ -1,0 +1,91 @@
+#include "workloads/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+ArrivalProcess::ArrivalProcess(double offered_qps, std::uint64_t seed,
+                               double burst_factor,
+                               Tick burst_period_ps, Tick burst_len_ps)
+    : rng(seed),
+      ratePerPs(offered_qps * 1e-12),
+      burstFactor(burst_factor),
+      periodPs(burst_period_ps),
+      lenPs(burst_len_ps)
+{
+    if (offered_qps <= 0)
+        panic("arrival process needs a positive rate, got %g",
+              offered_qps);
+    if (burstFactor < 1.0)
+        panic("burst factor %g must be >= 1", burstFactor);
+}
+
+bool
+ArrivalProcess::inBurst(Tick t) const
+{
+    if (periodPs == 0 || burstFactor <= 1.0)
+        return false;
+    return t % periodPs < lenPs;
+}
+
+Tick
+ArrivalProcess::next()
+{
+    // Draw from a homogeneous process at the burst-phase maximum,
+    // then thin outside bursts with probability 1/burstFactor; the
+    // accepted points follow the piecewise-constant rate exactly.
+    const double lambda_max = ratePerPs * burstFactor;
+    for (;;) {
+        const double u = rng.real(); // [0, 1)
+        const double dt = -std::log1p(-u) / lambda_max;
+        t_ += std::max<Tick>(1, static_cast<Tick>(dt + 0.5));
+        if (inBurst(t_) || burstFactor <= 1.0 ||
+            rng.real() * burstFactor < 1.0)
+            return t_;
+    }
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    if (n == 0)
+        panic("zipf sampler over an empty keyspace");
+    if (theta < 0.0 || theta >= 1.0)
+        panic("zipf theta %g outside [0, 1)", theta);
+    if (theta_ <= 0.0 || n_ < 2)
+        return; // Uniform path needs no tables.
+    double z = 0;
+    for (std::uint64_t i = 1; i <= n_; ++i)
+        z += 1.0 / std::pow(static_cast<double>(i), theta_);
+    zetan_ = z;
+    halfPow_ = 1.0 + std::pow(0.5, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = halfPow_;
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    if (theta_ <= 0.0 || n_ < 2)
+        return n_ < 2 ? 0 : rng.below(n_);
+    const double u = rng.real();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < halfPow_)
+        return 1;
+    const double r = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    const auto rank = static_cast<std::uint64_t>(r);
+    return std::min(rank, n_ - 1);
+}
+
+} // namespace workloads
+} // namespace dimmlink

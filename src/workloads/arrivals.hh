@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Load-generation primitives for the serving frontend
+ * (docs/serving.md): a deterministic Poisson arrival process with
+ * optional bursty phases, and a YCSB-style Zipfian popularity
+ * sampler. Both are pure functions of their seeds, so a serving plan
+ * built from them is byte-identical across runs and kernels.
+ */
+
+#ifndef DIMMLINK_WORKLOADS_ARRIVALS_HH
+#define DIMMLINK_WORKLOADS_ARRIVALS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+/**
+ * An open-loop arrival process: Poisson at @p offered_qps, optionally
+ * modulated by periodic bursty phases during which the instantaneous
+ * rate is multiplied by burst_factor (Lewis-Shedler thinning against
+ * the burst-phase maximum keeps the draw exact). Arrival ticks are
+ * strictly increasing and relative to an arbitrary origin (the
+ * serving kernel treats them as offsets from its start).
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(double offered_qps, std::uint64_t seed,
+                   double burst_factor = 1.0, Tick burst_period_ps = 0,
+                   Tick burst_len_ps = 0);
+
+    /** The next arrival tick (strictly after the previous one). */
+    Tick next();
+
+    /** Is @p t inside a burst phase? */
+    bool inBurst(Tick t) const;
+
+  private:
+    Rng rng;
+    double ratePerPs;
+    double burstFactor;
+    Tick periodPs;
+    Tick lenPs;
+    Tick t_ = 0;
+};
+
+/**
+ * YCSB-style Zipfian sampler over ranks [0, n): rank 0 is the hottest
+ * key, P(rank i) proportional to 1 / (i+1)^theta. theta = 0 degrades
+ * to uniform. O(n) zeta precomputation at construction, O(1) per
+ * sample (Gray et al., "Quickly generating billion-record synthetic
+ * databases").
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw a popularity rank using the caller's stream. */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_ = 0;
+    double alpha_ = 0;
+    double eta_ = 0;
+    double halfPow_ = 0;
+};
+
+/** SplitMix64 finalizer: scatters popularity ranks over the keyspace
+ * so hot keys spread across DIMMs ("scrambled Zipfian"). */
+inline std::uint64_t
+scatterHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace workloads
+} // namespace dimmlink
+
+#endif // DIMMLINK_WORKLOADS_ARRIVALS_HH

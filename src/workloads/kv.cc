@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Key-value serving workload (docs/serving.md): GET/PUT requests over
+ * a value store block-partitioned across the DIMMs. Keys follow the
+ * Zipfian popularity of serve.zipfTheta, so hot keys concentrate on a
+ * few home DIMMs and most requests touch a foreign value -- the
+ * request-level analogue of the random-access microbenchmarks. PUTs
+ * XOR a deterministic mix into the value so concurrent functional
+ * updates commute with the precomputed reference.
+ */
+
+#include <algorithm>
+
+#include "workloads/arrivals.hh"
+#include "workloads/op_stream.hh"
+#include "workloads/serving.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace workloads {
+
+namespace {
+
+class KvWorkload : public Workload
+{
+  public:
+    KvWorkload(WorkloadParams params_,
+               const dram::GlobalAddressMap &gmap_)
+        : Workload(std::move(params_), gmap_),
+          keys(p.serve.keys),
+          valueBytes(p.serve.valueBytes),
+          perDimm((keys + p.numDimms - 1) / p.numDimms),
+          plans(serving::buildPlans(p.serve, p.numThreads, 1))
+    {
+        blockAddr.resize(p.numDimms);
+        for (unsigned d = 0; d < p.numDimms; ++d)
+            blockAddr[d] = alloc.alloc(static_cast<DimmId>(d),
+                                       perDimm * valueBytes);
+        reset();
+    }
+
+    std::string name() const override { return "kv"; }
+
+    void
+    reset() override
+    {
+        store.assign(keys, 0);
+        expected.assign(keys, 0);
+        // Replay every planned PUT into the reference; XOR updates
+        // commute, so the concurrent run matches in any order.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            const auto &plan = plans[t];
+            for (std::size_t i = 0; i < plan.reqs.size(); ++i)
+                if (!plan.reqs[i].isGet)
+                    expected[plan.keys[i]] ^=
+                        putMix(plan.keys[i], t, i);
+        }
+    }
+
+    bool
+    verify() const override
+    {
+        return store == expected;
+    }
+
+    std::uint64_t
+    approxInstructions() const override
+    {
+        return p.serve.requests * 32;
+    }
+
+    std::uint64_t
+    approxMemRefs() const override
+    {
+        return p.serve.requests * refsPerValue();
+    }
+
+    std::unique_ptr<ThreadProgram>
+    program(ThreadId tid) override
+    {
+        return dimmlink::makeProgram(run(tid));
+    }
+
+  private:
+    static std::uint64_t
+    putMix(std::uint64_t key, unsigned tid, std::uint64_t i)
+    {
+        return scatterHash(key ^
+                           (static_cast<std::uint64_t>(tid) << 40) ^
+                           (i * 0x9e3779b9ull));
+    }
+
+    std::uint64_t
+    refsPerValue() const
+    {
+        return (valueBytes + 63) / 64;
+    }
+
+    Addr
+    keyAddr(std::uint64_t key) const
+    {
+        const auto d = static_cast<DimmId>(
+            std::min<std::uint64_t>(key / perDimm, p.numDimms - 1));
+        const std::uint64_t off =
+            key - static_cast<std::uint64_t>(d) * perDimm;
+        return blockAddr[d] + off * valueBytes;
+    }
+
+    OpStream
+    run(ThreadId tid)
+    {
+        const auto &plan = plans[tid];
+        const bool open = p.serve.mode == "open";
+        for (std::size_t i = 0; i < plan.reqs.size(); ++i) {
+            const serving::Request &req = plan.reqs[i];
+            const std::uint64_t key = plan.keys[i];
+            co_yield open ? Op::reqStart(req.arrivalPs)
+                          : Op::reqStartNow();
+            // Hash the key and dispatch to the value's home.
+            co_yield Op::compute(16);
+            if (!req.isGet)
+                store[key] ^= putMix(key, tid, i);
+            std::vector<MemRef> refs;
+            const Addr base = keyAddr(key);
+            for (std::uint32_t off = 0; off < valueBytes;
+                 off += 64) {
+                const auto chunk = static_cast<std::uint16_t>(
+                    std::min<std::uint32_t>(64, valueBytes - off));
+                refs.push_back(MemRef{base + off, chunk,
+                                      !req.isGet,
+                                      DataClass::SharedRW});
+            }
+            co_yield Op::mem(std::move(refs));
+            // Format the response; reqEnd drains the value refs.
+            co_yield Op::compute(16);
+            co_yield Op::reqEnd();
+        }
+        co_yield Op::barrier();
+    }
+
+    std::uint64_t keys;
+    std::uint32_t valueBytes;
+    std::uint64_t perDimm;
+    std::vector<serving::ThreadPlan> plans;
+    std::vector<std::uint64_t> store;
+    std::vector<std::uint64_t> expected;
+    std::vector<Addr> blockAddr;
+};
+
+WorkloadFactory::Registrar reg("kv",
+    [](const WorkloadParams &params, const dram::GlobalAddressMap &gmap)
+        -> std::unique_ptr<Workload> {
+        return std::make_unique<KvWorkload>(params, gmap);
+    });
+
+} // namespace
+
+} // namespace workloads
+} // namespace dimmlink

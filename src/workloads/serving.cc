@@ -1,0 +1,106 @@
+#include "workloads/serving.hh"
+
+#include <string>
+
+#include "common/log.hh"
+#include "workloads/arrivals.hh"
+
+namespace dimmlink {
+namespace workloads {
+namespace serving {
+
+std::vector<ThreadPlan>
+buildPlans(const ServeConfig &s, unsigned num_threads,
+           unsigned keys_per_req)
+{
+    if (num_threads == 0)
+        panic("serving plan for zero threads");
+    const bool open = s.mode == "open";
+    const ZipfSampler zipf(s.keys, s.zipfTheta);
+
+    std::vector<ThreadPlan> plans(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        ThreadPlan &plan = plans[t];
+        const std::uint64_t count =
+            s.requests / num_threads +
+            (t < s.requests % num_threads ? 1 : 0);
+        plan.reqs.reserve(count);
+        plan.keys.reserve(count * keys_per_req);
+
+        // Independent per-thread streams, derived like the per-link
+        // fault streams: key/type draws and arrival draws never share
+        // a stream, so changing one knob cannot shift the other.
+        Rng rng(s.seed * 1000003 + t);
+        ArrivalProcess arrivals(s.offeredQps / num_threads,
+                                (s.seed ^ 0xa55a5aa5deadbeefull) *
+                                        1000003 + t,
+                                s.burstFactor, s.burstPeriodPs,
+                                s.burstLenPs);
+
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Request req;
+            if (open)
+                req.arrivalPs = arrivals.next();
+            req.isGet = rng.real() < s.getFraction;
+            plan.reqs.push_back(req);
+            for (unsigned k = 0; k < keys_per_req; ++k) {
+                const std::uint64_t rank = zipf(rng);
+                plan.keys.push_back(
+                    s.scramble ? scatterHash(rank) % s.keys : rank);
+            }
+        }
+    }
+    return plans;
+}
+
+bool
+aggregate(stats::Registry &reg, const SystemConfig &cfg,
+          Tick kernel_ticks)
+{
+    // Collect first, then write: creating the "serve" group while
+    // forEachGroup walks the map would mutate it mid-iteration.
+    stats::Histogram merged(
+        static_cast<double>(cfg.serve.latBucketPs),
+        cfg.serve.latBuckets);
+    double wait_ps = 0;
+    reg.forEachGroup([&](const stats::Group &g) {
+        if (g.name() == "serve")
+            return;
+        const auto it = g.histograms().find("reqLatencyPs");
+        if (it != g.histograms().end())
+            merged.merge(it->second);
+        const auto sit = g.scalars().find("reqWaitPs");
+        if (sit != g.scalars().end())
+            wait_ps += sit->second.value();
+    });
+    if (merged.total() == 0)
+        return false;
+
+    stats::Group &serve = reg.group("serve");
+    stats::Histogram &lat = serve.histogram(
+        "latencyPs", static_cast<double>(cfg.serve.latBucketPs),
+        cfg.serve.latBuckets);
+    lat.reset();
+    lat.merge(merged);
+
+    const auto requests = static_cast<double>(merged.total());
+    serve.scalar("requests").set(requests);
+    serve.scalar("latencyP50Ps").set(merged.percentile(0.50));
+    serve.scalar("latencyP95Ps").set(merged.percentile(0.95));
+    serve.scalar("latencyP99Ps").set(merged.percentile(0.99));
+    serve.scalar("achievedQps")
+        .set(kernel_ticks > 0
+                 ? requests /
+                       (static_cast<double>(kernel_ticks) * 1e-12)
+                 : 0);
+    // Echo the offered load for open-loop runs so a stats dump is
+    // self-describing; closed-loop runs have no offered rate.
+    serve.scalar("offeredQps")
+        .set(cfg.serve.mode == "open" ? cfg.serve.offeredQps : 0);
+    serve.scalar("reqWaitPs").set(wait_ps);
+    return true;
+}
+
+} // namespace serving
+} // namespace workloads
+} // namespace dimmlink

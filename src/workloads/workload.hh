@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/factory.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -38,6 +39,9 @@ struct WorkloadParams
     std::uint64_t syncIntervalInstr = 2000;
     /** Sync microkernel / TS.Pow: number of barrier rounds. */
     unsigned rounds = 32;
+    /** Serving workloads (kv, embed): arrival process, keyspace and
+     * popularity knobs; copied from SystemConfig::serve by drivers. */
+    ServeConfig serve;
 };
 
 /** Per-DIMM bump allocator over the global physical address space. */

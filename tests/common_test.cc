@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -222,6 +224,63 @@ TEST(Stats, HistogramPercentileEdgeCases)
     over.sample(2000);
     EXPECT_DOUBLE_EQ(over.percentile(0.5), 40.0);
     EXPECT_DOUBLE_EQ(over.percentile(0.99), 40.0);
+}
+
+TEST(Stats, HistogramUnderflowIsNotOverflow)
+{
+    // Negative samples used to land in the overflow counter (the
+    // negative quotient wrapped through the size_t cast); they are
+    // their own region now.
+    stats::Histogram h(10.0, 4);
+    h.sample(-5);
+    h.sample(-1e18);
+    h.sample(5);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.data()[0], 1u);
+    EXPECT_EQ(h.total(), 3u);
+
+    // Underflow ranks below bucket 0: with 2 of 3 samples negative,
+    // the median sits in the underflow region (the lower edge), while
+    // p99 reaches the real bucket-0 sample.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_GT(h.percentile(0.99), 0.0);
+    EXPECT_LE(h.percentile(0.99), 10.0);
+}
+
+TEST(Stats, HistogramHugeSampleIsOverflowNotUB)
+{
+    // Regression: v / bucketSize beyond the size_t range must be
+    // classified as overflow, not fed through static_cast (UB that
+    // landed in an arbitrary bucket on some targets).
+    stats::Histogram h(10.0, 4);
+    h.sample(1e300);
+    h.sample(static_cast<double>(
+        std::numeric_limits<std::uint64_t>::max()));
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.underflow(), 0u);
+    for (const auto c : h.data())
+        EXPECT_EQ(c, 0u);
+    // NaN never compares inside the bucket range: overflow, not UB.
+    h.sample(std::nan(""));
+    EXPECT_EQ(h.overflow(), 3u);
+}
+
+TEST(Stats, HistogramMerge)
+{
+    stats::Histogram a(10.0, 4), b(10.0, 4);
+    a.sample(5);
+    a.sample(-1);
+    b.sample(15);
+    b.sample(1000);
+    b.sample(5);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.data()[0], 2u);
+    EXPECT_EQ(a.data()[1], 1u);
 }
 
 TEST(Config, PresetsMatchPaper)

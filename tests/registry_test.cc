@@ -126,9 +126,9 @@ TEST(Registries, BuiltInImplementationsAreRegistered)
 
     const std::vector<std::string> wls = workloads::knownWorkloads();
     EXPECT_EQ(wls, (std::vector<std::string>{
-                       "bfs", "gups", "hotspot", "kmeans", "nw",
-                       "pagerank", "spmv", "sssp", "stream",
-                       "syncbench", "tspow"}));
+                       "bfs", "embed", "gups", "hotspot", "kmeans",
+                       "kv", "nw", "pagerank", "spmv", "sssp",
+                       "stream", "syncbench", "tspow"}));
 }
 
 TEST(Registries, EveryEnumNameResolvesInItsRegistry)

@@ -1,0 +1,359 @@
+/** @file The serving frontend (docs/serving.md): arrival processes
+ * and Zipfian popularity, deterministic request plans, the kv / embed
+ * workloads end to end on the NMP system and the host baseline, the
+ * serve stats group, and the byte-identity contract -- same
+ * serve.seed, same stats JSON, at any thread count. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats_json.hh"
+#include "system/host_runner.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workloads/arrivals.hh"
+#include "workloads/serving.hh"
+#include "workloads/workload.hh"
+
+namespace dimmlink {
+namespace {
+
+using workloads::ArrivalProcess;
+using workloads::ZipfSampler;
+
+TEST(Arrivals, DeterministicPerSeed)
+{
+    ArrivalProcess a(1e6, 42, 1.0, 0, 0);
+    ArrivalProcess b(1e6, 42, 1.0, 0, 0);
+    ArrivalProcess c(1e6, 43, 1.0, 0, 0);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const Tick ta = a.next();
+        EXPECT_EQ(ta, b.next());
+        any_diff |= ta != c.next();
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Arrivals, MeanRateMatchesOffered)
+{
+    // 1M qps -> mean gap 1e6 ps. 10k draws puts the sample mean
+    // within a few percent (stddev/sqrt(n) = 1%).
+    ArrivalProcess a(1e6, 7, 1.0, 0, 0);
+    const int n = 10000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = a.next();
+    const double mean_gap = static_cast<double>(last) / n;
+    EXPECT_NEAR(mean_gap, 1e6, 5e4);
+}
+
+TEST(Arrivals, ArrivalsAreStrictlyMonotone)
+{
+    // Sub-tick gaps at absurd rates still advance time.
+    ArrivalProcess a(1e12, 3, 1.0, 0, 0);
+    Tick last = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick t = a.next();
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(Arrivals, BurstPhasesConcentrateArrivals)
+{
+    // 4x bursts for the first 10% of each period: the burst windows
+    // should hold far more than 10% of the arrivals (4x rate -> ~31%
+    // of all arrivals at these settings).
+    ArrivalProcess a(1e6, 11, 4.0, 1000000, 100000);
+    int in_burst = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (a.inBurst(a.next()))
+            ++in_burst;
+    EXPECT_GT(in_burst, n / 5);
+}
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    ZipfSampler z(100, 0.0);
+    Rng rng(1);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(Zipf, SkewConcentratesOnHotKeys)
+{
+    ZipfSampler z(10000, 0.99);
+    Rng rng(1);
+    std::uint64_t hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (z(rng) < 10)
+            ++hot;
+    // At theta=0.99 the ten hottest of 10k keys draw roughly half
+    // the accesses; uniform would give 0.1%.
+    EXPECT_GT(hot, n / 4);
+    // And every rank stays in range.
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z(rng), 10000u);
+}
+
+TEST(Serving, PlansAreDeterministicAndComplete)
+{
+    ServeConfig s;
+    s.requests = 1000;
+    s.keys = 4096;
+    s.seed = 5;
+    const auto plans = workloads::serving::buildPlans(s, 16, 2);
+    const auto again = workloads::serving::buildPlans(s, 16, 2);
+    ASSERT_EQ(plans.size(), 16u);
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < 16; ++t) {
+        total += plans[t].reqs.size();
+        EXPECT_EQ(plans[t].keys.size(), plans[t].reqs.size() * 2);
+        EXPECT_EQ(plans[t].keys, again[t].keys);
+        // Open-loop arrivals are strictly increasing per thread.
+        Tick last = 0;
+        for (const auto &r : plans[t].reqs) {
+            EXPECT_GT(r.arrivalPs, last);
+            last = r.arrivalPs;
+            for (std::size_t k = 0; k < 2; ++k)
+                EXPECT_LT(plans[t].keys[k], s.keys);
+        }
+    }
+    EXPECT_EQ(total, s.requests);
+
+    ServeConfig other = s;
+    other.seed = 6;
+    const auto differ = workloads::serving::buildPlans(other, 16, 2);
+    EXPECT_NE(plans[0].keys, differ[0].keys);
+}
+
+struct ServeSpec
+{
+    std::string workload = "kv";
+    std::string mode = "open";
+    std::uint64_t seed = 1;
+    std::uint64_t requests = 192;
+    double offeredQps = 2e6;
+    double burstFactor = 1.0;
+    unsigned threads = 0; ///< 0 = sequential kernel (sim.shard=none).
+};
+
+/** One serving run on a 4D-2C system; returns full stats JSON plus
+ * kernel summary, and checks the result verified. */
+std::string
+runServing(const ServeSpec &spec)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.serve.mode = spec.mode;
+    cfg.serve.seed = spec.seed;
+    cfg.serve.requests = spec.requests;
+    cfg.serve.offeredQps = spec.offeredQps;
+    cfg.serve.keys = 8192;
+    cfg.serve.burstFactor = spec.burstFactor;
+    if (spec.burstFactor > 1.0) {
+        cfg.serve.burstPeriodPs = 10000000;
+        cfg.serve.burstLenPs = 2000000;
+    }
+    if (spec.threads) {
+        cfg.sim.shard = "group";
+        cfg.sim.threads = spec.threads;
+    }
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wl =
+        workloads::makeWorkload(spec.workload, p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    EXPECT_TRUE(r.verified)
+        << spec.workload << " seed=" << spec.seed
+        << " threads=" << spec.threads;
+    std::ostringstream os;
+    stats::dumpJson(sys.stats(), os, /*include_empty=*/true);
+    os << "\nkernelTicks=" << r.kernelTicks;
+    return os.str();
+}
+
+TEST(Serving, KvOpenLoopServesAndRecordsLatency)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.serve.requests = 192;
+    cfg.serve.keys = 8192;
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wl = workloads::makeWorkload("kv", p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    EXPECT_TRUE(r.verified);
+
+    const auto &reg = sys.stats();
+    EXPECT_DOUBLE_EQ(reg.scalar("serve.requests"), 192.0);
+    const double p50 = reg.scalar("serve.latencyP50Ps");
+    const double p95 = reg.scalar("serve.latencyP95Ps");
+    const double p99 = reg.scalar("serve.latencyP99Ps");
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GT(reg.scalar("serve.achievedQps"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("serve.offeredQps"),
+                     cfg.serve.offeredQps);
+    // Open loop at a modest rate: cores idle between arrivals.
+    EXPECT_GT(reg.scalar("serve.reqWaitPs"), 0.0);
+}
+
+TEST(Serving, EmbedClosedLoopServes)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.serve.mode = "closed";
+    cfg.serve.requests = 96;
+    cfg.serve.keys = 4096;
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wl = workloads::makeWorkload("embed", p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    EXPECT_TRUE(r.verified);
+
+    const auto &reg = sys.stats();
+    EXPECT_DOUBLE_EQ(reg.scalar("serve.requests"), 96.0);
+    EXPECT_GT(reg.scalar("serve.latencyP50Ps"), 0.0);
+    // Closed loop never waits for an arrival.
+    EXPECT_DOUBLE_EQ(reg.scalar("serve.reqWaitPs"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("serve.offeredQps"), 0.0);
+}
+
+TEST(Serving, NonServingRunsHaveNoServeGroup)
+{
+    // The serve group and per-core request stats must stay invisible
+    // when no request retires, so batch-kernel stats dumps are
+    // unchanged by this feature.
+    auto cfg = SystemConfig::preset("4D-2C");
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.scale = 4;
+    auto wl = workloads::makeWorkload("gups", p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    EXPECT_TRUE(r.verified);
+    EXPECT_FALSE(sys.stats().hasScalar("serve.requests"));
+    std::ostringstream os;
+    stats::dumpJson(sys.stats(), os);
+    EXPECT_EQ(os.str().find("reqLatencyPs"), std::string::npos);
+    EXPECT_EQ(os.str().find("\"serve\""), std::string::npos);
+}
+
+TEST(ServingDeterminism, RepeatRunsAreByteIdentical)
+{
+    for (const char *w : {"kv", "embed"}) {
+        ServeSpec s;
+        s.workload = w;
+        const std::string a = runServing(s);
+        const std::string b = runServing(s);
+        EXPECT_EQ(a, b) << w;
+    }
+}
+
+TEST(ServingDeterminism, ThreadCountInvariantOpenLoop)
+{
+    for (const char *w : {"kv", "embed"}) {
+        for (std::uint64_t seed : {1, 7}) {
+            ServeSpec s;
+            s.workload = w;
+            s.seed = seed;
+            s.threads = 1;
+            const std::string ref = runServing(s);
+            s.threads = 4;
+            EXPECT_EQ(ref, runServing(s))
+                << w << " seed=" << seed
+                << " diverged at threads=4";
+        }
+    }
+}
+
+TEST(ServingDeterminism, ThreadCountInvariantClosedAndBursty)
+{
+    ServeSpec s;
+    s.workload = "kv";
+    s.mode = "closed";
+    s.threads = 1;
+    const std::string closed_ref = runServing(s);
+    s.threads = 4;
+    EXPECT_EQ(closed_ref, runServing(s)) << "closed loop diverged";
+
+    ServeSpec b;
+    b.workload = "kv";
+    b.burstFactor = 4.0;
+    b.threads = 1;
+    const std::string burst_ref = runServing(b);
+    b.threads = 4;
+    EXPECT_EQ(burst_ref, runServing(b)) << "bursty arrivals diverged";
+}
+
+TEST(ServingDeterminism, SeedChangesTheRun)
+{
+    ServeSpec s;
+    s.workload = "kv";
+    s.seed = 1;
+    const std::string a = runServing(s);
+    s.seed = 2;
+    EXPECT_NE(a, runServing(s));
+}
+
+TEST(Serving, HostBaselineServes)
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.serve.requests = 96;
+    cfg.serve.keys = 4096;
+    HostRunner host(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.host.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    dram::GlobalAddressMap gmap(cfg.numDimms, cfg.dimm.capacityBytes);
+    auto wl = workloads::makeWorkload("kv", p, gmap);
+    const RunResult r = host.run(*wl);
+    EXPECT_TRUE(r.verified);
+    EXPECT_DOUBLE_EQ(host.stats().scalar("serve.requests"), 96.0);
+    EXPECT_GT(host.stats().scalar("serve.latencyP50Ps"), 0.0);
+}
+
+TEST(Serving, ConfigRejectsBadKnobs)
+{
+    auto bad = [](const char *key, const char *value,
+                  const char *msg) {
+        auto cfg = SystemConfig::preset("4D-2C");
+        cfg.set(key, value);
+        EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                    msg) << key << "=" << value;
+    };
+    bad("serve.mode", "batch", "serve.mode");
+    bad("serve.zipfTheta", "1.5", "zipfTheta");
+    bad("serve.getFraction", "1.5", "getFraction");
+    bad("serve.offeredQps", "0", "offeredQps");
+    bad("serve.requests", "0", "requests");
+    bad("serve.burstFactor", "0.5", "burstFactor");
+}
+
+} // namespace
+} // namespace dimmlink

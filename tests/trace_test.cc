@@ -27,6 +27,9 @@ sampleTrace()
     t.append(Op::mem(batch, false));
     t.append(Op::barrier());
     t.append(Op::broadcast(0x4000, 4096));
+    t.append(Op::reqStart(777));
+    t.append(Op::reqStartNow());
+    t.append(Op::reqEnd());
     t.append(Op::done());
     return t;
 }
@@ -38,9 +41,30 @@ TEST(Trace, SaveLoadRoundTrip)
     t.save(ss);
     const ThreadTrace u = ThreadTrace::load(ss);
     EXPECT_TRUE(t == u);
-    EXPECT_EQ(u.size(), 7u);
+    EXPECT_EQ(u.size(), 10u);
     EXPECT_EQ(u.memRefs(), 4u);
     EXPECT_EQ(u.instructions(), 123u);
+}
+
+TEST(Trace, ServingOpsSurviveTheFormat)
+{
+    // The v2 additions: arrival ticks (including the closed-loop
+    // sentinel) must round-trip exactly.
+    ThreadTrace t;
+    t.append(Op::reqStart(0));
+    t.append(Op::reqStart(123456789));
+    t.append(Op::reqStartNow());
+    t.append(Op::reqEnd());
+    t.append(Op::done());
+    std::stringstream ss;
+    t.save(ss);
+    const ThreadTrace u = ThreadTrace::load(ss);
+    ASSERT_EQ(u.size(), 5u);
+    EXPECT_EQ(u.at(0).kind, Op::Kind::ReqStart);
+    EXPECT_EQ(u.at(1).tickArg, Tick{123456789});
+    EXPECT_EQ(u.at(2).tickArg, Op::reqNow);
+    EXPECT_EQ(u.at(3).kind, Op::Kind::ReqEnd);
+    EXPECT_TRUE(t == u);
 }
 
 TEST(Trace, LoadRejectsGarbage)
@@ -58,7 +82,7 @@ TEST(Trace, RecordingCapturesTheStream)
     while (rec.next().kind != Op::Kind::Done) {
     }
     // The recording includes the Done op.
-    EXPECT_EQ(rec.trace()->size(), 7u);
+    EXPECT_EQ(rec.trace()->size(), 10u);
     EXPECT_TRUE(*rec.trace() == sampleTrace());
 }
 
