@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Rack-scale pooling sweep (docs/rack.md): closed-loop kv serving
+ * throughput across the CXL.mem latency range (300-1500 ns) for the
+ * two cross-host IDC routes -- host-forwarded (descend to the source
+ * host, cross the rack fabric, descend again) vs. pooled DIMM-Link
+ * bridges (direct gateway-to-gateway lanes that bypass both hosts) --
+ * at 1, 2 and 4 hosts sharing the same 16-DIMM, 4-group pool.
+ *
+ * The single-host rows are the no-rack baseline: the rack layer is
+ * disabled, so the latency and route columns are inert and the row
+ * repeats flat -- the reference the multi-host rows are read against.
+ *
+ * Emits a JSON report (default BENCH_rack.json, or argv[1]; "-" for
+ * stdout). All latencies are picoseconds.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace dimmlink;
+using namespace benchutil;
+
+namespace {
+
+struct Row
+{
+    unsigned hosts = 1;
+    std::string route; ///< "none" | "forwarded" | "pooled"
+    double latencyNs = 0;
+    double achievedQps = 0;
+    double p50Ps = 0, p99Ps = 0;
+    double crossings = 0;       ///< host-forwarded rack crossings
+    double pooledTransfers = 0; ///< bridge-lane crossings
+    Tick kernelTicks = 0;
+    bool verified = false;
+};
+
+Row
+runPoint(unsigned hosts, const std::string &mode, double latency_ns)
+{
+    // The same machine in every row: 16 NMP-DIMMs in four DL groups,
+    // partitioned into 1, 2 or 4 hosts. Closed-loop kv saturates the
+    // fabric, so the cross-host route is what moves the numbers.
+    SystemConfig cfg = SystemConfig::preset("16D-8C");
+    cfg.dimmsPerGroup = 4;
+    cfg.serve.mode = "closed";
+    cfg.serve.requests = 2048;
+    cfg.serve.keys = 65536;
+    if (hosts > 1) {
+        cfg.rack.hosts = hosts;
+        cfg.rack.idcMode = mode;
+        cfg.rack.latencyPs = static_cast<Tick>(latency_ns * 1000);
+    }
+    cfg.validate();
+
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wl = workloads::makeWorkload("kv", p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+
+    const auto &reg = sys.stats();
+    Row row;
+    row.hosts = hosts;
+    row.route = hosts > 1 ? mode : "none";
+    row.latencyNs = hosts > 1 ? latency_ns : 0;
+    row.achievedQps = reg.scalar("serve.achievedQps");
+    row.p50Ps = reg.scalar("serve.latencyP50Ps");
+    row.p99Ps = reg.scalar("serve.latencyP99Ps");
+    if (hosts > 1) {
+        row.crossings = reg.scalar("rack.crossings");
+        row.pooledTransfers = reg.scalar("rack.pooledTransfers");
+    }
+    row.kernelTicks = r.kernelTicks;
+    row.verified = r.verified;
+    if (!r.verified)
+        std::fprintf(stderr, "WARNING: kv did not verify at "
+                     "hosts=%u mode=%s\n", hosts, mode.c_str());
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScopedWallReport wall("rack_scale");
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_rack.json";
+
+    const std::vector<double> latencies = {300, 700, 1100, 1500};
+    const std::vector<std::string> routes = {"forwarded", "pooled"};
+
+    std::vector<Row> rows;
+    const Row base = runPoint(1, "pooled", 0);
+    std::printf("1 host  (no rack):           %.3g qps  "
+                "(p50 %.2f us, p99 %.2f us)\n",
+                base.achievedQps, base.p50Ps / 1e6, base.p99Ps / 1e6);
+    std::fflush(stdout);
+    rows.push_back(base);
+
+    bool pooled_always_wins = true;
+    for (const unsigned hosts : {2u, 4u}) {
+        for (const double lat : latencies) {
+            double forwarded_qps = 0;
+            for (const auto &route : routes) {
+                Row r = runPoint(hosts, route, lat);
+                std::printf("%u hosts %-9s CXL %4.0f ns: %.3g qps  "
+                            "(p50 %.2f us, p99 %.2f us)\n",
+                            hosts, route.c_str(), lat, r.achievedQps,
+                            r.p50Ps / 1e6, r.p99Ps / 1e6);
+                std::fflush(stdout);
+                if (route == "forwarded")
+                    forwarded_qps = r.achievedQps;
+                else if (r.achievedQps <= forwarded_qps)
+                    pooled_always_wins = false;
+                rows.push_back(std::move(r));
+            }
+        }
+    }
+    std::printf("pooled bridges beat host-forwarded at every point: "
+                "%s\n", pooled_always_wins ? "yes" : "NO");
+
+    FILE *out = out_path == "-" ? stdout
+                                : std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"rack_scale\",\n");
+    std::fprintf(out, "  \"preset\": \"16D-8C\",\n");
+    std::fprintf(out, "  \"dimmsPerGroup\": 4,\n");
+    std::fprintf(out, "  \"workload\": \"kv\",\n");
+    std::fprintf(out, "  \"mode\": \"closed\",\n");
+    std::fprintf(out, "  \"pooledAlwaysWins\": %s,\n",
+                 pooled_always_wins ? "true" : "false");
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"hosts\": %u, \"route\": \"%s\", "
+            "\"latencyNs\": %.6g, \"achievedQps\": %.6g, "
+            "\"p50Ps\": %.6g, \"p99Ps\": %.6g, "
+            "\"crossings\": %.6g, \"pooledTransfers\": %.6g, "
+            "\"kernelTicks\": %llu, \"verified\": %s}%s\n",
+            r.hosts, r.route.c_str(), r.latencyNs, r.achievedQps,
+            r.p50Ps, r.p99Ps, r.crossings, r.pooledTransfers,
+            static_cast<unsigned long long>(r.kernelTicks),
+            r.verified ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return pooled_always_wins ? 0 : 1;
+}

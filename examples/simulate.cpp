@@ -34,6 +34,12 @@
  *                       N > 1, -p sim.shard=group: run the sharded
  *                       parallel kernel on N OS threads; see
  *                       docs/parallel_kernel.md)
+ *     --hosts N        (shorthand for -p rack.hosts=N: partition the
+ *                       DL groups across N hosts pooling their
+ *                       NMP-DIMMs over the inter-host fabric; see
+ *                       docs/rack.md)
+ *     --rack-latency-ns N  (shorthand for -p rack.latencyPs=N000:
+ *                       one-way CXL.mem latency of the rack fabric)
  *     --cpu                                   (run the host baseline)
  *     --stats                                 (dump raw statistics)
  *     --json                                  (stats + config as JSON)
@@ -156,6 +162,10 @@ main(int argc, char **argv)
             if (n != "1")
                 overrides.push_back("sim.shard=group");
         }
+        else if (a == "--hosts")
+            overrides.push_back("rack.hosts=" + next());
+        else if (a == "--rack-latency-ns")
+            overrides.push_back("rack.latencyPs=" + next() + "000");
         else if (a == "--trace")
             overrides.push_back("obs.trace=true");
         else if (a == "--trace-out") {
@@ -245,6 +255,41 @@ main(int argc, char **argv)
                         "p99 %.2f\n", sv("latencyP50Ps") / 1e6,
                         sv("latencyP95Ps") / 1e6,
                         sv("latencyP99Ps") / 1e6);
+        }
+    }
+
+    if (cfg.rackEnabled()) {
+        const auto &reg = sys.stats();
+        auto rk = [&](const char *s) {
+            return reg.sumScalar("rack", s);
+        };
+        std::printf("  rack                 : %u hosts  %s fabric  "
+                    "CXL %.0f ns  primary %s\n", cfg.rack.hosts,
+                    cfg.rack.fabric.c_str(),
+                    static_cast<double>(cfg.rack.latencyPs) / 1e3,
+                    cfg.rack.idcMode.c_str());
+        std::printf("    crossings          : forwarded %.0f "
+                    "(%.2f MB)  pooled %.0f (%.2f MB)\n",
+                    rk("crossings"), rk("forwardedBytes") / 1e6,
+                    rk("pooledTransfers"), rk("pooledBytes") / 1e6);
+        std::printf("    availability       : reroutes %.0f  "
+                    "portDown %.0f  recovered %.0f\n",
+                    rk("reroutes"), rk("portDownEvents"),
+                    rk("portRecoveredEvents"));
+        for (unsigned h = 0; h < cfg.rack.hosts; ++h) {
+            const std::string pre = "host" + std::to_string(h) + ".";
+            if (!reg.hasScalar("serve." + pre + "requests"))
+                break;
+            const double hreq =
+                reg.scalar("serve." + pre + "requests");
+            if (hreq == 0)
+                continue;
+            std::printf("    host %u SLO         : %.0f requests  "
+                        "p50 %.2f us  p99 %.2f us\n", h, hreq,
+                        reg.scalar("serve." + pre + "latencyP50Ps") /
+                            1e6,
+                        reg.scalar("serve." + pre + "latencyP99Ps") /
+                            1e6);
         }
     }
 

@@ -171,33 +171,43 @@ for wl in stream bfs pagerank; do
     fi
     echo "    [$wl] OK: byte-identical at 1 and 4 threads"
 done
-# The chaos cell inside the sharded kernel: a permanently-stuck link
+# The chaos cells inside the sharded kernel: a permanently-stuck link
 # with host failover must recover identically at every thread count.
-for t in 1 2; do
-    threads_args=(--threads "$t")
-    [ "$t" = 1 ] && threads_args+=(-p sim.shard=group)
-    "$root/build/examples/example_simulate" \
-        --config "$root/configs/default.json" \
-        -p system.numDimms=4 -p system.numChannels=2 \
-        -p host.numChannels=2 \
-        -p faults.model=stuck -p faults.stuckAtPs=0 \
-        -p faults.stuckForPs=400000000000000 \
-        -p faults.stuckPeriodPs=0 -p faults.linkFilter=link1to2 \
-        -p faults.seed=7 -p faults.onExhausted=failover \
-        -p watchdog.stallPs=1000000000 \
-        "${threads_args[@]}" \
-        --workload bfs --scale 6 --rounds 1 --json \
-        > "$trace_dir/parfault$t.out"
+# The 8D (two-group) shape is the one whose stuck bridge used to hang
+# the proxy-notify path (fixed via requestForward's retry-deadline
+# fallback); it rides the default config with no shape overrides.
+for shape in 4D 8D; do
+    shape_args=()
+    [ "$shape" = 4D ] && shape_args=(-p system.numDimms=4 \
+        -p system.numChannels=2 -p host.numChannels=2)
+    for t in 1 2; do
+        threads_args=(--threads "$t")
+        [ "$t" = 1 ] && threads_args+=(-p sim.shard=group)
+        "$root/build/examples/example_simulate" \
+            --config "$root/configs/default.json" \
+            "${shape_args[@]}" \
+            -p faults.model=stuck -p faults.stuckAtPs=0 \
+            -p faults.stuckForPs=400000000000000 \
+            -p faults.stuckPeriodPs=0 -p faults.linkFilter=link1to2 \
+            -p faults.seed=7 -p faults.onExhausted=failover \
+            -p watchdog.stallPs=1000000000 \
+            "${threads_args[@]}" \
+            --workload bfs --scale 6 --rounds 1 --json \
+            > "$trace_dir/parfault$t.out"
+    done
+    if ! cmp -s "$trace_dir/parfault1.out" "$trace_dir/parfault2.out"
+    then
+        echo "[$shape] sharded fault run diverged between thread counts"
+        diff "$trace_dir/parfault1.out" "$trace_dir/parfault2.out" | head
+        exit 1
+    fi
+    if ! grep -q '"linkDownEvents": [1-9]' "$trace_dir/parfault2.out"
+    then
+        echo "[$shape] sharded chaos cell never detected the dead link"
+        exit 1
+    fi
+    echo "    [$shape stuck/failover] OK: byte-identical, recovered"
 done
-if ! cmp -s "$trace_dir/parfault1.out" "$trace_dir/parfault2.out"; then
-    echo "sharded fault-injection run diverged between thread counts"
-    diff "$trace_dir/parfault1.out" "$trace_dir/parfault2.out" | head
-    exit 1
-fi
-if ! grep -q '"linkDownEvents": [1-9]' "$trace_dir/parfault2.out"; then
-    echo "sharded chaos cell never detected the dead link"; exit 1
-fi
-echo "    [stuck/failover] OK: byte-identical, recovery exercised"
 
 echo "==> serving smoke under ASan+UBSan"
 # Short open-loop runs of both request-level workloads
@@ -339,6 +349,29 @@ for model in stuck ber; do
         done
     done
 done
+# The 8D (two-group) stuck-bridge cell, re-enabled: PR 6 skipped it
+# because a permanently-stuck bridge hung the proxy-notify path on
+# multi-group systems; the requestForward retry-deadline fallback
+# fixed that, so the cell now runs under the sanitizers like the rest
+# of the matrix. No shape overrides: the default config is the 8-DIMM
+# two-group machine.
+for policy in failover drop; do
+    chaos_out="$(ASAN_OPTIONS=detect_leaks=0 \
+        UBSAN_OPTIONS=print_stacktrace=1 \
+        "$root/build-asan/examples/example_simulate" \
+        --config "$root/configs/default.json" \
+        -p faults.model=stuck -p faults.stuckAtPs=0 \
+        -p faults.stuckForPs=400000000000000 \
+        -p faults.stuckPeriodPs=0 -p faults.linkFilter=link1to2 \
+        -p faults.seed=7 -p faults.onExhausted="$policy" \
+        -p watchdog.stallPs=1000000000 \
+        --workload bfs --scale 6 --rounds 1 --json 2>&1)"
+    cell="stuck-8D/HalfRing/$policy"
+    if ! grep -q '"linkDownEvents": [1-9]' <<<"$chaos_out"; then
+        echo "[$cell] dead bridge never detected"; exit 1
+    fi
+    echo "    [$cell] OK: completed, verified, recovered"
+done
 
 echo "==> finite-outage recovery under ASan+UBSan"
 # The link dies at tick 0 and comes back mid-run: the HalfRing cut
@@ -372,5 +405,53 @@ for policy in failover drop; do
     fi
     echo "    [$cell] OK: went down, recovered, stream resumed"
 done
+
+echo "==> rack-scale pooling smoke under ASan+UBSan"
+# The checked-in two-host rack (configs/rack_2host.json, docs/rack.md)
+# serves kv across the pooled NMP-DIMMs: the stats JSON must carry the
+# rack group with cross-host traffic on the pooled bridges and the
+# serve group with per-host SLO percentiles that partition the
+# rack-wide request count.
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "$root/build-asan/examples/example_simulate" \
+    --config "$root/configs/rack_2host.json" \
+    --workload kv --json > "$trace_dir/rack.out"
+python3 - "$trace_dir/rack.out" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+stats = json.loads(text[text.index('{\n  "config"'):])
+rack = stats["rack"]["scalars"]
+assert rack["pooledTransfers"] > 0, "no pooled cross-host transfers"
+assert rack["pooledBytes"] > 0, "no pooled cross-host bytes"
+# Zero-valued scalars are omitted from the example driver's JSON, so
+# a pooled-primary run simply has no "crossings" entry.
+assert rack.get("crossings", 0) == 0, "pooled primary used host path"
+serve = stats["serve"]["scalars"]
+assert serve["requests"] > 0, "no requests retired"
+hosts = serve["host0.requests"] + serve["host1.requests"]
+assert hosts == serve["requests"], "per-host counts do not partition"
+for h in (0, 1):
+    p50 = serve[f"host{h}.latencyP50Ps"]
+    p99 = serve[f"host{h}.latencyP99Ps"]
+    assert 0 < p50 <= p99, f"host{h} percentiles missing/non-monotone"
+EOF
+echo "    rack OK: pooled crossings, per-host SLO partition"
+# Determinism contract at rack scale: byte-identical stats at 1 vs 4
+# threads under sim.shard=group (all rack state is single-writer on
+# the host shard).
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/rack_2host.json" \
+    -p sim.shard=group --threads 1 \
+    --workload kv --json > "$trace_dir/rack1.out"
+"$root/build/examples/example_simulate" \
+    --config "$root/configs/rack_2host.json" \
+    --threads 4 \
+    --workload kv --json > "$trace_dir/rack4.out"
+if ! cmp -s "$trace_dir/rack1.out" "$trace_dir/rack4.out"; then
+    echo "rack run diverged between 1 and 4 threads"
+    diff "$trace_dir/rack1.out" "$trace_dir/rack4.out" | head
+    exit 1
+fi
+echo "    rack OK: byte-identical at 1 and 4 threads"
 
 echo "==> CI green"

@@ -13,6 +13,7 @@
 #include "dram/timing.hh"
 #include "fault/fault_model.hh"
 #include "proto/dll.hh"
+#include "rack/inter_host_fabric.hh"
 
 namespace dimmlink {
 
@@ -436,6 +437,24 @@ fields()
         CFG_FIELD_HIDDEN("sim.threads", sim.threads),
         CFG_FIELD_HIDDEN("sim.shard", sim.shard),
         CFG_FIELD_HIDDEN("sim.lookaheadPs", sim.lookaheadPs),
+
+        // Hidden like sim.*: a single-host config (rack.hosts = 1)
+        // must dump byte-identical stats JSON to a build without the
+        // rack layer.
+        CFG_FIELD_HIDDEN("rack.hosts", rack.hosts),
+        CFG_FIELD_HIDDEN("rack.fabric", rack.fabric),
+        CFG_FIELD_HIDDEN("rack.idcMode", rack.idcMode),
+        CFG_FIELD_HIDDEN("rack.latencyPs", rack.latencyPs),
+        CFG_FIELD_HIDDEN("rack.switchHopPs", rack.switchHopPs),
+        CFG_FIELD_HIDDEN("rack.portGBps", rack.portGBps),
+        CFG_FIELD_HIDDEN("rack.pooledGBps", rack.pooledGBps),
+        CFG_FIELD_HIDDEN("rack.groupsPerHost", rack.groupsPerHost),
+        CFG_FIELD_HIDDEN("rack.hostDownId", rack.hostDownId),
+        CFG_FIELD_HIDDEN("rack.hostDownAtPs", rack.hostDownAtPs),
+        CFG_FIELD_HIDDEN("rack.hostDownForPs", rack.hostDownForPs),
+        CFG_FIELD_HIDDEN("rack.nodeDownId", rack.nodeDownId),
+        CFG_FIELD_HIDDEN("rack.nodeDownAtPs", rack.nodeDownAtPs),
+        CFG_FIELD_HIDDEN("rack.nodeDownForPs", rack.nodeDownForPs),
     };
     return table;
 }
@@ -668,6 +687,68 @@ SystemConfig::validate() const
                   "obs.sampleIntervalPs = 0");
     }
 
+    // Rack-scale pooling. Only the multi-host case is constrained:
+    // single-host configs must never fatal on leftover rack keys (the
+    // layer is invisible when unused).
+    if (rack.hosts == 0)
+        fatal("rack.hosts must be positive (1 = single-host)");
+    if (rack.hosts > 1) {
+        if (idcMethod != IdcMethod::DimmLink)
+            fatal("rack.hosts = %u requires the DIMM-Link fabric "
+                  "(got %s): only its inter-group path composes with "
+                  "the rack crossing", rack.hosts, toString(idcMethod));
+        if (rack.hosts > numGroups())
+            fatal("rack.hosts (%u) exceeds the number of DL groups "
+                  "(%u): each host needs at least one pool group",
+                  rack.hosts, numGroups());
+        if (groupsPerHost() * rack.hosts != numGroups())
+            fatal("rack.hosts (%u) x groupsPerHost (%u) must cover "
+                  "the %u DL groups exactly", rack.hosts,
+                  groupsPerHost(), numGroups());
+        if ((groupsPerHost() * groupSize()) % dimmsPerChannel() != 0)
+            fatal("a host's %u DIMMs do not align with whole "
+                  "channels of %u DIMMs (channels cannot straddle "
+                  "hosts)", groupsPerHost() * groupSize(),
+                  dimmsPerChannel());
+        const auto &rf = rack::InterHostFabricFactory::instance();
+        if (!rf.contains(rack.fabric))
+            fatal("unknown inter-host fabric '%s' (registered: %s)",
+                  rack.fabric.c_str(), rf.knownList().c_str());
+        if (rack.idcMode != "pooled" && rack.idcMode != "forwarded")
+            fatal("rack.idcMode must be 'pooled' or 'forwarded' "
+                  "(got '%s')", rack.idcMode.c_str());
+        if (rack.latencyPs == 0)
+            fatal("rack.latencyPs must be positive (a zero-latency "
+                  "rack crossing admits no conservative window)");
+        if (rack.portGBps <= 0 || rack.pooledGBps <= 0)
+            fatal("rack.portGBps and rack.pooledGBps must be "
+                  "positive");
+        if (rack.hostDownAtPs != 0 && rack.hostDownId >= rack.hosts)
+            fatal("rack.hostDownId (%u) out of range (rack has %u "
+                  "hosts)", rack.hostDownId, rack.hosts);
+        if (rack.nodeDownAtPs != 0) {
+            if (rack.nodeDownId >= numGroups())
+                fatal("rack.nodeDownId (%u) out of range (%u pool "
+                      "groups)", rack.nodeDownId, numGroups());
+            if (rack.nodeDownId % groupsPerHost() != 0)
+                fatal("rack.nodeDownId (%u) is not a gateway pool "
+                      "node (the bridge lanes attach at each host's "
+                      "first group: multiples of %u)",
+                      rack.nodeDownId, groupsPerHost());
+        }
+        // The rack fabric sets the cross-host lookahead floor: every
+        // cross-host hop routes through the host shard and pays at
+        // least rack.latencyPs, so the conservative window only has
+        // to respect the (smaller) intra-host hop -- unless an
+        // explicit sim.lookaheadPs undercuts the rack latency.
+        if (sharded() && resolvedLookaheadPs() > rack.latencyPs)
+            fatal("sim.lookaheadPs (%llu) exceeds rack.latencyPs "
+                  "(%llu): the window would overrun the shortest "
+                  "cross-host crossing",
+                  static_cast<unsigned long long>(resolvedLookaheadPs()),
+                  static_cast<unsigned long long>(rack.latencyPs));
+    }
+
     // Observability. Category names are validated where the tracer is
     // built (obs::categoryMaskFromString) to keep common/ free of an
     // obs/ dependency.
@@ -727,7 +808,7 @@ SystemConfig::set(const std::string &key, const std::string &value)
               key.c_str(), section.c_str(), siblings.c_str());
     fatal("unknown config key '%s' (sections: system, host, dimm, "
           "dram, link, bus, faults, serve, energy, obs, watchdog, "
-          "sim)", key.c_str());
+          "sim, rack)", key.c_str());
 }
 
 void
@@ -828,6 +909,15 @@ SystemConfig::print(std::ostream &os) const
        << "  AIM bus: " << bus.busGBps << " GB/s shared\n"
        << "  DRAM preset: " << dramPreset
        << "  scheduler: " << dramScheduler << "\n";
+    if (rackEnabled()) {
+        os << "  Rack: " << rack.hosts << " hosts x "
+           << groupsPerHost() << " pool groups, \"" << rack.fabric
+           << "\" fabric, CXL " << rack.latencyPs / 1000.0 << " ns + "
+           << rack.switchHopPs / 1000.0 << " ns/hop, ports "
+           << rack.portGBps << " GB/s, pooled bridges "
+           << rack.pooledGBps << " GB/s (primary: " << rack.idcMode
+           << ")\n";
+    }
 }
 
 } // namespace dimmlink

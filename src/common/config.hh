@@ -331,6 +331,62 @@ struct ServeConfig
     unsigned latBuckets = 2048;
 };
 
+/**
+ * Rack-scale memory pooling (src/rack/, docs/rack.md): N hosts share
+ * the pool of NMP-DIMM nodes over a switched, CXL.mem-style
+ * inter-host fabric. The DL groups partition across the hosts
+ * (whole groups, whole channels), and inter-group traffic whose
+ * endpoints live under different hosts crosses the rack, either
+ * host-forwarded (climb to the source host, cross the rack fabric,
+ * descend at the destination host) or over pooled DIMM-Link bridges
+ * that connect the hosts' gateway pool nodes directly and bypass
+ * both host CPUs.
+ *
+ * Like sim.* and obs.*, every rack.* key is hidden from describe():
+ * with rack.hosts = 1 (the default) the rack layer builds nothing,
+ * touches nothing, and a config without a rack section produces
+ * byte-identical stats JSON to a build that predates it.
+ */
+struct RackConfig
+{
+    /** Hosts sharing the pool; 1 = single-host (rack layer off). */
+    unsigned hosts = 1;
+    /** Registered inter-host fabric: "switch" (every crossing takes
+     * two switch hops through a central CXL switch) or "direct"
+     * (dedicated point-to-point host cables, no switch hops). */
+    std::string fabric = "switch";
+    /** Primary route of a cross-host IDC transfer: "pooled" (direct
+     * DIMM-Link bridges between the hosts' gateway pool nodes) or
+     * "forwarded" (climb to the source host and cross the rack
+     * fabric). The other route is the failover path. */
+    std::string idcMode = "pooled";
+    /** One-way CXL.mem load/store latency of the rack fabric (the
+     * research context sweeps 300-1500 ns). */
+    Tick latencyPs = 500 * tickPerNs;
+    /** Added latency per switch hop of the crossing. */
+    Tick switchHopPs = 25 * tickPerNs;
+    /** Per-direction bandwidth of each host's rack port. */
+    double portGBps = 32.0;
+    /** Per-direction bandwidth of one pooled DIMM-Link bridge lane. */
+    double pooledGBps = 25.0;
+    /** DL groups owned by each host; 0 = auto (numGroups / hosts). */
+    unsigned groupsPerHost = 0;
+    /** Failure injection: host whose rack port (and cross-host
+     * forwarding CPU) dies at hostDownAtPs; its pool nodes stay
+     * powered and reachable over the pooled bridges. 0 ticks = no
+     * outage. */
+    unsigned hostDownId = 0;
+    Tick hostDownAtPs = 0;
+    /** Outage duration; 0 = permanent (no recovery). */
+    Tick hostDownForPs = 0;
+    /** Failure injection: gateway pool node (a group id; must be the
+     * first group of its host) whose bridge attach dies at
+     * nodeDownAtPs, taking its host's pooled lanes down. */
+    unsigned nodeDownId = 0;
+    Tick nodeDownAtPs = 0;
+    Tick nodeDownForPs = 0;
+};
+
 /** Energy model constants (Section V-C). */
 struct EnergyConfig
 {
@@ -374,6 +430,7 @@ struct SystemConfig
     ObsConfig obs;
     WatchdogConfig watchdog;
     SimConfig sim;
+    RackConfig rack;
 
     /** DRAM timing preset name, keyed into the timing registry
      * (DDR4_2400, DDR5_4800, LPDDR5X_8533, HBM2_2000, ...). Set
@@ -407,6 +464,25 @@ struct SystemConfig
 
     /** Is the sharded (parallel-capable) kernel selected? */
     bool sharded() const { return sim.shard == "group"; }
+
+    /** Is the rack layer (multi-host pooling) in play? */
+    bool rackEnabled() const { return rack.hosts > 1; }
+    /** DL groups owned by each host (resolves the 0 = auto setting;
+     * numGroups() when single-host, so hostOf() degenerates to 0). */
+    unsigned
+    groupsPerHost() const
+    {
+        if (rack.groupsPerHost != 0)
+            return rack.groupsPerHost;
+        return rack.hosts > 1 ? numGroups() / rack.hosts : numGroups();
+    }
+    /** Host that owns DL group @p g. */
+    unsigned hostOfGroup(unsigned g) const { return g / groupsPerHost(); }
+    /** Host that owns DIMM @p d. */
+    unsigned hostOf(DimmId d) const { return hostOfGroup(groupOf(d)); }
+    /** Gateway pool node (group id) anchoring host @p h's pooled
+     * bridge lanes: its first group. */
+    unsigned gatewayGroupOf(unsigned h) const { return h * groupsPerHost(); }
 
     /** The effective conservative lookahead window (resolves the
      * sim.lookaheadPs=0 auto setting to one DL-Bridge hop). */

@@ -98,34 +98,40 @@ Registry::group(const std::string &name)
     return it->second;
 }
 
+/** Resolve "group.stat". Stat names may themselves contain dots
+ * (e.g. the serving frontend's "serve.host0.requests" is the scalar
+ * "host0.requests" in group "serve"), so try every split point from
+ * the rightmost dot leftwards until a (group, stat) pair matches. */
+const Scalar *
+Registry::findScalar(const std::string &dotted) const
+{
+    for (auto pos = dotted.rfind('.'); pos != std::string::npos;
+         pos = pos == 0 ? std::string::npos : dotted.rfind('.', pos - 1)) {
+        const auto git = groups.find(dotted.substr(0, pos));
+        if (git == groups.end())
+            continue;
+        const auto sit = git->second.scalars_.find(dotted.substr(pos + 1));
+        if (sit != git->second.scalars_.end())
+            return &sit->second;
+    }
+    return nullptr;
+}
+
 double
 Registry::scalar(const std::string &dotted) const
 {
-    const auto pos = dotted.rfind('.');
-    if (pos == std::string::npos)
+    if (dotted.find('.') == std::string::npos)
         panic("malformed stat name '%s'", dotted.c_str());
-    const std::string group_name = dotted.substr(0, pos);
-    const std::string stat_name = dotted.substr(pos + 1);
-    const auto git = groups.find(group_name);
-    if (git == groups.end())
-        panic("unknown stat group '%s'", group_name.c_str());
-    const auto sit = git->second.scalars_.find(stat_name);
-    if (sit == git->second.scalars_.end())
-        panic("unknown stat '%s' in group '%s'", stat_name.c_str(),
-              group_name.c_str());
-    return sit->second.value();
+    const Scalar *s = findScalar(dotted);
+    if (!s)
+        panic("unknown stat '%s'", dotted.c_str());
+    return s->value();
 }
 
 bool
 Registry::hasScalar(const std::string &dotted) const
 {
-    const auto pos = dotted.rfind('.');
-    if (pos == std::string::npos)
-        return false;
-    const auto git = groups.find(dotted.substr(0, pos));
-    if (git == groups.end())
-        return false;
-    return git->second.scalars_.count(dotted.substr(pos + 1)) > 0;
+    return findScalar(dotted) != nullptr;
 }
 
 double

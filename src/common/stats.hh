@@ -191,6 +191,10 @@ class Registry
     /** True when "group.stat" names a registered scalar. */
     bool hasScalar(const std::string &dotted) const;
 
+    /** Shared resolver behind scalar()/hasScalar(): stat names may
+     * contain dots, so every split point is tried right-to-left. */
+    const Scalar *findScalar(const std::string &dotted) const;
+
     /** Sum a scalar stat over all groups whose name matches a prefix. */
     double sumScalar(const std::string &group_prefix,
                      const std::string &stat) const;

@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "obs/tracer.hh"
+#include "rack/inter_host_fabric.hh"
 #include "sim/shard.hh"
 
 namespace dimmlink {
@@ -164,7 +165,15 @@ DlFabric::DlFabric(EventQueue &eq, const SystemConfig &cfg_,
             health.push_back(std::move(h));
         }
     }
+    // Multi-host pooling: the rack fabric lives on the host event
+    // queue (shard 0), the single writer of all its state.
+    if (cfg.rackEnabled()) {
+        rackFabric = rack::makeInterHostFabric(eventq, cfg, reg);
+        rackPooledPrimary = cfg.rack.idcMode == "pooled";
+    }
 }
+
+DlFabric::~DlFabric() = default;
 
 unsigned
 DlFabric::shardOf(DimmId d) const
@@ -363,6 +372,18 @@ DlFabric::distance(DimmId j, DimmId k) const
         cfg.link.routerLatencyPs + cfg.link.wireLatencyPs);
     const double fwd = static_cast<double>(
         cfg.host.forwardLatencyPs + cfg.host.pollIntervalPs / 2);
+    if (rackFabric && cfg.hostOf(j) != cfg.hostOf(k)) {
+        // Cross-host pairs add the rack crossing -- or replace the
+        // host path entirely when the pooled bridges are primary.
+        const double rack_lat = static_cast<double>(
+            cfg.rack.latencyPs +
+            rackFabric->hops(cfg.hostOf(j), cfg.hostOf(k)) *
+                cfg.rack.switchHopPs);
+        if (rackPooledPrimary)
+            return 2.0 + static_cast<double>(cfg.rack.latencyPs) /
+                             per_hop;
+        return (fwd + rack_lat) / per_hop;
+    }
     return fwd / per_hop;
 }
 
@@ -948,6 +969,67 @@ DlFabric::groupBroadcast(DimmId s, std::uint64_t bytes,
 }
 
 void
+DlFabric::hostPathSend(DimmId s, DimmId d,
+                       std::uint64_t payload_bytes,
+                       std::function<void()> done)
+{
+    const auto wire = static_cast<unsigned>(wireBytesFor(payload_bytes));
+    if (!rackFabric || cfg.hostOf(s) == cfg.hostOf(d)) {
+        // Intra-host: exactly the pre-rack sequence, so single-host
+        // runs keep byte-identical timing and stats.
+        statPacketsHost.addConcurrent(1);
+        statBytesViaHost.addConcurrent(wire);
+        requestForward(s,
+                       [this, s, d, wire, done = std::move(done)]() mutable {
+                           path.forwarder().forward(s, d, wire,
+                                                    std::move(done));
+                       });
+        return;
+    }
+    // Cross-host: route choice and all rack accounting run on the
+    // host shard -- one writer, canonical mailbox order, so stats
+    // stay byte-identical at every thread count. A transfer whose
+    // primary route lost an endpoint fails over to the other one;
+    // with both ends down the pooled lane is taken regardless (the
+    // cables physically exist, and the simulation must terminate).
+    callOn(0, [this, s, d, wire, done = std::move(done)]() mutable {
+        const unsigned hs = cfg.hostOf(s);
+        const unsigned hd = cfg.hostOf(d);
+        bool pooled = rackPooledPrimary;
+        if (pooled && !rackFabric->bridgeUp(hs, hd) &&
+            rackFabric->hostUp(hs) && rackFabric->hostUp(hd)) {
+            pooled = false;
+            rackFabric->noteReroute();
+        } else if (!pooled && !(rackFabric->hostUp(hs) &&
+                                rackFabric->hostUp(hd))) {
+            pooled = true;
+            rackFabric->noteReroute();
+        }
+        if (pooled) {
+            // The bridge lane is DIMM-Link wire: count it with the
+            // link traffic, not the host path.
+            statPacketsLink.addConcurrent(1);
+            statBytesViaLink.addConcurrent(wire);
+            rackFabric->pooledSend(hs, hd, wire, std::move(done));
+            return;
+        }
+        statPacketsHost.addConcurrent(1);
+        statBytesViaHost.addConcurrent(wire);
+        // Discovery at the source host, the rack crossing, then the
+        // channel fetch + store the Forwarder models at both ends.
+        requestForward(s, [this, s, d, hs, hd, wire,
+                           done = std::move(done)]() mutable {
+            rackFabric->crossing(
+                hs, hd, wire,
+                [this, s, d, wire, done = std::move(done)]() mutable {
+                    path.forwarder().forward(s, d, wire,
+                                             std::move(done));
+                });
+        });
+    });
+}
+
+void
 DlFabric::doRemoteRead(Transaction t, std::function<void()> finish)
 {
     if (groupIdx(t.src) == groupIdx(t.dst)) {
@@ -965,28 +1047,14 @@ DlFabric::doRemoteRead(Transaction t, std::function<void()> finish)
     }
     // Fig. 5-(b): the request packet is CPU-forwarded to the remote
     // group's DIMM; the read-return data is CPU-forwarded back after
-    // the destination registers its own forwarding request.
-    statPacketsHost.addConcurrent(1);
-    statBytesViaHost.addConcurrent(
-        static_cast<double>(wireBytesFor(0)));
-    requestForward(t.src, [this, t, finish]() mutable {
-        path.forwarder().forward(
-            t.src, t.dst, static_cast<unsigned>(wireBytesFor(0)),
-            [this, t, finish]() mutable {
-                memAccess(
-                    t.dst, t.addr, t.bytes, /*is_write=*/false,
-                    [this, t, finish]() mutable {
-                        const auto wire = static_cast<unsigned>(
-                            wireBytesFor(t.bytes));
-                        statPacketsHost.addConcurrent(1);
-                        statBytesViaHost.addConcurrent(wire);
-                        requestForward(
-                            t.dst, [this, t, wire, finish]() mutable {
-                                path.forwarder().forward(
-                                    t.dst, t.src, wire, finish);
-                            });
-                    });
-            });
+    // the destination registers its own forwarding request. Across
+    // hosts both legs ride the rack crossing (or the pooled bridge
+    // lanes) instead.
+    hostPathSend(t.src, t.dst, 0, [this, t, finish]() mutable {
+        memAccess(t.dst, t.addr, t.bytes, /*is_write=*/false,
+                  [this, t, finish]() mutable {
+                      hostPathSend(t.dst, t.src, t.bytes, finish);
+                  });
     });
 }
 
@@ -1001,15 +1069,8 @@ DlFabric::doRemoteWrite(Transaction t, std::function<void()> finish)
             });
         return;
     }
-    const auto wire = static_cast<unsigned>(wireBytesFor(t.bytes));
-    statPacketsHost.addConcurrent(1);
-    statBytesViaHost.addConcurrent(wire);
-    requestForward(t.src, [this, t, wire, finish]() mutable {
-        path.forwarder().forward(
-            t.src, t.dst, wire, [this, t, finish]() mutable {
-                memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true,
-                          finish);
-            });
+    hostPathSend(t.src, t.dst, t.bytes, [this, t, finish]() mutable {
+        memAccess(t.dst, t.addr, t.bytes, /*is_write=*/true, finish);
     });
 }
 
@@ -1041,25 +1102,15 @@ DlFabric::doBroadcast(Transaction t, std::function<void()> finish)
                           continue;
                       ++*remaining;
                       const DimmId entry = proxyOf(g);
-                      const auto wire = static_cast<unsigned>(
-                          wireBytesFor(t.bytes));
-                      statPacketsHost.addConcurrent(1);
-                      statBytesViaHost.addConcurrent(wire);
-                      requestForward(
-                          t.src,
-                          [this, t, entry, wire, dec]() mutable {
-                              path.forwarder().forward(
-                                  t.src, entry, wire,
-                                  onShard(
-                                      shardOf(entry),
-                                      [this, t, entry,
-                                       dec]() mutable {
-                                          groupBroadcast(
-                                              entry, t.bytes,
-                                              onShard(shardOf(t.src),
-                                                      dec));
-                                      }));
-                          });
+                      hostPathSend(
+                          t.src, entry, t.bytes,
+                          onShard(shardOf(entry),
+                                  [this, t, entry, dec]() mutable {
+                                      groupBroadcast(
+                                          entry, t.bytes,
+                                          onShard(shardOf(t.src),
+                                                  dec));
+                                  }));
                   }
               });
 }
@@ -1071,12 +1122,7 @@ DlFabric::doSyncMessage(Transaction t, std::function<void()> finish)
         sendIntraGroup(t.src, t.dst, t.bytes, finish);
         return;
     }
-    const auto wire = static_cast<unsigned>(wireBytesFor(t.bytes));
-    statPacketsHost.addConcurrent(1);
-    statBytesViaHost.addConcurrent(wire);
-    requestForward(t.src, [this, t, wire, finish]() mutable {
-        path.forwarder().forward(t.src, t.dst, wire, finish);
-    });
+    hostPathSend(t.src, t.dst, t.bytes, std::move(finish));
 }
 
 std::string
@@ -1118,6 +1164,8 @@ DlFabric::debugDump()
             continue;
         os << "  group" << g << " link health:\n" << health[g]->dump();
     }
+    if (rackFabric)
+        os << rackFabric->debugDump();
     return os.str();
 }
 

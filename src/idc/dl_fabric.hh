@@ -22,6 +22,11 @@
 #include "proto/codec.hh"
 
 namespace dimmlink {
+
+namespace rack {
+class InterHostFabric;
+} // namespace rack
+
 namespace idc {
 
 class DlFabric : public Fabric
@@ -30,6 +35,7 @@ class DlFabric : public Fabric
     DlFabric(EventQueue &eq, const SystemConfig &cfg,
              std::vector<host::Channel *> channels,
              stats::Registry &reg);
+    ~DlFabric() override;
 
     void submit(Transaction t) override;
     void enterNmpMode() override { path.start(); }
@@ -180,6 +186,21 @@ class DlFabric : public Fabric
     void hostFallback(DimmId s, DimmId d, std::uint64_t payload_bytes,
                       std::function<void()> delivered);
 
+    /**
+     * Move one inter-group packet of @p payload_bytes from @p s to
+     * @p d over the host path: polling discovery plus the Forwarder
+     * copy when both ends share a host (the exact pre-rack sequence),
+     * and — when a rack is configured and the endpoints live under
+     * different hosts — the same path composed with an inter-host
+     * crossing, or the pooled DIMM-Link bridge lanes that bypass both
+     * hosts. Route choice, failover onto the surviving path (counted
+     * in rack.reroutes) and all rack accounting run on the host
+     * shard. @p done fires on the host shard, like a Forwarder
+     * delivery.
+     */
+    void hostPathSend(DimmId s, DimmId d, std::uint64_t payload_bytes,
+                      std::function<void()> done);
+
     /** The directed edges the current tables route (from -> to) over. */
     std::vector<std::pair<int, int>> routePath(unsigned group, int from,
                                                int to) const;
@@ -202,6 +223,10 @@ class DlFabric : public Fabric
 
     std::vector<host::Channel *> channels;
     std::vector<std::unique_ptr<noc::Network>> nets;
+    /** The inter-host fabric; null unless cfg.rackEnabled(). */
+    std::unique_ptr<rack::InterHostFabric> rackFabric;
+    /** cfg.rack.idcMode == "pooled" (the primary cross-host route). */
+    bool rackPooledPrimary = false;
     /** Per (group, node) queue of messages awaiting injection space. */
     std::vector<std::vector<std::deque<noc::Message>>> injectQ;
     CpuForwardPath path;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The registered inter-host fabric implementations. They differ only
+ * in how many switch hops a host-forwarded crossing pays: "switch"
+ * models one central CXL switch (up to the switch, out of it),
+ * "direct" dedicated point-to-point cables between every host pair
+ * (no switch at all -- the fully-connected upper bound a real rack
+ * approximates with multiple planes).
+ */
+
+#include "rack/inter_host_fabric.hh"
+
+namespace dimmlink {
+namespace rack {
+
+namespace {
+
+class SwitchFabric : public InterHostFabric
+{
+  public:
+    using InterHostFabric::InterHostFabric;
+    unsigned hops(unsigned, unsigned) const override { return 2; }
+    const char *kind() const override { return "switch"; }
+};
+
+class DirectFabric : public InterHostFabric
+{
+  public:
+    using InterHostFabric::InterHostFabric;
+    unsigned hops(unsigned, unsigned) const override { return 0; }
+    const char *kind() const override { return "direct"; }
+};
+
+InterHostFabricFactory::Registrar regSwitch(
+    "switch",
+    [](EventQueue &eq, const SystemConfig &cfg, stats::Registry &reg)
+        -> std::unique_ptr<InterHostFabric> {
+        return std::make_unique<SwitchFabric>(eq, cfg, reg);
+    });
+
+InterHostFabricFactory::Registrar regDirect(
+    "direct",
+    [](EventQueue &eq, const SystemConfig &cfg, stats::Registry &reg)
+        -> std::unique_ptr<InterHostFabric> {
+        return std::make_unique<DirectFabric>(eq, cfg, reg);
+    });
+
+} // namespace
+
+} // namespace rack
+} // namespace dimmlink

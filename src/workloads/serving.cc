@@ -53,6 +53,24 @@ buildPlans(const ServeConfig &s, unsigned num_threads,
     return plans;
 }
 
+namespace {
+
+/** The DIMM id encoded in a per-core stats group name
+ * ("dimm3.core1" -> 3), or -1 for host-side and aggregate groups. */
+int
+dimmOfGroupName(const std::string &name)
+{
+    if (name.compare(0, 4, "dimm") != 0)
+        return -1;
+    std::size_t i = 4;
+    int id = 0;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+        id = id * 10 + (name[i++] - '0');
+    return i > 4 ? id : -1;
+}
+
+} // namespace
+
 bool
 aggregate(stats::Registry &reg, const SystemConfig &cfg,
           Tick kernel_ticks)
@@ -63,12 +81,28 @@ aggregate(stats::Registry &reg, const SystemConfig &cfg,
         static_cast<double>(cfg.serve.latBucketPs),
         cfg.serve.latBuckets);
     double wait_ps = 0;
+    // Under rack pooling the same walk also folds each host's pool
+    // partition into a per-host SLO histogram; single-host runs
+    // build nothing extra so their stats JSON keeps its shape.
+    std::vector<stats::Histogram> perHost;
+    if (cfg.rackEnabled())
+        perHost.assign(cfg.rack.hosts,
+                       stats::Histogram(
+                           static_cast<double>(cfg.serve.latBucketPs),
+                           cfg.serve.latBuckets));
     reg.forEachGroup([&](const stats::Group &g) {
         if (g.name() == "serve")
             return;
         const auto it = g.histograms().find("reqLatencyPs");
-        if (it != g.histograms().end())
+        if (it != g.histograms().end()) {
             merged.merge(it->second);
+            if (!perHost.empty()) {
+                const int d = dimmOfGroupName(g.name());
+                if (d >= 0)
+                    perHost[cfg.hostOf(static_cast<DimmId>(d))].merge(
+                        it->second);
+            }
+        }
         const auto sit = g.scalars().find("reqWaitPs");
         if (sit != g.scalars().end())
             wait_ps += sit->second.value();
@@ -98,6 +132,18 @@ aggregate(stats::Registry &reg, const SystemConfig &cfg,
     serve.scalar("offeredQps")
         .set(cfg.serve.mode == "open" ? cfg.serve.offeredQps : 0);
     serve.scalar("reqWaitPs").set(wait_ps);
+    // Per-host SLO percentiles: requests served by each host's pool
+    // partition (a request lands on the DIMM that owns its key, so a
+    // host's tail shows remote-pool crossings and rack failovers).
+    for (std::size_t h = 0; h < perHost.size(); ++h) {
+        const std::string prefix = "host" + std::to_string(h) + ".";
+        const stats::Histogram &hh = perHost[h];
+        serve.scalar(prefix + "requests")
+            .set(static_cast<double>(hh.total()));
+        serve.scalar(prefix + "latencyP50Ps").set(hh.percentile(0.50));
+        serve.scalar(prefix + "latencyP95Ps").set(hh.percentile(0.95));
+        serve.scalar(prefix + "latencyP99Ps").set(hh.percentile(0.99));
+    }
     return true;
 }
 
