@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Chaos serving bench (docs/serving.md, "Reliability & graceful
+ * degradation"): open-loop kv at 1.0x offered load on a two-host rack
+ * with the cross-host route forced through the host forwarders, while
+ * a mid-run outage kills host 1's rack port (and, in the worst cell,
+ * its gateway bridge too). Each chaos cell runs twice: bare (no
+ * reliability layer) and with deadlines + retries + load shedding
+ * armed.
+ *
+ * The claim under test: with the layer armed, tail latency stays
+ * bounded by the deadline and goodput holds within 70% of the
+ * fault-free run, while the bare run's p99 blows past the deadline --
+ * requests caught on the dead route sit out the retry storm instead
+ * of being cut loose.
+ *
+ * Emits a JSON report (default BENCH_chaos.json, or argv[1]; "-" for
+ * stdout). All latencies are picoseconds.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace dimmlink;
+using namespace benchutil;
+
+namespace {
+
+/** Per-request latency budget of the reliability cells (us). */
+constexpr double kDeadlineUs = 25;
+
+struct Row
+{
+    std::string fault;  ///< "none" | "host" | "host+gateway"
+    bool reliable = false;
+    double goodputQps = 0;
+    double errorRate = 0;
+    double p50Ps = 0, p99Ps = 0;
+    double requests = 0;
+    double misses = 0, shed = 0, retries = 0, fastFails = 0,
+           failed = 0;
+    double parked = 0; ///< transfers parked on a dead rack edge
+    bool verified = false;
+};
+
+Row
+runCell(const std::string &fault, bool reliable)
+{
+    // The rack_2host.json machine: the paper's 8-DIMM box split into
+    // two hosts of one DL group each. Forwarded cross-host routing
+    // plus a long DLL retry timeout make the outage maximally
+    // painful: every crossing rides the path the fault kills.
+    SystemConfig cfg = SystemConfig::preset("8D-4C");
+    cfg.rack.hosts = 2;
+    cfg.rack.idcMode = "forwarded";
+    cfg.link.retryTimeoutPs = 40000000;
+    cfg.serve.mode = "open";
+    cfg.serve.offeredQps = 2e6;
+    cfg.serve.requests = 4096;
+    cfg.serve.keys = 65536;
+    if (fault != "none") {
+        cfg.rack.hostDownId = 1;
+        cfg.rack.hostDownAtPs = 500000000;
+        cfg.rack.hostDownForPs = 60000000;
+    }
+    if (fault == "host+gateway") {
+        cfg.rack.nodeDownId = 1;
+        cfg.rack.nodeDownAtPs = 500000000;
+        cfg.rack.nodeDownForPs = 60000000;
+    }
+    if (reliable) {
+        cfg.serve.deadlineUs = kDeadlineUs;
+        cfg.serve.maxRetries = 3;
+        cfg.serve.backoffUs = 5;
+        cfg.serve.maxInflight = 128;
+    }
+    cfg.validate();
+
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wl = workloads::makeWorkload("kv", p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+
+    const auto &reg = sys.stats();
+    auto sv = [&](const char *key) {
+        return reg.hasScalar(key) ? reg.scalar(key) : 0.0;
+    };
+    Row row;
+    row.fault = fault;
+    row.reliable = reliable;
+    // Bare cells have no goodput scalar; their goodput is achieved
+    // throughput (every completion counts, however late).
+    row.goodputQps = reliable ? sv("serve.goodputQps")
+                              : sv("serve.achievedQps");
+    row.errorRate = sv("serve.errorRate");
+    row.p50Ps = sv("serve.latencyP50Ps");
+    row.p99Ps = sv("serve.latencyP99Ps");
+    row.requests = sv("serve.requests");
+    row.misses = sv("serve.deadlineMisses");
+    row.shed = sv("serve.shedRequests");
+    row.retries = sv("serve.retries");
+    row.fastFails = sv("serve.breakerFastFails");
+    row.failed = sv("serve.failedRequests");
+    row.parked = sv("rack.parkedTransfers");
+    row.verified = r.verified;
+    if (!r.verified)
+        std::fprintf(stderr, "WARNING: kv did not verify at "
+                     "fault=%s reliable=%d\n", fault.c_str(),
+                     reliable);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScopedWallReport wall("chaos_serving");
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_chaos.json";
+
+    const std::vector<std::string> faults = {"none", "host",
+                                             "host+gateway"};
+    std::vector<Row> rows;
+    for (const auto &fault : faults) {
+        for (const bool reliable : {false, true}) {
+            Row r = runCell(fault, reliable);
+            std::printf("%-13s %-8s: goodput %.3g qps  p50 %6.2f us  "
+                        "p99 %6.2f us  (miss %.0f shed %.0f retry "
+                        "%.0f fastfail %.0f fail %.0f)\n",
+                        fault.c_str(), reliable ? "reliable" : "bare",
+                        r.goodputQps, r.p50Ps / 1e6, r.p99Ps / 1e6,
+                        r.misses, r.shed, r.retries, r.fastFails,
+                        r.failed);
+            std::fflush(stdout);
+            rows.push_back(std::move(r));
+        }
+    }
+
+    // The acceptance gates. Row order: none/bare, none/reliable,
+    // host/bare, host/reliable, host+gateway/bare,
+    // host+gateway/reliable.
+    const Row &ff_rel = rows[1];
+    const Row &chaos_bare = rows[2];
+    const Row &chaos_rel = rows[3];
+    const double deadline_ps = kDeadlineUs * 1e6;
+    const bool goodput_holds =
+        chaos_rel.goodputQps >= 0.7 * ff_rel.goodputQps;
+    const bool tail_bounded = chaos_rel.p99Ps <= deadline_ps;
+    const bool bare_blows_budget = chaos_bare.p99Ps > deadline_ps;
+    const bool outage_bites = chaos_rel.misses + chaos_rel.shed +
+                              chaos_rel.failed > 0;
+    bool all_verified = true;
+    for (const Row &r : rows)
+        all_verified = all_verified && r.verified;
+
+    std::printf("\ngoodput under outage >= 70%% of fault-free: %s "
+                "(%.3g vs %.3g qps)\n",
+                goodput_holds ? "yes" : "NO", chaos_rel.goodputQps,
+                ff_rel.goodputQps);
+    std::printf("reliable p99 bounded by the %g us deadline: %s "
+                "(%.2f us)\n", kDeadlineUs,
+                tail_bounded ? "yes" : "NO", chaos_rel.p99Ps / 1e6);
+    std::printf("bare p99 blows the budget during the outage: %s "
+                "(%.2f us)\n", bare_blows_budget ? "yes" : "NO",
+                chaos_bare.p99Ps / 1e6);
+
+    FILE *out = out_path == "-" ? stdout
+                                : std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"chaos_serving\",\n");
+    std::fprintf(out, "  \"preset\": \"8D-4C\",\n");
+    std::fprintf(out, "  \"hosts\": 2,\n");
+    std::fprintf(out, "  \"idcMode\": \"forwarded\",\n");
+    std::fprintf(out, "  \"workload\": \"kv\",\n");
+    std::fprintf(out, "  \"offeredQps\": 2e6,\n");
+    std::fprintf(out, "  \"deadlineUs\": %g,\n", kDeadlineUs);
+    std::fprintf(out, "  \"goodputHolds\": %s,\n",
+                 goodput_holds ? "true" : "false");
+    std::fprintf(out, "  \"tailBounded\": %s,\n",
+                 tail_bounded ? "true" : "false");
+    std::fprintf(out, "  \"bareBlowsBudget\": %s,\n",
+                 bare_blows_budget ? "true" : "false");
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"fault\": \"%s\", \"reliable\": %s, "
+            "\"goodputQps\": %.6g, \"errorRate\": %.6g, "
+            "\"p50Ps\": %.6g, \"p99Ps\": %.6g, "
+            "\"requests\": %.6g, \"deadlineMisses\": %.6g, "
+            "\"shedRequests\": %.6g, \"retries\": %.6g, "
+            "\"breakerFastFails\": %.6g, \"failedRequests\": %.6g, "
+            "\"parkedTransfers\": %.6g, \"verified\": %s}%s\n",
+            r.fault.c_str(), r.reliable ? "true" : "false",
+            r.goodputQps, r.errorRate, r.p50Ps, r.p99Ps, r.requests,
+            r.misses, r.shed, r.retries, r.fastFails, r.failed,
+            r.parked, r.verified ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return goodput_holds && tail_bounded && bare_blows_budget &&
+                   outage_bites && all_verified
+               ? 0
+               : 1;
+}

@@ -38,6 +38,15 @@
  *                       DL groups across N hosts pooling their
  *                       NMP-DIMMs over the inter-host fabric; see
  *                       docs/rack.md)
+ *     --deadline-us F  (shorthand for -p serve.deadlineUs=F: abort
+ *                       serving requests still in flight F us after
+ *                       arrival; see docs/serving.md)
+ *     --max-retries N  (shorthand for -p serve.maxRetries=N: budget
+ *                       for backed-off retries of requests the
+ *                       circuit breaker fails fast)
+ *     --hedge-after-us F  (shorthand for -p serve.hedgeAfterUs=F:
+ *                       duplicate a GET to its replica range when the
+ *                       primary has not answered after F us)
  *     --rack-latency-ns N  (shorthand for -p rack.latencyPs=N000:
  *                       one-way CXL.mem latency of the rack fabric)
  *     --cpu                                   (run the host baseline)
@@ -164,6 +173,12 @@ main(int argc, char **argv)
         }
         else if (a == "--hosts")
             overrides.push_back("rack.hosts=" + next());
+        else if (a == "--deadline-us")
+            overrides.push_back("serve.deadlineUs=" + next());
+        else if (a == "--max-retries")
+            overrides.push_back("serve.maxRetries=" + next());
+        else if (a == "--hedge-after-us")
+            overrides.push_back("serve.hedgeAfterUs=" + next());
         else if (a == "--rack-latency-ns")
             overrides.push_back("rack.latencyPs=" + next() + "000");
         else if (a == "--trace")
@@ -255,6 +270,20 @@ main(int argc, char **argv)
                         "p99 %.2f\n", sv("latencyP50Ps") / 1e6,
                         sv("latencyP95Ps") / 1e6,
                         sv("latencyP99Ps") / 1e6);
+            if (cfg.serve.relEnabled()) {
+                std::printf("    reliability        : goodput %.3g qps"
+                            "  error rate %.4f\n", sv("goodputQps"),
+                            sv("errorRate"));
+                std::printf("      dropped          : deadline %.0f  "
+                            "shed %.0f  failed %.0f\n",
+                            sv("deadlineMisses"), sv("shedRequests"),
+                            sv("failedRequests"));
+                std::printf("      recovery         : retries %.0f  "
+                            "fast-fails %.0f  hedges %.0f "
+                            "(won %.0f)\n", sv("retries"),
+                            sv("breakerFastFails"),
+                            sv("hedgedRequests"), sv("hedgeWins"));
+            }
         }
     }
 

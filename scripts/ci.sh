@@ -454,4 +454,56 @@ if ! cmp -s "$trace_dir/rack1.out" "$trace_dir/rack4.out"; then
 fi
 echo "    rack OK: byte-identical at 1 and 4 threads"
 
+echo "==> chaos serving smoke under ASan+UBSan"
+# The two-host rack on the forwarded route through a mid-run host
+# outage with the reliability layer armed (docs/serving.md,
+# "Reliability & graceful degradation"): the outage must actually
+# bite (misses/sheds), the tail must stay bounded by the deadline,
+# and every request must be disposed of exactly once.
+chaos_args=(
+    --config "$root/configs/rack_2host.json"
+    -p rack.idcMode=forwarded
+    -p rack.hostDownId=1 -p rack.hostDownAtPs=500000000
+    -p rack.hostDownForPs=60000000
+    -p link.retryTimeoutPs=40000000
+    --deadline-us 25 --max-retries 3
+    -p serve.backoffUs=5 -p serve.maxInflight=128
+    --workload kv --json
+)
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "$root/build-asan/examples/example_simulate" \
+    "${chaos_args[@]}" > "$trace_dir/chaos.out"
+python3 - "$trace_dir/chaos.out" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+stats = json.loads(text[text.index('{\n  "config"'):])
+serve = stats["serve"]["scalars"]
+g = lambda k: serve.get(k, 0)
+dropped = (g("deadlineMisses") + g("shedRequests")
+           + g("failedRequests"))
+assert dropped > 0, "outage never cost a request"
+assert g("requests") + dropped == 4096, "dispositions do not partition"
+assert g("latencyP99Ps") <= 25e6, \
+    f'p99 {g("latencyP99Ps")} ps blew the 25 us deadline'
+assert g("goodputQps") > 0, "no goodput reported"
+rack = stats["rack"]["scalars"]
+assert rack.get("parkedTransfers", 0) > 0, \
+    "no transfer parked on the dead edge"
+EOF
+echo "    chaos OK: outage bitten, tail bounded, partition holds"
+# The reliability layer keeps the rack determinism contract:
+# byte-identical chaos stats at 1 vs 4 threads under sim.shard=group.
+"$root/build/examples/example_simulate" \
+    -p sim.shard=group --threads 1 \
+    "${chaos_args[@]}" > "$trace_dir/chaos1.out"
+"$root/build/examples/example_simulate" \
+    --threads 4 \
+    "${chaos_args[@]}" > "$trace_dir/chaos4.out"
+if ! cmp -s "$trace_dir/chaos1.out" "$trace_dir/chaos4.out"; then
+    echo "chaos run diverged between 1 and 4 threads"
+    diff "$trace_dir/chaos1.out" "$trace_dir/chaos4.out" | head
+    exit 1
+fi
+echo "    chaos OK: byte-identical at 1 and 4 threads"
+
 echo "==> CI green"

@@ -413,6 +413,13 @@ fields()
         CFG_FIELD("serve.burstLenPs", serve.burstLenPs),
         CFG_FIELD("serve.latBucketPs", serve.latBucketPs),
         CFG_FIELD("serve.latBuckets", serve.latBuckets),
+        // Hidden like rack.*: a run with the reliability layer off
+        // must dump byte-identical stats JSON to a build without it.
+        CFG_FIELD_HIDDEN("serve.deadlineUs", serve.deadlineUs),
+        CFG_FIELD_HIDDEN("serve.maxRetries", serve.maxRetries),
+        CFG_FIELD_HIDDEN("serve.backoffUs", serve.backoffUs),
+        CFG_FIELD_HIDDEN("serve.hedgeAfterUs", serve.hedgeAfterUs),
+        CFG_FIELD_HIDDEN("serve.maxInflight", serve.maxInflight),
 
         CFG_FIELD("energy.linkPjPerBit", energy.linkPjPerBit),
         CFG_FIELD("energy.ddrRdWrPjPerBit", energy.ddrRdWrPjPerBit),
@@ -650,6 +657,16 @@ SystemConfig::validate() const
     if (serve.latBucketPs == 0 || serve.latBuckets == 0)
         fatal("serve.latBucketPs and serve.latBuckets must be "
               "positive");
+    if (serve.deadlineUs < 0 || serve.backoffUs < 0 ||
+        serve.hedgeAfterUs < 0)
+        fatal("serve.deadlineUs, serve.backoffUs and "
+              "serve.hedgeAfterUs must be non-negative");
+    if (serve.maxRetries > 0 && serve.backoffUs <= 0)
+        fatal("serve.maxRetries = %u needs a positive serve.backoffUs "
+              "(the retry delay doubles from it)", serve.maxRetries);
+    if (serve.maxInflight > 0 && serve.mode != "open")
+        fatal("serve.maxInflight (load shedding) needs serve.mode = "
+              "open: closed-loop threads never queue arrivals");
 
     // Mapping knobs.
     if (profileFraction < 0.0 || profileFraction > 1.0)

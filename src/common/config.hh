@@ -329,6 +329,41 @@ struct ServeConfig
      * where queueing inflates latencies far beyond the service time. */
     Tick latBucketPs = 250000;
     unsigned latBuckets = 2048;
+
+    // --- Request-level reliability layer (docs/serving.md). Hidden
+    // keys like rack.*: with every knob at its default the layer
+    // builds nothing and stats JSON is byte-identical to a build
+    // that predates it.
+
+    /** End-to-end deadline per request; a request still in flight
+     * past arrival + deadline is aborted and counted as
+     * serve.deadlineMisses instead of polluting the latency SLO.
+     * 0 = no deadlines. */
+    double deadlineUs = 0;
+    /** Retries after a circuit-breaker fast-fail before the request
+     * is counted as serve.failedRequests. 0 = fail immediately. */
+    unsigned maxRetries = 0;
+    /** Base delay of the exponential backoff between retries
+     * (doubled per attempt, plus deterministic jitter from the
+     * per-thread stream off serve.seed). */
+    double backoffUs = 5.0;
+    /** Hedge GETs: if the primary fanout has not completed after
+     * this long, duplicate it to the replica key range and take the
+     * first completion. 0 = no hedging. */
+    double hedgeAfterUs = 0;
+    /** Admission control (open mode): a request still waiting when
+     * maxInflight later arrivals have queued behind it on its thread
+     * is shed at arrival and counted as serve.shedRequests.
+     * 0 = never shed. */
+    unsigned maxInflight = 0;
+
+    /** Is any part of the reliability layer on? */
+    bool
+    relEnabled() const
+    {
+        return deadlineUs > 0 || maxRetries > 0 || hedgeAfterUs > 0 ||
+               maxInflight > 0;
+    }
 };
 
 /**

@@ -58,6 +58,17 @@ NmpCore::run(ThreadId tid, std::unique_ptr<ThreadProgram> program,
     remoteOutstanding = 0;
     runStart = now();
     reqStart = now();
+    stale = 0;
+    reqInProgress = false;
+    reqAborted = false;
+    reqIsTrial = false;
+    breakerTarget = -1;
+    hedgeLaunched = false;
+    issueSide = 0;
+    outSide[0] = outSide[1] = 0;
+    remoteSide[0] = remoteSide[1] = 0;
+    if (rel)
+        backoff.reseed(cfg.serve.seed, tid);
     state = State::Ready;
     // Start on the next clock edge.
     const auto gen = runGeneration;
@@ -80,6 +91,11 @@ NmpCore::cancel()
     outstanding = 0;
     remoteOutstanding = 0;
     issueDebt = 0;
+    stale = 0;
+    reqInProgress = false;
+    reqAborted = false;
+    outSide[0] = outSide[1] = 0;
+    remoteSide[0] = remoteSide[1] = 0;
 }
 
 void
@@ -112,7 +128,7 @@ NmpCore::exitStall()
 }
 
 void
-NmpCore::onResponse(bool was_remote)
+NmpCore::onResponse(bool was_remote, unsigned side)
 {
     if (outstanding == 0)
         panic("%s: response with no outstanding request",
@@ -124,11 +140,35 @@ NmpCore::onResponse(bool was_remote)
                   name().c_str());
         --remoteOutstanding;
     }
+    if (rel) {
+        if (outSide[side] == 0)
+            panic("%s: side accounting underflow", name().c_str());
+        --outSide[side];
+        if (was_remote)
+            --remoteSide[side];
+    }
 
     if (state == State::StallMshr) {
         exitStall();
         advance();
     } else if (state == State::Fence && outstanding == 0) {
+        exitStall();
+        advance();
+    } else if (state == State::HedgeFence && outSide[side] == 0) {
+        settleHedge(side);
+    }
+}
+
+/** A disowned response landed: its request was aborted (or lost a
+ * hedge race), so it frees an MSHR slot and nothing else. */
+void
+NmpCore::onStaleResponse()
+{
+    if (stale == 0)
+        panic("%s: stale response accounting underflow",
+              name().c_str());
+    --stale;
+    if (state == State::StallMshr) {
         exitStall();
         advance();
     }
@@ -147,18 +187,35 @@ NmpCore::issueRef(const MemRef &ref)
         probe(tid_, home, ref.bytes);
 
     const auto gen = runGeneration;
-    auto response = [this, gen, remote] {
-        if (gen == runGeneration)
-            onResponse(remote);
+    // Responses carry the issue epoch of their fanout: an abort or a
+    // lost hedge race disowns in-flight requests by bumping the
+    // epoch, and mismatched responses only free their MSHR slot.
+    auto response = [this, gen, epoch = issueEpoch, side = issueSide,
+                     remote] {
+        if (gen != runGeneration)
+            return;
+        if (epoch != issueEpoch) {
+            onStaleResponse();
+            return;
+        }
+        onResponse(remote, side);
+    };
+    const auto noteIssued = [this, remote] {
+        ++outstanding;
+        if (remote)
+            ++remoteOutstanding;
+        if (rel) {
+            ++outSide[issueSide];
+            if (remote)
+                ++remoteSide[issueSide];
+        }
     };
 
     // Software-assisted coherence: shared read-write data bypasses the
     // NMP caches entirely (Section III-E).
     const bool cacheable = ref.cls != DataClass::SharedRW && l1;
     if (!cacheable) {
-        ++outstanding;
-        if (remote)
-            ++remoteOutstanding;
+        noteIssued();
         mc.access(ref.addr, ref.bytes, ref.isWrite,
                   std::move(response));
         return;
@@ -190,9 +247,7 @@ NmpCore::issueRef(const MemRef &ref)
         const Cache::Result r2 = l2->access(ref.addr, false,
                                             shared_ro);
         if (r2.hit) {
-            ++outstanding;
-            if (remote)
-                ++remoteOutstanding;
+            noteIssued();
             queue().scheduleIn(cfg.dimm.l2LatencyPs,
                                std::move(response),
                                EventPriority::Delivery);
@@ -203,11 +258,230 @@ NmpCore::issueRef(const MemRef &ref)
     }
 
     // Miss to memory: fetch the whole line from its home DIMM.
-    ++outstanding;
-    if (remote)
-        ++remoteOutstanding;
+    noteIssued();
     mc.access(line_addr, line, /*is_write=*/false,
               std::move(response));
+}
+
+void
+NmpCore::ensureRelStats()
+{
+    if (relDeadlineMiss)
+        return;
+    // Created together, at the first reliability ReqStart: batch
+    // runs (and serving runs with the layer off) keep byte-identical
+    // stats output to builds that predate the layer.
+    relDeadlineMiss = &statGroup.scalar("reqDeadlineMisses");
+    relShed = &statGroup.scalar("reqShed");
+    relRetries = &statGroup.scalar("reqRetries");
+    relFastFails = &statGroup.scalar("reqFastFails");
+    relFailed = &statGroup.scalar("reqFailed");
+    relHedges = &statGroup.scalar("reqHedges");
+    relHedgeWins = &statGroup.scalar("reqHedgeWins");
+}
+
+/**
+ * Dispatch the current ReqStart op under the reliability engine.
+ * Re-entrant: arrival waits and retry backoffs park the core and
+ * re-enter the same op, with the phase flags recording what already
+ * ran. Returns true when the op retired (caller continues the op
+ * loop) and false when the core parked waiting for a timer.
+ */
+bool
+NmpCore::relReqStart()
+{
+    if (reqAborted) {
+        // An abort raced ahead of this re-entry; just consume it.
+        finishOp();
+        return true;
+    }
+    if (!reqInProgress) {
+        reqInProgress = true;
+        shedChecked = false;
+        deadlineArmed = false;
+        reqIsTrial = false;
+        breakerTarget = -1;
+        attempts = 0;
+        ++reqSeq;
+        ensureRelStats();
+        reqStart = op.tickArg == Op::reqNow ? now()
+                                            : runStart + op.tickArg;
+    }
+    if (reqStart > now()) {
+        statReqWaitPs += static_cast<double>(reqStart - now());
+        state = State::Waiting;
+        const auto gen = runGeneration;
+        queue().schedule(reqStart,
+                         [this, gen] {
+                             if (gen != runGeneration ||
+                                 state != State::Waiting)
+                                 return;
+                             state = State::Ready;
+                             advance(); // Re-enters this op.
+                         },
+                         EventPriority::Core);
+        return false;
+    }
+    if (!shedChecked) {
+        shedChecked = true;
+        // Admission control: the shed horizon is the arrival of the
+        // serve.maxInflight'th later request on this thread, so
+        // being picked up past it means the queue is at least that
+        // deep -- shed instead of serving a hopeless straggler.
+        if (op.tickArg2 != 0 && now() >= runStart + op.tickArg2) {
+            ++*relShed;
+            reqAborted = true;
+            finishOp();
+            return true;
+        }
+    }
+    if (!deadlineArmed && rel->deadlinePs > 0) {
+        deadlineArmed = true;
+        const Tick dl = reqStart + rel->deadlinePs;
+        if (dl <= now()) {
+            // Queueing already ate the whole budget.
+            ++*relDeadlineMiss;
+            reqAborted = true;
+            finishOp();
+            return true;
+        }
+        const auto gen = runGeneration;
+        const auto seq = reqSeq;
+        queue().schedule(dl,
+                         [this, gen, seq] {
+                             if (gen != runGeneration ||
+                                 seq != reqSeq)
+                                 return;
+                             if (!reqInProgress || reqAborted)
+                                 return;
+                             ++*relDeadlineMiss;
+                             abortInFlight();
+                         },
+                         EventPriority::Core);
+    }
+    // Circuit breaker: fail fast on cross-host requests whose rack
+    // routes are all down, with bounded backed-off retries.
+    if (op.homeDimm >= 0 && hostView) {
+        const unsigned target =
+            cfg.hostOf(static_cast<DimmId>(op.homeDimm));
+        if (target != myHost) {
+            using Decision = serve_rel::CircuitBreaker::Decision;
+            const bool up = hostView->routeUp(myHost, target);
+            const Decision d = breaker.admit(target, up, now(),
+                                             rel->breakerReopenPs);
+            if (d == Decision::FastFail) {
+                ++*relFastFails;
+                if (attempts >= rel->maxRetries) {
+                    ++*relFailed;
+                    reqAborted = true;
+                    finishOp();
+                    return true;
+                }
+                ++attempts;
+                ++*relRetries;
+                state = State::Backoff;
+                const auto gen = runGeneration;
+                const auto seq = reqSeq;
+                queue().scheduleIn(
+                    backoff.delay(rel->backoffPs, attempts),
+                    [this, gen, seq] {
+                        if (gen != runGeneration || seq != reqSeq)
+                            return;
+                        if (state != State::Backoff)
+                            return;
+                        state = State::Ready;
+                        advance(); // Re-enters this op.
+                    },
+                    EventPriority::Core);
+                return false;
+            }
+            reqIsTrial = d == Decision::AdmitTrial;
+            breakerTarget = static_cast<int>(target);
+        }
+    }
+    finishOp();
+    return true;
+}
+
+/** Abort the in-flight request (deadline miss): disown whatever it
+ * has outstanding and unwind whichever wait state the core is in.
+ * The caller bumps the relevant counter. */
+void
+NmpCore::abortInFlight()
+{
+    reqAborted = true;
+    if (breakerTarget >= 0 && reqIsTrial) {
+        breaker.onOutcome(static_cast<unsigned>(breakerTarget), false,
+                          now(), rel->breakerReopenPs);
+        reqIsTrial = false;
+    }
+    if (outstanding > 0) {
+        stale += outstanding;
+        outstanding = 0;
+        remoteOutstanding = 0;
+        outSide[0] = outSide[1] = 0;
+        remoteSide[0] = remoteSide[1] = 0;
+        ++issueEpoch;
+    }
+    switch (state) {
+      case State::StallMshr:
+      case State::Fence:
+      case State::HedgeFence:
+        exitStall();
+        advance();
+        break;
+      case State::Backoff:
+      case State::Waiting:
+        state = State::Ready;
+        advance();
+        break;
+      default:
+        // Computing / FetchOp: the abort flag short-circuits the
+        // request's remaining ops as each one comes up.
+        break;
+    }
+}
+
+/** The hedge timer fired mid-race: duplicate the batch to the
+ * replica refs and let the first side to fully complete win. */
+void
+NmpCore::launchHedge()
+{
+    hedgeLaunched = true;
+    ++*relHedges;
+    // The hedge fanout gets a dedicated issue window past the MSHR
+    // cap: queueing it behind its own stuck primary would defeat it.
+    issueSide = 1;
+    for (const MemRef &r : op.hedge) {
+        issueRef(r);
+        ++issueDebt;
+    }
+    issueSide = 0;
+    if (outSide[1] == 0) {
+        // The whole replica batch hit in the L1: instant win.
+        settleHedge(1);
+    }
+}
+
+/** One side of the hedge race fully completed: disown the loser's
+ * in-flight requests and retire the op. */
+void
+NmpCore::settleHedge(unsigned winner)
+{
+    const unsigned loser = 1 - winner;
+    if (hedgeLaunched && winner == 1)
+        ++*relHedgeWins;
+    if (outSide[loser] > 0) {
+        stale += outSide[loser];
+        outstanding -= outSide[loser];
+        remoteOutstanding -= remoteSide[loser];
+        outSide[loser] = 0;
+        remoteSide[loser] = 0;
+        ++issueEpoch;
+    }
+    exitStall();
+    finishOp();
+    advance();
 }
 
 void
@@ -261,6 +535,10 @@ NmpCore::advance()
 
         switch (op.kind) {
           case Op::Kind::Compute: {
+            if (reqAborted) {
+                finishOp();
+                break;
+            }
             statInstructions += static_cast<double>(op.instructions);
             const auto cyc = std::max<Cycles>(
                 1, static_cast<Cycles>(
@@ -286,8 +564,14 @@ NmpCore::advance()
           }
 
           case Op::Kind::Mem: {
+            if (reqAborted) {
+                finishOp();
+                break;
+            }
             while (refIdx < op.refs.size()) {
-                if (outstanding >= cfg.dimm.maxOutstanding) {
+                // `stale` slots are still occupied by disowned
+                // requests until their responses land.
+                if (outstanding + stale >= cfg.dimm.maxOutstanding) {
                     enterStall(State::StallMshr);
                     return;
                 }
@@ -301,6 +585,56 @@ NmpCore::advance()
             }
             finishOp();
             break;
+          }
+
+          case Op::Kind::HedgedMem: {
+            if (reqAborted) {
+                finishOp();
+                break;
+            }
+            // The hedge race resolves on per-side completion, so the
+            // sides must start from a clean window.
+            if (refIdx == 0 && outstanding > 0) {
+                enterStall(State::Fence);
+                return;
+            }
+            issueSide = 0;
+            while (refIdx < op.refs.size()) {
+                if (outstanding + stale >= cfg.dimm.maxOutstanding) {
+                    enterStall(State::StallMshr);
+                    return;
+                }
+                issueRef(op.refs[refIdx]);
+                ++refIdx;
+                ++issueDebt;
+            }
+            if (outstanding == 0) {
+                // Every primary ref hit in the L1: nothing to race.
+                finishOp();
+                break;
+            }
+            if (!rel || rel->hedgeAfterPs == 0) {
+                // No reliability engine (e.g. replaying a v3 trace
+                // with the knobs off): a hedged batch is a fenced Mem.
+                enterStall(State::Fence);
+                return;
+            }
+            hedgeLaunched = false;
+            enterStall(State::HedgeFence);
+            const auto gen = runGeneration;
+            const auto seq = reqSeq;
+            queue().scheduleIn(
+                rel->hedgeAfterPs,
+                [this, gen, seq] {
+                    if (gen != runGeneration || seq != reqSeq)
+                        return;
+                    if (state != State::HedgeFence || reqAborted ||
+                        hedgeLaunched)
+                        return;
+                    launchHedge();
+                },
+                EventPriority::Core);
+            return;
           }
 
           case Op::Kind::Barrier: {
@@ -365,6 +699,11 @@ NmpCore::advance()
           }
 
           case Op::Kind::ReqStart: {
+            if (rel) {
+                if (relReqStart())
+                    break;
+                return;
+            }
             // The previous request's ReqEnd drained the MSHRs, so the
             // latency clock starts clean. Open-loop arrivals are
             // relative to runStart; an arrival already in the past
@@ -394,6 +733,18 @@ NmpCore::advance()
           }
 
           case Op::Kind::ReqEnd: {
+            if (rel && reqAborted) {
+                // The request was shed, failed fast or missed its
+                // deadline: no latency sample, no drain (its leaked
+                // MSHRs are in `stale` and free themselves as their
+                // responses land).
+                reqInProgress = false;
+                reqAborted = false;
+                reqIsTrial = false;
+                breakerTarget = -1;
+                finishOp();
+                break;
+            }
             if (outstanding > 0) {
                 enterStall(State::Fence);
                 return;
@@ -405,6 +756,15 @@ NmpCore::advance()
                     cfg.serve.latBuckets);
             reqHist->sample(static_cast<double>(now() - reqStart));
             ++statRequests;
+            if (rel) {
+                if (breakerTarget >= 0 && reqIsTrial)
+                    breaker.onOutcome(
+                        static_cast<unsigned>(breakerTarget), true,
+                        now(), rel->breakerReopenPs);
+                reqIsTrial = false;
+                breakerTarget = -1;
+                reqInProgress = false;
+            }
             finishOp();
             break;
           }

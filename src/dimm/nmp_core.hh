@@ -19,6 +19,7 @@
 #include "dimm/cache.hh"
 #include "dimm/local_mc.hh"
 #include "dimm/op.hh"
+#include "dimm/reliability.hh"
 #include "sim/clocked.hh"
 #include "sync/barrier.hh"
 
@@ -65,6 +66,24 @@ class NmpCore : public Clocked
         std::function<void(ThreadProgram *, std::function<void(Op)>)>;
     void setOpSource(OpSource s) { opSource = std::move(s); }
 
+    /**
+     * Arm the request-level reliability engine (docs/serving.md):
+     * deadlines, retry/backoff behind the circuit breaker, hedging
+     * and load shedding. @p view is this core's shard-local host
+     * health view (null on single-host systems: the breaker then
+     * never trips) and @p my_host the host owning this DIMM. All
+     * pointees outlive the core (System owns them).
+     */
+    void
+    setReliability(const serve_rel::Params *params,
+                   const serve_rel::HostHealthView *view,
+                   unsigned my_host)
+    {
+        rel = params;
+        hostView = view;
+        myHost = my_host;
+    }
+
     /** Launch a thread; @p on_done fires after its Done op retires. */
     void run(ThreadId tid, std::unique_ptr<ThreadProgram> prog,
              std::function<void()> on_done);
@@ -91,14 +110,24 @@ class NmpCore : public Clocked
         Broadcast, ///< Waiting for broadcast completion.
         FetchOp,   ///< Waiting for the async op source to deliver.
         Waiting,   ///< Idle until an open-loop request's arrival.
+        Backoff,   ///< Reliability: delaying a retry after fast-fail.
+        HedgeFence,///< Reliability: racing primary vs hedge fanouts.
     };
 
     void advance();
     void issueRef(const MemRef &ref);
-    void onResponse(bool was_remote);
+    void onResponse(bool was_remote, unsigned side);
+    void onStaleResponse();
     void enterStall(State s);
     void exitStall();
     void finishOp();
+
+    // Reliability engine (no-ops unless setReliability armed it).
+    bool relReqStart();
+    void ensureRelStats();
+    void abortInFlight();
+    void launchHedge();
+    void settleHedge(unsigned winner);
 
     DimmId dimm;
     CoreId core;
@@ -134,6 +163,44 @@ class NmpCore : public Clocked
      * to it) and the in-flight request's latency-clock start. */
     Tick runStart = 0;
     Tick reqStart = 0;
+
+    // --- Request-level reliability state (single-writer: only this
+    // core's shard touches it). Dormant until setReliability().
+    const serve_rel::Params *rel = nullptr;
+    const serve_rel::HostHealthView *hostView = nullptr;
+    unsigned myHost = 0;
+    serve_rel::Backoff backoff;
+    serve_rel::CircuitBreaker breaker;
+    /** MSHR slots leaked by aborted/hedge-losing fanouts: their
+     * responses are still in flight (and still occupy MSHRs, so the
+     * issue cap counts them) but no longer gate fences. */
+    unsigned stale = 0;
+    /** Bumped whenever in-flight responses are disowned; a response
+     * whose captured epoch mismatches takes the stale path. */
+    std::uint64_t issueEpoch = 0;
+    /** Identifies the current request to deadline/hedge timers. */
+    std::uint64_t reqSeq = 0;
+    bool reqInProgress = false;
+    bool reqAborted = false;
+    bool shedChecked = false;
+    bool deadlineArmed = false;
+    bool reqIsTrial = false;   ///< Breaker half-open trial request.
+    int breakerTarget = -1;    ///< Host the breaker admitted us to.
+    unsigned attempts = 0;     ///< Fast-fail retries so far.
+    bool hedgeLaunched = false;
+    unsigned issueSide = 0;    ///< 0 = primary, 1 = hedge fanout.
+    unsigned outSide[2] = {0, 0};
+    unsigned remoteSide[2] = {0, 0};
+
+    /** Lazily created with the first reliability ReqStart, so every
+     * run with the layer off keeps byte-identical stats output. */
+    stats::Scalar *relDeadlineMiss = nullptr;
+    stats::Scalar *relShed = nullptr;
+    stats::Scalar *relRetries = nullptr;
+    stats::Scalar *relFastFails = nullptr;
+    stats::Scalar *relFailed = nullptr;
+    stats::Scalar *relHedges = nullptr;
+    stats::Scalar *relHedgeWins = nullptr;
 
     stats::Scalar &statInstructions;
     stats::Scalar &statMemRefs;

@@ -43,6 +43,7 @@ struct Op
         Done,      ///< Thread finished.
         ReqStart,  ///< Open a serving request (see @ref tickArg).
         ReqEnd,    ///< Drain and record the request's latency.
+        HedgedMem, ///< Mem, but @ref hedge may duplicate it late.
     };
 
     /** ReqStart: arrival == "now" (closed-loop load generation). */
@@ -65,6 +66,16 @@ struct Op
      * a closed-loop core starts the clock when it picks the request
      * up. */
     Tick tickArg = 0;
+    /** ReqStart (reliability layer): shed the request if it is still
+     * waiting at run start + tickArg2 -- the arrival of the
+     * serve.maxInflight'th later request on this thread. 0 = never
+     * shed. */
+    Tick tickArg2 = 0;
+    /** ReqStart (reliability layer): home DIMM of the request's data,
+     * the circuit breaker's fail-fast target. -1 = no route check. */
+    std::int32_t homeDimm = -1;
+    /** HedgedMem: the replica batch a late hedge duplicates to. */
+    std::vector<MemRef> hedge;
 
     static Op
     compute(std::uint64_t instructions)
@@ -139,6 +150,32 @@ struct Op
     reqStartNow()
     {
         return reqStart(reqNow);
+    }
+
+    /** Open- or closed-loop request carrying the reliability layer's
+     * per-request metadata (shed horizon and breaker target). */
+    static Op
+    reqStartServe(Tick arrival_rel, Tick shed_after,
+                  std::int32_t home_dimm)
+    {
+        Op op = reqStart(arrival_rel);
+        op.tickArg2 = shed_after;
+        op.homeDimm = home_dimm;
+        return op;
+    }
+
+    /** Mem batch with a replica batch the core may hedge to after
+     * serve.hedgeAfterUs. Always fenced: the hedge race resolves on
+     * first completion, so nothing may overlap past it. */
+    static Op
+    memHedged(std::vector<MemRef> refs, std::vector<MemRef> hedge_refs)
+    {
+        Op op;
+        op.kind = Kind::HedgedMem;
+        op.refs = std::move(refs);
+        op.hedge = std::move(hedge_refs);
+        op.fenceAfter = true;
+        return op;
     }
 
     /** Drain outstanding accesses, then record now - request start

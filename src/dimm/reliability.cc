@@ -1,0 +1,85 @@
+#include "dimm/reliability.hh"
+
+#include "common/config.hh"
+
+namespace dimmlink {
+namespace serve_rel {
+
+namespace {
+constexpr double psPerUs = 1e6;
+} // namespace
+
+Params
+Params::from(const ServeConfig &serve)
+{
+    Params p;
+    p.deadlinePs = static_cast<Tick>(serve.deadlineUs * psPerUs);
+    p.hedgeAfterPs = static_cast<Tick>(serve.hedgeAfterUs * psPerUs);
+    p.backoffPs = static_cast<Tick>(serve.backoffUs * psPerUs);
+    // Once a route has tripped the breaker, probing again before a
+    // few backoff windows have passed just burns retries; four is
+    // long enough for LinkHealth's reprobe cycle to matter and short
+    // enough to re-admit promptly after recovery.
+    p.breakerReopenPs = 4 * p.backoffPs;
+    p.maxRetries = serve.maxRetries;
+    p.maxInflight = serve.maxInflight;
+    return p;
+}
+
+CircuitBreaker::Entry &
+CircuitBreaker::entry(unsigned host)
+{
+    if (host >= hosts.size())
+        hosts.resize(host + 1);
+    return hosts[host];
+}
+
+CircuitBreaker::Decision
+CircuitBreaker::admit(unsigned host, bool route_up, Tick now,
+                      Tick penalty_ps)
+{
+    Entry &e = entry(host);
+    switch (e.state) {
+      case State::Closed:
+        if (route_up)
+            return Decision::Admit;
+        e.state = State::Open;
+        e.reopenAt = now + penalty_ps;
+        return Decision::FastFail;
+      case State::Open:
+        if (now >= e.reopenAt && route_up) {
+            e.state = State::HalfOpen;
+            e.trialInFlight = true;
+            return Decision::AdmitTrial;
+        }
+        return Decision::FastFail;
+      case State::HalfOpen:
+        // One trial at a time; everyone else keeps failing fast
+        // until its outcome arrives.
+        if (e.trialInFlight)
+            return Decision::FastFail;
+        e.trialInFlight = true;
+        return Decision::AdmitTrial;
+    }
+    return Decision::Admit; // Unreachable; placates -Werror.
+}
+
+void
+CircuitBreaker::onOutcome(unsigned host, bool success, Tick now,
+                          Tick penalty_ps)
+{
+    Entry &e = entry(host);
+    if (e.state != State::HalfOpen)
+        return;
+    e.trialInFlight = false;
+    if (success) {
+        e.state = State::Closed;
+        e.reopenAt = 0;
+    } else {
+        e.state = State::Open;
+        e.reopenAt = now + penalty_ps;
+    }
+}
+
+} // namespace serve_rel
+} // namespace dimmlink

@@ -247,6 +247,13 @@ DlFabric::mergeShardStats()
 }
 
 void
+DlFabric::setHostAvailabilitySink(HostAvailabilitySink s)
+{
+    if (rackFabric)
+        rackFabric->setAvailabilitySink(std::move(s));
+}
+
+void
 DlFabric::sendHealthProbe(unsigned group, int a, int b,
                           std::uint64_t probe_id)
 {

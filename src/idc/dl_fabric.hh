@@ -77,6 +77,10 @@ class DlFabric : public Fabric
      * distribution (fixed shard order; no-op when unsharded). */
     void mergeShardStats() override;
 
+    /** Forward the availability feed to the rack fabric (no-op
+     * without one: single-host runs have no host-level outages). */
+    void setHostAvailabilitySink(HostAvailabilitySink s) override;
+
     /** Link health tracker of @p group (null with faults off). */
     const fault::LinkHealth *linkHealth(unsigned group) const
     {

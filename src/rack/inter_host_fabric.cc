@@ -72,13 +72,20 @@ InterHostFabric::InterHostFabric(EventQueue &eq,
             health.probeResult(a, b, id, !dead(e));
         });
     };
-    cbs.onTransition = [this](int, int, fault::LinkState from,
+    cbs.onTransition = [this](int a, int b, fault::LinkState from,
                               fault::LinkState to) {
-        if (to == fault::LinkState::Down)
+        if (to == fault::LinkState::Down) {
             ++statPortDown;
-        else if (from == fault::LinkState::Down &&
-                 to == fault::LinkState::Up)
+            if (availSink)
+                availSink(static_cast<unsigned>(a), b == kGateway,
+                          false);
+        } else if (from == fault::LinkState::Down &&
+                   to == fault::LinkState::Up) {
             ++statPortRecovered;
+            if (availSink)
+                availSink(static_cast<unsigned>(a), b == kGateway,
+                          true);
+        }
     };
     cbs.onProbeFailed = [this](int, int) { ++statProbesFailed; };
     health.setCallbacks(std::move(cbs));
@@ -91,6 +98,23 @@ InterHostFabric::InterHostFabric(EventQueue &eq,
                             cfg.hostOfGroup(cfg.rack.nodeDownId)),
                         kGateway},
                        cfg.rack.nodeDownAtPs, cfg.rack.nodeDownForPs);
+    if (!outage.empty())
+        statParked = &reg.group("rack").scalar("parkedTransfers");
+}
+
+Tick
+InterHostFabric::parkUntil(const Edge &e1, const Edge &e2) const
+{
+    Tick until = 0;
+    for (const Edge &e : {e1, e2}) {
+        if (!dead(e))
+            continue;
+        const Tick end = outage.at(e).second;
+        if (end == 0)
+            return 0;
+        until = std::max(until, end);
+    }
+    return until;
 }
 
 bool
@@ -148,6 +172,22 @@ void
 InterHostFabric::crossing(unsigned a, unsigned b, std::uint64_t bytes,
                           std::function<void()> done)
 {
+    // A transfer admitted onto a dead port (the DlFabric reroutes
+    // only after the health machinery detects the outage) is stuck
+    // until the port recovers: park it and re-admit at outage end.
+    // Permanent outages keep the pre-parking delivery semantics so
+    // runs without the reliability layer never hang behind them.
+    if (const Tick until = parkUntil({static_cast<int>(a), kPort},
+                                     {static_cast<int>(b), kPort})) {
+        if (statParked)
+            ++*statParked;
+        eventq.schedule(until,
+                        [this, a, b, bytes,
+                         done = std::move(done)]() mutable {
+                            crossing(a, b, bytes, std::move(done));
+                        });
+        return;
+    }
     const Tick now = eventq.now();
     ++statCrossings;
     statForwardedBytes += static_cast<double>(bytes);
@@ -166,6 +206,19 @@ InterHostFabric::pooledSend(unsigned a, unsigned b,
                             std::uint64_t bytes,
                             std::function<void()> done)
 {
+    // Same parking rule as crossing(), over the gateway attaches.
+    if (const Tick until =
+            parkUntil({static_cast<int>(a), kGateway},
+                      {static_cast<int>(b), kGateway})) {
+        if (statParked)
+            ++*statParked;
+        eventq.schedule(until,
+                        [this, a, b, bytes,
+                         done = std::move(done)]() mutable {
+                            pooledSend(a, b, bytes, std::move(done));
+                        });
+        return;
+    }
     const Tick now = eventq.now();
     ++statPooledTransfers;
     statPooledBytes += static_cast<double>(bytes);

@@ -84,6 +84,20 @@ class InterHostFabric
     /** The DlFabric flipped a transfer onto its failover route. */
     void noteReroute() { ++statReroutes; }
 
+    /**
+     * Availability feed for the serving circuit breaker: fired on the
+     * host shard whenever a host's rack port (@p is_gateway false) or
+     * bridge attach (@p is_gateway true) crosses the Down boundary of
+     * its health state machine. System fans the update out to each
+     * shard's HostHealthView.
+     */
+    using AvailabilitySink =
+        std::function<void(unsigned host, bool is_gateway, bool up)>;
+    void setAvailabilitySink(AvailabilitySink s)
+    {
+        availSink = std::move(s);
+    }
+
     /** One line per non-up rack edge, for hang diagnostics. */
     std::string debugDump() const;
 
@@ -101,6 +115,11 @@ class InterHostFabric
 
     bool dead(const Edge &e) const;
     void scheduleOutage(Edge e, Tick at, Tick for_ps);
+    /** The tick a transfer admitted onto @p e1 / @p e2 must park
+     * until (0 = no parking: both edges live, or a dead edge's
+     * outage is permanent and delivery keeps the pre-outage
+     * semantics so fault-free paths never hang behind it). */
+    Tick parkUntil(const Edge &e1, const Edge &e2) const;
     /** Claim the busy-until lane no earlier than @p not_before,
      * serialize @p bytes at @p gbps, and return the tick the last
      * byte leaves the lane. */
@@ -127,6 +146,10 @@ class InterHostFabric
     stats::Scalar &statProbesSent;
     stats::Scalar &statProbesFailed;
     stats::Distribution &statCrossLatencyPs;
+    /** Created only when an outage is scheduled, so outage-free runs
+     * keep byte-identical stats output. */
+    stats::Scalar *statParked = nullptr;
+    AvailabilitySink availSink;
 };
 
 /**

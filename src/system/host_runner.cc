@@ -120,7 +120,12 @@ class HostRunner::HostCore : public Clocked
                                EventPriority::Core);
                 return;
               }
-              case Op::Kind::Mem: {
+              case Op::Kind::Mem:
+              // The host baseline has no reliability engine: a hedged
+              // batch runs as its primary fanout (fenced), and the
+              // replica refs are ignored. memHedged() always sets
+              // fenceAfter, so the shared path below drains it.
+              case Op::Kind::HedgedMem: {
                 while (refIdx < op.refs.size()) {
                     if (outstanding >= mshrs) {
                         state = State::StallMshr;

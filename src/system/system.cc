@@ -165,10 +165,56 @@ System::System(SystemConfig cfg_) : cfg(std::move(cfg_))
         }
     }
 
+    if (cfg.serve.relEnabled())
+        wireReliability();
+
     if (cfg.obs.sampleIntervalPs > 0)
         buildSampler();
     if (cfg.watchdog.stallPs > 0)
         buildWatchdog();
+}
+
+void
+System::wireReliability()
+{
+    relParams_ = serve_rel::Params::from(cfg.serve);
+    const unsigned hosts = cfg.rackEnabled() ? cfg.rack.hosts : 0;
+    const unsigned nviews =
+        shards_ ? 1 + cfg.numGroups() : 1;
+    relViews_.assign(nviews, serve_rel::HostHealthView(hosts));
+
+    for (unsigned d = 0; d < cfg.numDimms; ++d) {
+        const DimmId id = static_cast<DimmId>(d);
+        // A core consults the view of the shard it executes on.
+        const unsigned v = shards_ ? 1 + cfg.groupOf(id) : 0;
+        for (unsigned c = 0; c < cfg.dimm.numCores; ++c)
+            dimms[d]->core(static_cast<CoreId>(c))
+                .setReliability(&relParams_, &relViews_[v],
+                                cfg.hostOf(id));
+    }
+
+    if (!cfg.rackEnabled())
+        return;
+    // Availability transitions originate on the host shard (the rack
+    // fabric's LinkHealth); fan each one out to every shard's view
+    // through that shard's own queue, keeping views single-writer and
+    // the delivery tick (+lookahead inside a window) deterministic at
+    // every sim.threads count.
+    fabric_->setHostAvailabilitySink([this](unsigned host, bool is_gw,
+                                            bool up) {
+        for (unsigned v = 0; v < relViews_.size(); ++v) {
+            auto apply = [this, v, host, is_gw, up] {
+                auto &view = relViews_[v];
+                if (host >= view.portUp.size())
+                    return;
+                (is_gw ? view.gwUp : view.portUp)[host] = up ? 1 : 0;
+            };
+            if (shards_ && v != 0)
+                shards_->call(v, std::move(apply));
+            else
+                apply();
+        }
+    });
 }
 
 System::~System() = default;

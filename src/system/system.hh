@@ -14,6 +14,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "dimm/dimm.hh"
+#include "dimm/reliability.hh"
 #include "host/channel.hh"
 #include "idc/fabric.hh"
 #include "sim/event_queue.hh"
@@ -98,6 +99,7 @@ class System
   private:
     void buildSampler();
     void buildWatchdog();
+    void wireReliability();
 
     Tick hostAccess(Addr global, std::uint64_t bytes, bool is_write);
 
@@ -122,6 +124,13 @@ class System
     std::unique_ptr<BarrierEndpoint> barrierAdapter_;
     std::unique_ptr<obs::Sampler> sampler_;
     std::unique_ptr<Watchdog> watchdog_;
+    /** Resolved serve.* reliability knobs; the cores hold pointers
+     * into these, so both live for the System's lifetime and
+     * relViews_ is never resized after wireReliability(). One view
+     * per shard (just [0] when unsharded), each written only through
+     * its own shard's queue. */
+    serve_rel::Params relParams_;
+    std::vector<serve_rel::HostHealthView> relViews_;
     bool nmpMode = false;
 };
 

@@ -11,9 +11,11 @@ namespace trace {
 namespace {
 
 constexpr std::uint32_t traceMagic = 0x444c5452; // "DLTR"
-// Version 2 added the serving-request ops (ReqStart/ReqEnd); version-1
-// traces contain neither and still load.
-constexpr std::uint32_t traceVersion = 2;
+// Version 2 added the serving-request ops (ReqStart/ReqEnd).
+// Version 3 added the reliability layer's ReqStart payload (shed
+// horizon + home DIMM) and the HedgedMem op; older traces contain
+// neither and still load.
+constexpr std::uint32_t traceVersion = 3;
 
 template <typename T>
 void
@@ -33,6 +35,35 @@ get(std::istream &is)
     return v;
 }
 
+void
+putRefs(std::ostream &os, const std::vector<MemRef> &refs)
+{
+    put(os, static_cast<std::uint32_t>(refs.size()));
+    for (const MemRef &r : refs) {
+        put(os, r.addr);
+        put(os, r.bytes);
+        put(os, static_cast<std::uint8_t>(r.isWrite));
+        put(os, static_cast<std::uint8_t>(r.cls));
+    }
+}
+
+std::vector<MemRef>
+getRefs(std::istream &is)
+{
+    const auto n = get<std::uint32_t>(is);
+    std::vector<MemRef> refs;
+    refs.reserve(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        MemRef ref;
+        ref.addr = get<Addr>(is);
+        ref.bytes = get<std::uint16_t>(is);
+        ref.isWrite = get<std::uint8_t>(is) != 0;
+        ref.cls = static_cast<DataClass>(get<std::uint8_t>(is));
+        refs.push_back(ref);
+    }
+    return refs;
+}
+
 } // namespace
 
 void
@@ -49,13 +80,11 @@ ThreadTrace::save(std::ostream &os) const
             break;
           case Op::Kind::Mem:
             put(os, static_cast<std::uint8_t>(op.fenceAfter));
-            put(os, static_cast<std::uint32_t>(op.refs.size()));
-            for (const MemRef &r : op.refs) {
-                put(os, r.addr);
-                put(os, r.bytes);
-                put(os, static_cast<std::uint8_t>(r.isWrite));
-                put(os, static_cast<std::uint8_t>(r.cls));
-            }
+            putRefs(os, op.refs);
+            break;
+          case Op::Kind::HedgedMem:
+            putRefs(os, op.refs);
+            putRefs(os, op.hedge);
             break;
           case Op::Kind::Broadcast:
             put(os, op.bcastAddr);
@@ -63,6 +92,8 @@ ThreadTrace::save(std::ostream &os) const
             break;
           case Op::Kind::ReqStart:
             put(os, op.tickArg);
+            put(os, op.tickArg2);
+            put(os, op.homeDimm);
             break;
           case Op::Kind::Barrier:
           case Op::Kind::Done:
@@ -90,27 +121,25 @@ ThreadTrace::load(std::istream &is)
           case Op::Kind::Compute:
             op.instructions = get<std::uint64_t>(is);
             break;
-          case Op::Kind::Mem: {
+          case Op::Kind::Mem:
             op.fenceAfter = get<std::uint8_t>(is) != 0;
-            const auto n = get<std::uint32_t>(is);
-            op.refs.reserve(n);
-            for (std::uint32_t r = 0; r < n; ++r) {
-                MemRef ref;
-                ref.addr = get<Addr>(is);
-                ref.bytes = get<std::uint16_t>(is);
-                ref.isWrite = get<std::uint8_t>(is) != 0;
-                ref.cls =
-                    static_cast<DataClass>(get<std::uint8_t>(is));
-                op.refs.push_back(ref);
-            }
+            op.refs = getRefs(is);
             break;
-          }
+          case Op::Kind::HedgedMem:
+            op.refs = getRefs(is);
+            op.hedge = getRefs(is);
+            op.fenceAfter = true;
+            break;
           case Op::Kind::Broadcast:
             op.bcastAddr = get<Addr>(is);
             op.bcastBytes = get<std::uint64_t>(is);
             break;
           case Op::Kind::ReqStart:
             op.tickArg = get<Tick>(is);
+            if (version >= 3) {
+                op.tickArg2 = get<Tick>(is);
+                op.homeDimm = get<std::int32_t>(is);
+            }
             break;
           case Op::Kind::Barrier:
           case Op::Kind::Done:
@@ -134,16 +163,21 @@ ThreadTrace::operator==(const ThreadTrace &o) const
             a.fenceAfter != b.fenceAfter ||
             a.bcastAddr != b.bcastAddr ||
             a.bcastBytes != b.bcastBytes ||
-            a.tickArg != b.tickArg ||
-            a.refs.size() != b.refs.size())
+            a.tickArg != b.tickArg || a.tickArg2 != b.tickArg2 ||
+            a.homeDimm != b.homeDimm ||
+            a.refs.size() != b.refs.size() ||
+            a.hedge.size() != b.hedge.size())
             return false;
-        for (std::size_t r = 0; r < a.refs.size(); ++r) {
-            const MemRef &x = a.refs[r];
-            const MemRef &y = b.refs[r];
-            if (x.addr != y.addr || x.bytes != y.bytes ||
-                x.isWrite != y.isWrite || x.cls != y.cls)
+        const auto sameRef = [](const MemRef &x, const MemRef &y) {
+            return x.addr == y.addr && x.bytes == y.bytes &&
+                   x.isWrite == y.isWrite && x.cls == y.cls;
+        };
+        for (std::size_t r = 0; r < a.refs.size(); ++r)
+            if (!sameRef(a.refs[r], b.refs[r]))
                 return false;
-        }
+        for (std::size_t r = 0; r < a.hedge.size(); ++r)
+            if (!sameRef(a.hedge[r], b.hedge[r]))
+                return false;
     }
     return true;
 }

@@ -42,6 +42,15 @@ class EmbedWorkload : public Workload
         for (unsigned t = 0; t < p.numThreads; ++t)
             outAddr[t] = alloc.alloc(
                 sliceHome(static_cast<ThreadId>(t)), rowBytes);
+        // Replica table for hedged gathers, allocated last so every
+        // primary and scratch address is unchanged when hedging is
+        // off (docs/serving.md).
+        if (p.serve.hedgeAfterUs > 0) {
+            replicaAddr_.resize(p.numDimms);
+            for (unsigned d = 0; d < p.numDimms; ++d)
+                replicaAddr_[d] = alloc.alloc(static_cast<DimmId>(d),
+                                              perDimm * rowBytes);
+        }
         reset();
     }
 
@@ -108,14 +117,45 @@ class EmbedWorkload : public Workload
                    p.serve.embedDim / 4);
     }
 
+    DimmId
+    rowDimm(std::uint64_t row) const
+    {
+        return static_cast<DimmId>(
+            std::min<std::uint64_t>(row / perDimm, p.numDimms - 1));
+    }
+
     Addr
     rowAddr(std::uint64_t row) const
     {
-        const auto d = static_cast<DimmId>(
-            std::min<std::uint64_t>(row / perDimm, p.numDimms - 1));
+        const DimmId d = rowDimm(row);
         const std::uint64_t off =
             row - static_cast<std::uint64_t>(d) * perDimm;
         return blockAddr[d] + off * rowBytes;
+    }
+
+    /** The row's replica slot: same offset, on a DIMM half the pool
+     * away so the hedged gather takes independent routes. */
+    Addr
+    rowReplicaAddr(std::uint64_t row) const
+    {
+        const DimmId d = rowDimm(row);
+        const std::uint64_t off =
+            row - static_cast<std::uint64_t>(d) * perDimm;
+        const auto rd = static_cast<DimmId>(
+            (static_cast<unsigned>(d) +
+             std::max(1u, p.numDimms / 2)) % p.numDimms);
+        return replicaAddr_[rd] + off * rowBytes;
+    }
+
+    void
+    pushRowRefs(std::vector<MemRef> &refs, Addr base) const
+    {
+        for (std::uint32_t off = 0; off < rowBytes; off += 64) {
+            const auto chunk = static_cast<std::uint16_t>(
+                std::min<std::uint32_t>(64, rowBytes - off));
+            refs.push_back(MemRef{base + off, chunk, false,
+                                  DataClass::SharedRO});
+        }
     }
 
     OpStream
@@ -123,24 +163,35 @@ class EmbedWorkload : public Workload
     {
         const auto &plan = plans[tid];
         const bool open = p.serve.mode == "open";
+        const bool rel = p.serve.relEnabled();
+        const bool hedge = p.serve.hedgeAfterUs > 0;
         for (std::size_t i = 0; i < plan.reqs.size(); ++i) {
-            co_yield open ? Op::reqStart(plan.reqs[i].arrivalPs)
-                          : Op::reqStartNow();
+            if (rel)
+                co_yield Op::reqStartServe(
+                    open ? plan.reqs[i].arrivalPs : Op::reqNow,
+                    plan.reqs[i].shedAfterPs,
+                    static_cast<std::int32_t>(
+                        rowDimm(plan.keys[i * pooling])));
+            else
+                co_yield open ? Op::reqStart(plan.reqs[i].arrivalPs)
+                              : Op::reqStartNow();
             std::vector<MemRef> refs;
+            std::vector<MemRef> hedgeRefs;
             for (unsigned k = 0; k < pooling; ++k) {
                 const std::uint64_t row = plan.keys[i * pooling + k];
                 sums[tid] += rowDigest(row);
-                const Addr base = rowAddr(row);
-                for (std::uint32_t off = 0; off < rowBytes;
-                     off += 64) {
-                    const auto chunk = static_cast<std::uint16_t>(
-                        std::min<std::uint32_t>(64, rowBytes - off));
-                    refs.push_back(MemRef{base + off, chunk, false,
-                                          DataClass::SharedRO});
-                }
+                pushRowRefs(refs, rowAddr(row));
+                if (hedge)
+                    pushRowRefs(hedgeRefs, rowReplicaAddr(row));
             }
-            // Fence: every row must land before the reduction.
-            co_yield Op::mem(std::move(refs), true);
+            // Fence: every row must land before the reduction. A
+            // hedged gather is fenced by construction and the first
+            // full fanout (primary table or replica) to land wins.
+            if (hedge)
+                co_yield Op::memHedged(std::move(refs),
+                                       std::move(hedgeRefs));
+            else
+                co_yield Op::mem(std::move(refs), true);
             co_yield Op::compute(reduceInstr());
             std::vector<MemRef> out;
             for (std::uint32_t off = 0; off < rowBytes; off += 64) {
@@ -164,6 +215,7 @@ class EmbedWorkload : public Workload
     std::uint64_t expected = 0;
     std::vector<Addr> outAddr;
     std::vector<Addr> blockAddr;
+    std::vector<Addr> replicaAddr_; ///< Empty unless hedging is on.
 };
 
 WorkloadFactory::Registrar reg("embed",

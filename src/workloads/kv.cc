@@ -36,6 +36,16 @@ class KvWorkload : public Workload
         for (unsigned d = 0; d < p.numDimms; ++d)
             blockAddr[d] = alloc.alloc(static_cast<DimmId>(d),
                                        perDimm * valueBytes);
+        // Hedged GETs read a replica of each value block living on a
+        // far DIMM (docs/serving.md). Allocated after the primary
+        // blocks, and only when hedging is on, so every primary
+        // address -- and every non-hedging run -- is unchanged.
+        if (p.serve.hedgeAfterUs > 0) {
+            replicaAddr_.resize(p.numDimms);
+            for (unsigned d = 0; d < p.numDimms; ++d)
+                replicaAddr_[d] = alloc.alloc(static_cast<DimmId>(d),
+                                              perDimm * valueBytes);
+        }
         reset();
     }
 
@@ -96,14 +106,47 @@ class KvWorkload : public Workload
         return (valueBytes + 63) / 64;
     }
 
+    DimmId
+    keyDimm(std::uint64_t key) const
+    {
+        return static_cast<DimmId>(
+            std::min<std::uint64_t>(key / perDimm, p.numDimms - 1));
+    }
+
     Addr
     keyAddr(std::uint64_t key) const
     {
-        const auto d = static_cast<DimmId>(
-            std::min<std::uint64_t>(key / perDimm, p.numDimms - 1));
+        const DimmId d = keyDimm(key);
         const std::uint64_t off =
             key - static_cast<std::uint64_t>(d) * perDimm;
         return blockAddr[d] + off * valueBytes;
+    }
+
+    /** The key's replica slot: same offset, on a DIMM half the pool
+     * away so the hedge usually takes an independent route. */
+    Addr
+    keyReplicaAddr(std::uint64_t key) const
+    {
+        const DimmId d = keyDimm(key);
+        const std::uint64_t off =
+            key - static_cast<std::uint64_t>(d) * perDimm;
+        const auto rd = static_cast<DimmId>(
+            (static_cast<unsigned>(d) +
+             std::max(1u, p.numDimms / 2)) % p.numDimms);
+        return replicaAddr_[rd] + off * valueBytes;
+    }
+
+    std::vector<MemRef>
+    valueRefs(Addr base, bool is_write) const
+    {
+        std::vector<MemRef> refs;
+        for (std::uint32_t off = 0; off < valueBytes; off += 64) {
+            const auto chunk = static_cast<std::uint16_t>(
+                std::min<std::uint32_t>(64, valueBytes - off));
+            refs.push_back(MemRef{base + off, chunk, is_write,
+                                  DataClass::SharedRW});
+        }
+        return refs;
     }
 
     OpStream
@@ -111,26 +154,31 @@ class KvWorkload : public Workload
     {
         const auto &plan = plans[tid];
         const bool open = p.serve.mode == "open";
+        const bool rel = p.serve.relEnabled();
+        const bool hedge = p.serve.hedgeAfterUs > 0;
         for (std::size_t i = 0; i < plan.reqs.size(); ++i) {
             const serving::Request &req = plan.reqs[i];
             const std::uint64_t key = plan.keys[i];
-            co_yield open ? Op::reqStart(req.arrivalPs)
-                          : Op::reqStartNow();
+            if (rel)
+                co_yield Op::reqStartServe(
+                    open ? req.arrivalPs : Op::reqNow,
+                    req.shedAfterPs,
+                    static_cast<std::int32_t>(keyDimm(key)));
+            else
+                co_yield open ? Op::reqStart(req.arrivalPs)
+                              : Op::reqStartNow();
             // Hash the key and dispatch to the value's home.
             co_yield Op::compute(16);
             if (!req.isGet)
                 store[key] ^= putMix(key, tid, i);
-            std::vector<MemRef> refs;
-            const Addr base = keyAddr(key);
-            for (std::uint32_t off = 0; off < valueBytes;
-                 off += 64) {
-                const auto chunk = static_cast<std::uint16_t>(
-                    std::min<std::uint32_t>(64, valueBytes - off));
-                refs.push_back(MemRef{base + off, chunk,
-                                      !req.isGet,
-                                      DataClass::SharedRW});
-            }
-            co_yield Op::mem(std::move(refs));
+            // Only GETs hedge: duplicating a PUT would double-apply
+            // the update when both sides land.
+            if (hedge && req.isGet)
+                co_yield Op::memHedged(
+                    valueRefs(keyAddr(key), false),
+                    valueRefs(keyReplicaAddr(key), false));
+            else
+                co_yield Op::mem(valueRefs(keyAddr(key), !req.isGet));
             // Format the response; reqEnd drains the value refs.
             co_yield Op::compute(16);
             co_yield Op::reqEnd();
@@ -145,6 +193,7 @@ class KvWorkload : public Workload
     std::vector<std::uint64_t> store;
     std::vector<std::uint64_t> expected;
     std::vector<Addr> blockAddr;
+    std::vector<Addr> replicaAddr_; ///< Empty unless hedging is on.
 };
 
 WorkloadFactory::Registrar reg("kv",

@@ -49,6 +49,17 @@ buildPlans(const ServeConfig &s, unsigned num_threads,
                     s.scramble ? scatterHash(rank) % s.keys : rank);
             }
         }
+
+        // Admission control (docs/serving.md): request i's shed
+        // horizon is the arrival of request i + maxInflight on the
+        // same thread -- if i has not started by then, at least
+        // maxInflight requests are queued behind it.
+        if (open && s.maxInflight > 0) {
+            for (std::uint64_t i = 0;
+                 i + s.maxInflight < plan.reqs.size(); ++i)
+                plan.reqs[i].shedAfterPs =
+                    plan.reqs[i + s.maxInflight].arrivalPs;
+        }
     }
     return plans;
 }
@@ -81,6 +92,25 @@ aggregate(stats::Registry &reg, const SystemConfig &cfg,
         static_cast<double>(cfg.serve.latBucketPs),
         cfg.serve.latBuckets);
     double wait_ps = 0;
+    // Reliability counters (docs/serving.md): the per-core scalars
+    // exist only when a core dispatched a ReqStart with the layer
+    // armed, so folding them keeps rel-off runs byte-identical.
+    struct RelCounter
+    {
+        const char *coreName; ///< Per-core scalar name.
+        const char *outName;  ///< Aggregated "serve" scalar name.
+        double sum = 0;
+    };
+    RelCounter relCounters[] = {
+        {"reqDeadlineMisses", "deadlineMisses"},
+        {"reqShed", "shedRequests"},
+        {"reqRetries", "retries"},
+        {"reqFastFails", "breakerFastFails"},
+        {"reqFailed", "failedRequests"},
+        {"reqHedges", "hedgedRequests"},
+        {"reqHedgeWins", "hedgeWins"},
+    };
+    bool relSeen = false;
     // Under rack pooling the same walk also folds each host's pool
     // partition into a per-host SLO histogram; single-host runs
     // build nothing extra so their stats JSON keeps its shape.
@@ -106,8 +136,19 @@ aggregate(stats::Registry &reg, const SystemConfig &cfg,
         const auto sit = g.scalars().find("reqWaitPs");
         if (sit != g.scalars().end())
             wait_ps += sit->second.value();
+        for (RelCounter &rc : relCounters) {
+            const auto rit = g.scalars().find(rc.coreName);
+            if (rit != g.scalars().end()) {
+                relSeen = true;
+                rc.sum += rit->second.value();
+            }
+        }
     });
-    if (merged.total() == 0)
+    // Zero completed requests still produce an explicit all-zero
+    // block when the reliability layer ran (everything may have been
+    // shed or failed fast -- that IS the result); without it there is
+    // nothing serving-shaped to report.
+    if (merged.total() == 0 && !relSeen)
         return false;
 
     stats::Group &serve = reg.group("serve");
@@ -132,6 +173,25 @@ aggregate(stats::Registry &reg, const SystemConfig &cfg,
     serve.scalar("offeredQps")
         .set(cfg.serve.mode == "open" ? cfg.serve.offeredQps : 0);
     serve.scalar("reqWaitPs").set(wait_ps);
+    if (relSeen) {
+        for (const RelCounter &rc : relCounters)
+            serve.scalar(rc.outName).set(rc.sum);
+        // Goodput: on-time completions per second. Deadline-missed,
+        // shed and failed requests never sample the histogram, so
+        // every merged completion counts.
+        serve.scalar("goodputQps")
+            .set(kernel_ticks > 0
+                     ? requests /
+                           (static_cast<double>(kernel_ticks) * 1e-12)
+                     : 0);
+        // Error budget: errors over everything the run disposed of.
+        const double errors = relCounters[0].sum +  // deadlineMisses
+                              relCounters[1].sum +  // shedRequests
+                              relCounters[4].sum;   // failedRequests
+        const double disposed = requests + errors;
+        serve.scalar("errorRate")
+            .set(disposed > 0 ? errors / disposed : 0);
+    }
     // Per-host SLO percentiles: requests served by each host's pool
     // partition (a request lands on the DIMM that owns its key, so a
     // host's tail shows remote-pool crossings and rack failovers).

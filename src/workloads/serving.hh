@@ -34,6 +34,11 @@ struct Request
     Tick arrivalPs = 0;
     /** kv: GET (true) or PUT (false); ignored by embed. */
     bool isGet = true;
+    /** Load shedding horizon: the arrival of the serve.maxInflight'th
+     * later request on this thread; a request still waiting to start
+     * past it is shed. 0 = never shed (knob off, closed mode, or no
+     * later request that deep in the plan). */
+    Tick shedAfterPs = 0;
 };
 
 /** One thread's request plan. Request i's keys occupy

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/stats_json.hh"
+#include "dimm/reliability.hh"
 #include "system/host_runner.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
@@ -353,6 +354,290 @@ TEST(Serving, ConfigRejectsBadKnobs)
     bad("serve.offeredQps", "0", "offeredQps");
     bad("serve.requests", "0", "requests");
     bad("serve.burstFactor", "0.5", "burstFactor");
+    // Reliability knobs (docs/serving.md).
+    bad("serve.deadlineUs", "-1", "deadlineUs");
+    bad("serve.backoffUs", "-1", "backoffUs");
+    bad("serve.hedgeAfterUs", "-1", "hedgeAfterUs");
+}
+
+TEST(Serving, ConfigRejectsRetryAndShedMisuse)
+{
+    // Retries with no backoff would spin at the same tick.
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.set("serve.maxRetries", "3");
+    cfg.set("serve.backoffUs", "0");
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "backoffUs");
+    // Shedding needs a queue to bound: closed-loop threads never
+    // queue arrivals.
+    auto closed = SystemConfig::preset("4D-2C");
+    closed.set("serve.mode", "closed");
+    closed.set("serve.maxInflight", "8");
+    EXPECT_EXIT(closed.validate(), ::testing::ExitedWithCode(1),
+                "maxInflight");
+}
+
+// ---- Request-level reliability (docs/serving.md) -------------------
+
+TEST(Reliability, BackoffIsDeterministicAndJittered)
+{
+    serve_rel::Backoff a, b, c;
+    a.reseed(1, 0);
+    b.reseed(1, 0);
+    c.reseed(1, 1);
+    const Tick base = 5000000;
+    bool streams_differ = false;
+    for (unsigned attempt = 1; attempt <= 10; ++attempt) {
+        const Tick da = a.delay(base, attempt);
+        // Same (seed, tid) -> the same delay sequence.
+        EXPECT_EQ(da, b.delay(base, attempt));
+        streams_differ |= da != c.delay(base, attempt);
+        // Exponential envelope with jitter in [span/2, span].
+        const Tick span = base << (attempt - 1);
+        EXPECT_GE(da, span / 2);
+        EXPECT_LE(da, span);
+    }
+    EXPECT_TRUE(streams_differ);
+}
+
+TEST(Reliability, CircuitBreakerLifecycle)
+{
+    using Decision = serve_rel::CircuitBreaker::Decision;
+    serve_rel::CircuitBreaker cb;
+    const Tick penalty = 500;
+    // Closed + live route: admit without ceremony.
+    EXPECT_EQ(cb.admit(1, true, 1000, penalty), Decision::Admit);
+    // A dead route trips it open...
+    EXPECT_EQ(cb.admit(1, false, 1000, penalty), Decision::FastFail);
+    // ...and it fails fast through the penalty window even after the
+    // route recovers.
+    EXPECT_EQ(cb.admit(1, true, 1200, penalty), Decision::FastFail);
+    // Penalty elapsed + route up: exactly one half-open trial.
+    EXPECT_EQ(cb.admit(1, true, 1600, penalty), Decision::AdmitTrial);
+    EXPECT_EQ(cb.admit(1, true, 1600, penalty), Decision::FastFail);
+    // Trial failure re-opens with a fresh penalty.
+    cb.onOutcome(1, false, 1700, penalty);
+    EXPECT_EQ(cb.admit(1, true, 1800, penalty), Decision::FastFail);
+    EXPECT_EQ(cb.admit(1, true, 2300, penalty), Decision::AdmitTrial);
+    // Trial success closes it again.
+    cb.onOutcome(1, true, 2400, penalty);
+    EXPECT_EQ(cb.admit(1, true, 2500, penalty), Decision::Admit);
+    // Breakers are per target host: host 2 was never tripped.
+    EXPECT_EQ(cb.admit(2, false, 100, penalty), Decision::FastFail);
+    EXPECT_EQ(cb.admit(1, true, 2600, penalty), Decision::Admit);
+}
+
+TEST(Reliability, HostHealthViewMirrorsRouteFailover)
+{
+    serve_rel::HostHealthView v(2);
+    EXPECT_TRUE(v.routeUp(0, 1));
+    // One dead rack port: the pooled gateways still connect them.
+    v.portUp[1] = 0;
+    EXPECT_TRUE(v.routeUp(0, 1));
+    // Both cross-host paths dead: the route is gone...
+    v.gwUp[1] = 0;
+    EXPECT_FALSE(v.routeUp(0, 1));
+    // ...but a host always reaches itself.
+    EXPECT_TRUE(v.routeUp(1, 1));
+    v.portUp[1] = 1;
+    EXPECT_TRUE(v.routeUp(0, 1));
+}
+
+/** Reliability counters of one serving run (0 when a scalar was
+ * never created). */
+struct RelStats
+{
+    std::string json;
+    double requests = 0, misses = 0, shed = 0, retries = 0,
+           fastFails = 0, failed = 0, hedges = 0, hedgeWins = 0,
+           goodput = 0, errorRate = 0;
+};
+
+RelStats
+runReliability(const SystemConfig &cfg, const char *workload = "kv")
+{
+    System sys(cfg);
+    workloads::WorkloadParams p;
+    p.numThreads = cfg.numDimms * cfg.dimm.numCores;
+    p.numDimms = cfg.numDimms;
+    p.serve = cfg.serve;
+    auto wl = workloads::makeWorkload(workload, p, sys.addressMap());
+    Runner runner(sys, *wl);
+    const RunResult r = runner.run();
+    // Aborted requests consume their ops without executing them, so
+    // the workload's functional reference must still hold.
+    EXPECT_TRUE(r.verified) << workload;
+    const auto &reg = sys.stats();
+    auto sv = [&](const char *s) {
+        const std::string key = std::string("serve.") + s;
+        return reg.hasScalar(key) ? reg.scalar(key) : 0.0;
+    };
+    RelStats out;
+    out.requests = sv("requests");
+    out.misses = sv("deadlineMisses");
+    out.shed = sv("shedRequests");
+    out.retries = sv("retries");
+    out.fastFails = sv("breakerFastFails");
+    out.failed = sv("failedRequests");
+    out.hedges = sv("hedgedRequests");
+    out.hedgeWins = sv("hedgeWins");
+    out.goodput = sv("goodputQps");
+    out.errorRate = sv("errorRate");
+    std::ostringstream os;
+    stats::dumpJson(sys.stats(), os, /*include_empty=*/true);
+    out.json = os.str();
+    return out;
+}
+
+SystemConfig
+relConfig()
+{
+    auto cfg = SystemConfig::preset("4D-2C");
+    cfg.serve.mode = "open";
+    cfg.serve.requests = 192;
+    cfg.serve.keys = 8192;
+    return cfg;
+}
+
+TEST(Reliability, ImpossibleDeadlineMissesEveryRequestExactlyOnce)
+{
+    // A 1 ns budget is gone before any value ref lands: every request
+    // must miss exactly once, none may also complete, and the serve
+    // group must still aggregate explicit zeros (the zero-completion
+    // regression: all-shed/all-missed runs ARE a result).
+    auto cfg = relConfig();
+    cfg.serve.deadlineUs = 0.001;
+    const RelStats r = runReliability(cfg);
+    EXPECT_DOUBLE_EQ(r.misses, 192.0);
+    EXPECT_DOUBLE_EQ(r.requests, 0.0);
+    EXPECT_DOUBLE_EQ(r.errorRate, 1.0);
+    EXPECT_DOUBLE_EQ(r.goodput, 0.0);
+    EXPECT_NE(r.json.find("\"serve\""), std::string::npos);
+}
+
+TEST(Reliability, GenerousDeadlineCatchesNothing)
+{
+    // At a modest offered rate every request finishes far inside a
+    // 500 us budget: arming the layer must not change the outcome.
+    auto cfg = relConfig();
+    cfg.serve.deadlineUs = 500;
+    const RelStats r = runReliability(cfg);
+    EXPECT_DOUBLE_EQ(r.requests, 192.0);
+    EXPECT_DOUBLE_EQ(r.misses, 0.0);
+    EXPECT_DOUBLE_EQ(r.errorRate, 0.0);
+    EXPECT_GT(r.goodput, 0.0);
+}
+
+TEST(Reliability, DispositionsPartitionTheRunUnderPressure)
+{
+    // Overdriven far past per-thread service capacity with a tight
+    // deadline: some requests miss in the queue, the rest complete,
+    // and every request is disposed of exactly once.
+    auto cfg = relConfig();
+    cfg.serve.offeredQps = 1e8;
+    cfg.serve.requests = 640;
+    cfg.serve.deadlineUs = 0.5;
+    const RelStats r = runReliability(cfg);
+    EXPECT_GT(r.misses, 0.0);
+    EXPECT_GT(r.requests, 0.0);
+    EXPECT_DOUBLE_EQ(r.requests + r.misses + r.shed + r.failed, 640.0);
+}
+
+TEST(Reliability, OverloadShedsTheQueueTail)
+{
+    // Arrivals 4x faster than per-thread service with a 4-deep
+    // admission bound: the backlog past the bound is shed, and shed
+    // requests never also miss their deadline.
+    auto cfg = relConfig();
+    cfg.serve.offeredQps = 1e8;
+    cfg.serve.requests = 640;
+    cfg.serve.maxInflight = 4;
+    const RelStats r = runReliability(cfg);
+    EXPECT_GT(r.shed, 0.0);
+    EXPECT_DOUBLE_EQ(r.requests + r.shed, 640.0);
+    EXPECT_NEAR(r.errorRate, r.shed / 640.0, 1e-12);
+}
+
+TEST(Reliability, HedgedGetsRaceTheReplica)
+{
+    // With a hedge trigger under the typical value fetch time, slow
+    // GETs duplicate to the replica range; wins are a subset, and
+    // every request still completes (hedging never drops work).
+    auto cfg = relConfig();
+    cfg.serve.hedgeAfterUs = 0.3;
+    const RelStats r = runReliability(cfg);
+    EXPECT_GT(r.hedges, 0.0);
+    EXPECT_LE(r.hedgeWins, r.hedges);
+    EXPECT_DOUBLE_EQ(r.requests, 192.0);
+    EXPECT_DOUBLE_EQ(r.errorRate, 0.0);
+}
+
+TEST(Reliability, KnobsOffKeepTheStatsShape)
+{
+    // The armed-but-idle layer writes nothing: a rel-off run must not
+    // grow any reliability scalar, per core or aggregated.
+    auto cfg = relConfig();
+    const RelStats r = runReliability(cfg);
+    EXPECT_DOUBLE_EQ(r.requests, 192.0);
+    EXPECT_EQ(r.json.find("goodputQps"), std::string::npos);
+    EXPECT_EQ(r.json.find("reqDeadlineMisses"), std::string::npos);
+    EXPECT_EQ(r.json.find("reqShed"), std::string::npos);
+}
+
+/** The chaos scenario of bench/chaos_serving.cc, shrunk for a unit
+ * test: two hosts in forwarded mode, host 1's rack port dying mid-run
+ * with every reliability mechanism armed. */
+SystemConfig
+chaosConfig()
+{
+    auto cfg = SystemConfig::preset("8D-4C");
+    cfg.rack.hosts = 2;
+    cfg.rack.idcMode = "forwarded";
+    cfg.rack.hostDownId = 1;
+    cfg.rack.hostDownAtPs = 50000000;
+    cfg.rack.hostDownForPs = 60000000;
+    cfg.link.retryTimeoutPs = 40000000;
+    cfg.serve.mode = "open";
+    cfg.serve.offeredQps = 2e6;
+    cfg.serve.requests = 512;
+    cfg.serve.keys = 8192;
+    cfg.serve.deadlineUs = 25;
+    cfg.serve.maxRetries = 3;
+    cfg.serve.backoffUs = 5;
+    cfg.serve.maxInflight = 128;
+    return cfg;
+}
+
+TEST(Reliability, ChaosRunDegradesGracefully)
+{
+    const RelStats r = runReliability(chaosConfig());
+    // The outage must actually bite (deadline misses among the parked
+    // crossings) while the vast majority of requests still complete.
+    EXPECT_GT(r.misses, 0.0);
+    EXPECT_GT(r.requests, 0.9 * 512);
+    EXPECT_DOUBLE_EQ(r.requests + r.misses + r.shed + r.failed, 512.0);
+}
+
+TEST(ReliabilityDeterminism, ChaosRunsAreThreadCountInvariant)
+{
+    // The whole reliability layer is single-writer per shard and its
+    // timers and RNG streams are tid-keyed, so a chaos run's stats
+    // JSON is byte-identical at every sharded thread count.
+    auto cfg = chaosConfig();
+    cfg.sim.shard = "group";
+    cfg.sim.threads = 1;
+    const RelStats ref = runReliability(cfg);
+    EXPECT_GT(ref.misses, 0.0);
+    cfg.sim.threads = 4;
+    EXPECT_EQ(ref.json, runReliability(cfg).json)
+        << "chaos run diverged at threads=4";
+}
+
+TEST(ReliabilityDeterminism, RepeatChaosRunsAreByteIdentical)
+{
+    const RelStats a = runReliability(chaosConfig());
+    const RelStats b = runReliability(chaosConfig());
+    EXPECT_EQ(a.json, b.json);
 }
 
 } // namespace

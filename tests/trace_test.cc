@@ -67,6 +67,38 @@ TEST(Trace, ServingOpsSurviveTheFormat)
     EXPECT_TRUE(t == u);
 }
 
+TEST(Trace, ReliabilityOpsSurviveTheFormat)
+{
+    // The v3 additions: shed horizons, home DIMMs and hedge replica
+    // batches must round-trip exactly.
+    ThreadTrace t;
+    t.append(Op::reqStartServe(777, 999, 3));
+    t.append(Op::reqStartServe(Op::reqNow, 0, -1));
+    std::vector<MemRef> refs, hedge;
+    refs.push_back(MemRef{0x40, 64, false, DataClass::SharedRW});
+    refs.push_back(MemRef{0x80, 64, false, DataClass::SharedRW});
+    hedge.push_back(MemRef{0x4040, 64, false, DataClass::SharedRW});
+    t.append(Op::memHedged(refs, hedge));
+    t.append(Op::reqEnd());
+    t.append(Op::done());
+    std::stringstream ss;
+    t.save(ss);
+    const ThreadTrace u = ThreadTrace::load(ss);
+    ASSERT_EQ(u.size(), 5u);
+    EXPECT_EQ(u.at(0).tickArg, Tick{777});
+    EXPECT_EQ(u.at(0).tickArg2, Tick{999});
+    EXPECT_EQ(u.at(0).homeDimm, 3);
+    EXPECT_EQ(u.at(1).tickArg, Op::reqNow);
+    EXPECT_EQ(u.at(1).homeDimm, -1);
+    ASSERT_EQ(u.at(2).kind, Op::Kind::HedgedMem);
+    EXPECT_EQ(u.at(2).refs.size(), 2u);
+    ASSERT_EQ(u.at(2).hedge.size(), 1u);
+    EXPECT_EQ(u.at(2).hedge[0].addr, Addr{0x4040});
+    // A hedged batch always fences: the race resolves per side.
+    EXPECT_TRUE(u.at(2).fenceAfter);
+    EXPECT_TRUE(t == u);
+}
+
 TEST(Trace, LoadRejectsGarbage)
 {
     std::stringstream ss("not a trace at all");
